@@ -1,0 +1,51 @@
+"""E4 — Fig. 2: Bode overlay of interpolated coefficients vs electrical simulator.
+
+Paper claim: the Bode magnitude and phase computed from the adaptively
+interpolated µA741 coefficients overlay the curves of a commercial electrical
+simulator ("perfect matching").  Our simulator stand-in is the direct MNA AC
+sweep; the bench asserts sub-0.1 dB / sub-1° agreement from 1 Hz to 100 MHz.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ac import ACAnalysis
+from repro.analysis.compare import compare_responses
+from repro.interpolation.reference import generate_reference
+from repro.reporting.experiments import run_fig2
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_reference_generation_cost(benchmark, ua741):
+    """Time the reference generation itself (numerator + denominator)."""
+    circuit, spec = ua741
+    reference = benchmark(lambda: generate_reference(circuit, spec))
+    assert reference.converged
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_bode_overlay(benchmark, ua741):
+    """Time the sweep comparison and assert the overlay quality."""
+    circuit, spec = ua741
+    reference = generate_reference(circuit, spec)
+    frequencies = np.logspace(0, 8, 49)
+    simulated = ACAnalysis(circuit, spec).frequency_response(frequencies)
+
+    def overlay():
+        interpolated = reference.frequency_response(frequencies)
+        return compare_responses(frequencies, simulated, interpolated)
+
+    comparison = benchmark(overlay)
+    assert comparison.max_magnitude_error_db < 0.1
+    assert comparison.max_phase_error_deg < 1.0
+    assert comparison.matches()
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_gain_curve_shape(benchmark):
+    """The packaged Fig. 2 runner: ~100 dB at 1 Hz rolling below 0 dB at 100 MHz."""
+    result = benchmark(lambda: run_fig2(points_per_decade=3))
+    interpolated, simulated = result.magnitude_db()
+    assert interpolated[0] > 80.0
+    assert interpolated[-1] < 0.0
+    assert result.comparison.matches()

@@ -1,0 +1,37 @@
+"""E6/E7 — ablations of the scale-factor strategy (Sections 3.1 and 3.2).
+
+* E6: a fixed grid of scale factors (Sec. 3.1's "relatively large set of scale
+  factors") either needs more interpolations than the adaptive choice or fails
+  to cover every coefficient.
+* E7: simultaneous frequency + conductance scaling keeps the individual
+  factors far smaller than pushing the whole ratio into a single factor
+  (Sec. 3.2 warns single factors beyond ~1e18 degrade the sample accuracy).
+"""
+
+import pytest
+
+from repro.reporting.experiments import run_scaling_ablation
+
+
+@pytest.fixture(scope="module")
+def ablation_result():
+    return run_scaling_ablation()
+
+
+@pytest.mark.benchmark(group="scaling-ablation")
+def test_simultaneous_vs_single_factor(benchmark, ablation_result):
+    result = benchmark(lambda: ablation_result)
+    assert result.simultaneous.converged
+    # E7: the simultaneous strategy needs smaller individual factors.
+    assert result.simultaneous_max_factor < result.single_factor_max_factor
+    # And stays far away from the 1e18 danger zone on this circuit.
+    assert result.simultaneous_max_factor < 1e15
+
+
+@pytest.mark.benchmark(group="scaling-ablation")
+def test_adaptive_vs_fixed_grid(benchmark, ablation_result):
+    result = benchmark(lambda: ablation_result)
+    adaptive_interpolations = result.simultaneous.iteration_count()
+    # E6: the fixed grid needs more interpolations and/or leaves gaps.
+    assert (result.fixed_grid_interpolations > adaptive_interpolations
+            or result.fixed_grid_covered < result.degree_bound + 1)

@@ -1,0 +1,64 @@
+"""E8 — SDG error control (Eq. 3) enabled by the numerical reference.
+
+Context benchmark: the whole point of the reference is to let SDG stop
+accumulating terms once the generated sum represents the required fraction of
+each coefficient.  The bench measures the SDG pass on the two-stage Miller OTA
+and asserts that (a) the Eq. 3 budget is met for every coefficient and (b) the
+term count collapses by a large factor — the compression that makes symbolic
+expressions of medium circuits interpretable.
+"""
+
+import math
+
+import pytest
+
+from repro.interpolation.reference import generate_reference
+from repro.symbolic.generation import symbolic_network_function
+from repro.symbolic.sdg import simplification_during_generation
+
+
+@pytest.fixture(scope="module")
+def miller_reference(miller):
+    circuit, spec = miller
+    return generate_reference(circuit, spec)
+
+
+@pytest.fixture(scope="module")
+def miller_symbolic(miller):
+    circuit, spec = miller
+    return symbolic_network_function(circuit, spec)
+
+
+@pytest.mark.benchmark(group="sdg")
+def test_sdg_error_control(benchmark, miller, miller_reference, miller_symbolic):
+    circuit, spec = miller
+    epsilon = 0.01
+
+    result = benchmark(
+        lambda: simplification_during_generation(
+            circuit, spec, miller_reference, epsilon=epsilon,
+            transfer_function=miller_symbolic))
+    kept, total = result.total_terms()
+    assert kept < total
+    assert result.compression() > 0.5
+    for report in result.reports:
+        if math.isfinite(report.achieved_error):
+            assert report.achieved_error <= epsilon * 1.5 + 1e-12
+
+
+@pytest.mark.benchmark(group="sdg")
+def test_sdg_epsilon_sweep_monotone(benchmark, miller, miller_reference,
+                                    miller_symbolic):
+    circuit, spec = miller
+
+    def sweep():
+        kept_counts = []
+        for epsilon in (0.1, 0.01, 0.001):
+            result = simplification_during_generation(
+                circuit, spec, miller_reference, epsilon=epsilon,
+                transfer_function=miller_symbolic)
+            kept_counts.append(result.total_terms()[0])
+        return kept_counts
+
+    kept_counts = benchmark(sweep)
+    assert kept_counts[0] <= kept_counts[1] <= kept_counts[2]

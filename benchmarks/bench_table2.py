@@ -1,0 +1,58 @@
+"""E2 — Table 2: µA741 denominator, first + second adaptive interpolations.
+
+Paper claim: the first interpolation (mean-value scale factors) yields a valid
+region covering the low-order coefficients; the Eq. 13-14 update moves the
+second interpolation's valid region so that it starts where the first one
+ended, with minimal overlap.
+"""
+
+import pytest
+
+from repro.interpolation.adaptive import AdaptiveOptions, AdaptiveScalingInterpolator
+from repro.nodal.sampler import NetworkFunctionSampler
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_first_two_interpolations(benchmark, ua741_admittance):
+    circuit, spec = ua741_admittance
+
+    def first_two():
+        sampler = NetworkFunctionSampler(circuit, spec)
+        options = AdaptiveOptions(max_iterations=2)
+        return AdaptiveScalingInterpolator(sampler, "denominator", options).run()
+
+    result = benchmark(first_two)
+    iterations = result.iterations
+    assert len(iterations) == 2
+    first, second = iterations
+    # Both interpolations produced a valid region.
+    assert first.region_start is not None and second.region_start is not None
+    # The second region extends to strictly higher powers of s ...
+    assert second.region_end > first.region_end
+    # ... and starts no earlier than where the first region ends minus a small
+    # overlap (the Eq. 14 objective of minimal overlap).
+    overlap = first.region_end - second.region_start + 1
+    assert overlap <= max(8, first.region_end - first.region_start)
+    # The scale-factor ratio per power of s increased (that is what shifts the
+    # window towards higher powers).
+    assert (second.factors.per_power_ratio > first.factors.per_power_ratio)
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_first_region_covers_low_orders(benchmark, ua741_admittance):
+    circuit, spec = ua741_admittance
+
+    def first_only():
+        sampler = NetworkFunctionSampler(circuit, spec)
+        options = AdaptiveOptions(max_iterations=1)
+        return AdaptiveScalingInterpolator(sampler, "denominator", options).run()
+
+    result = benchmark(first_only)
+    record = result.iterations[0]
+    degree_bound = result.degree_bound
+    # Mean-value scaling puts the first valid region at the low-order end and
+    # covers a substantial share of the coefficients (the paper gets 0..12 of
+    # 0..48).
+    assert record.region_start <= 2
+    assert record.region_end >= degree_bound // 4
+    assert record.region_end < degree_bound

@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark / paper-reproduction suite.
+
+Every benchmark regenerates one table or figure of the paper (or an ablation
+listed in DESIGN.md).  They use ``pytest-benchmark`` to time the relevant
+algorithm and ordinary assertions to check that the *shape* of the paper's
+result holds (which method wins, which regions appear, how costs fall); the
+absolute numbers are recorded in EXPERIMENTS.md.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.miller_ota import build_miller_ota
+from repro.circuits.ota import build_positive_feedback_ota
+from repro.circuits.ua741 import build_ua741
+from repro.netlist.transform import to_admittance_form
+
+
+@pytest.fixture(scope="session")
+def ota():
+    """Positive-feedback OTA (Fig. 1), already in admittance form."""
+    circuit, spec = build_positive_feedback_ota()
+    return to_admittance_form(circuit), spec
+
+
+@pytest.fixture(scope="session")
+def ua741():
+    """µA741 macro (Tables 2-3, Fig. 2), original MNA-capable circuit + spec."""
+    return build_ua741()
+
+
+@pytest.fixture(scope="session")
+def ua741_admittance(ua741):
+    """µA741 macro in admittance form (for the interpolation engine)."""
+    circuit, spec = ua741
+    return to_admittance_form(circuit), spec
+
+
+@pytest.fixture(scope="session")
+def miller():
+    """Two-stage Miller OTA used by the SDG benchmark."""
+    return build_miller_ota()

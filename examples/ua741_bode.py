@@ -1,0 +1,49 @@
+"""Tables 2-3 and Fig. 2 reproduction: µA741 adaptive reference + Bode overlay.
+
+Runs the adaptive scaling algorithm on the µA741 voltage-gain denominator
+(printing the per-interpolation valid regions and scale factors, the analogue
+of Tables 2 and 3), then overlays the Bode plot computed from the interpolated
+coefficients with a direct numeric AC simulation (Fig. 2) and reports the
+worst-case deviation.
+
+Run with::
+
+    python examples/ua741_bode.py
+"""
+
+from repro.analysis.bode import bode_from_response, phase_margin_deg, unity_gain_crossover
+from repro.reporting.experiments import run_fig2, run_table2_table3
+from repro.reporting.tables import (
+    format_adaptive_iterations,
+    format_bode_comparison,
+    format_coefficient_table,
+)
+
+
+def main():
+    print("=== Tables 2-3: adaptive scaling on the uA741 denominator ===")
+    table23 = run_table2_table3()
+    print(format_adaptive_iterations(table23.adaptive))
+    print()
+    print(format_coefficient_table(table23.adaptive.coefficients,
+                                   kind="denominator",
+                                   status=table23.adaptive.status,
+                                   max_rows=15))
+    print()
+
+    print("=== Fig. 2: interpolated coefficients vs electrical simulator ===")
+    fig2 = run_fig2(points_per_decade=6)
+    print(format_bode_comparison(fig2, rows=14))
+    print()
+
+    data = bode_from_response(fig2.frequencies, fig2.interpolated_response)
+    crossover = unity_gain_crossover(data)
+    margin = phase_margin_deg(data)
+    if crossover is not None:
+        print(f"unity-gain frequency (from the reference): {crossover:.3g} Hz")
+    if margin is not None:
+        print(f"phase margin (from the reference)        : {margin:.1f} deg")
+
+
+if __name__ == "__main__":
+    main()

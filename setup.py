@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works on minimal offline environments where the
+``wheel`` package (needed by the PEP 660 editable path of older setuptools)
+is not available — pip then falls back to the legacy ``setup.py develop``
+route.
+"""
+
+from setuptools import setup
+
+setup()

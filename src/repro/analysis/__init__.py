@@ -1,0 +1,31 @@
+"""Numeric frequency-domain analysis — the "electrical simulator" substrate.
+
+Fig. 2 of the paper validates the interpolated coefficients by overlaying the
+Bode plot computed from them with the output of a commercial electrical
+simulator.  This package provides the stand-in: a direct AC sweep of the full
+MNA system (:mod:`repro.analysis.ac`), Bode utilities
+(:mod:`repro.analysis.bode`), curve comparison metrics
+(:mod:`repro.analysis.compare`), pole/zero extraction from extended-range
+coefficients (:mod:`repro.analysis.poles`) and element sensitivity screening
+(:mod:`repro.analysis.sensitivity`, used by the SBG ranking).
+"""
+
+from .ac import ACAnalysis, ac_sweep
+from .bode import BodeData, bode_from_response, gain_margin_db, phase_margin_deg
+from .compare import BodeComparison, compare_responses
+from .poles import polynomial_roots, reference_poles_zeros
+from .sensitivity import element_sensitivities
+
+__all__ = [
+    "ACAnalysis",
+    "ac_sweep",
+    "BodeData",
+    "bode_from_response",
+    "gain_margin_db",
+    "phase_margin_deg",
+    "BodeComparison",
+    "compare_responses",
+    "polynomial_roots",
+    "reference_poles_zeros",
+    "element_sensitivities",
+]

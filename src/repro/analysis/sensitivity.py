@@ -1,0 +1,104 @@
+"""Element influence screening by numeric perturbation.
+
+For SBG-style circuit reduction one needs to know how much each element
+contributes to the network function around the design point.  The screening
+implemented here perturbs (or removes) one element at a time and measures the
+worst-case relative change of the transfer function over a set of sample
+frequencies computed with the numeric AC analysis — a brute-force but exact
+measure that serves as the ranking consumed by
+:mod:`repro.symbolic.sbg`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import FormulationError
+from ..netlist.elements import Capacitor, Conductor, Resistor, VCCS
+from .ac import ACAnalysis
+
+__all__ = ["ElementInfluence", "element_sensitivities"]
+
+
+@dataclasses.dataclass
+class ElementInfluence:
+    """Worst-case relative transfer-function change caused by one element."""
+
+    name: str
+    removal_error: float
+    relative_perturbation_gain: float
+
+    def negligible(self, threshold):
+        """True when removing the element changes the response less than ``threshold``."""
+        return self.removal_error < threshold
+
+
+def _relative_error(reference, candidate):
+    reference = np.asarray(reference, dtype=complex)
+    candidate = np.asarray(candidate, dtype=complex)
+    scale = np.maximum(np.abs(reference), np.finfo(float).tiny)
+    return float(np.max(np.abs(candidate - reference) / scale))
+
+
+def element_sensitivities(circuit, output, frequencies, elements=None,
+                          perturbation=0.01) -> List[ElementInfluence]:
+    """Rank elements by their influence on the transfer function.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit at its design point.
+    output:
+        Output node / pair / :class:`~repro.nodal.reduce.TransferSpec`.
+    frequencies:
+        Sample frequencies in hertz over which the influence is measured.
+    elements:
+        Restrict the screening to these element names (default: every passive
+        admittance element and VCCS).
+    perturbation:
+        Relative value perturbation used for the small-signal sensitivity
+        figure (in addition to the removal test).
+
+    Returns
+    -------
+    list of ElementInfluence, sorted by increasing removal error (least
+    influential first — the SBG removal order).
+    """
+    frequencies = np.asarray(frequencies, dtype=float)
+    baseline = ACAnalysis(circuit, output).frequency_response(frequencies)
+
+    if elements is None:
+        elements = [e.name for e in circuit
+                    if isinstance(e, (Resistor, Conductor, Capacitor, VCCS))]
+
+    influences: List[ElementInfluence] = []
+    for name in elements:
+        removed = circuit.with_element_removed(name)
+        try:
+            removed_response = ACAnalysis(removed, output).frequency_response(
+                frequencies)
+            removal_error = _relative_error(baseline, removed_response)
+        except Exception:
+            # Removing the element made the circuit singular — it is essential.
+            removal_error = math.inf
+
+        try:
+            perturbed = circuit.with_value_scaled(name, 1.0 + perturbation)
+            perturbed_response = ACAnalysis(perturbed, output).frequency_response(
+                frequencies)
+            sensitivity = _relative_error(baseline, perturbed_response) / perturbation
+        except Exception:
+            sensitivity = math.inf
+
+        influences.append(ElementInfluence(
+            name=name,
+            removal_error=removal_error,
+            relative_perturbation_gain=sensitivity,
+        ))
+
+    influences.sort(key=lambda item: item.removal_error)
+    return influences

@@ -1,0 +1,53 @@
+"""Telescopic cascode amplifier stage.
+
+A single-ended cascode gain stage: driver device, cascode device and a
+cascoded current-source load.  Exercises node-stacking (three internal nodes
+per branch) and is used by property tests as a mid-size circuit whose DC gain
+has a simple analytic estimate (``gm1 · (ro_casc || ro_load)``).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..devices.expand import expand_mosfet
+from ..devices.mosfet import MosfetSmallSignal
+from ..netlist.circuit import Circuit
+from ..nodal.reduce import TransferSpec
+
+__all__ = ["build_cascode_amplifier"]
+
+
+def build_cascode_amplifier(load_capacitance=0.5e-12) -> Tuple[Circuit, TransferSpec]:
+    """Build the cascode amplifier small-signal circuit.
+
+    Returns
+    -------
+    (Circuit, TransferSpec)
+        Single-ended drive at ``vin``, output at ``vout``.
+    """
+    circuit = Circuit("cascode", "telescopic cascode amplifier")
+    circuit.add_voltage_source("vin", "in", "0", 1.0)
+
+    driver = MosfetSmallSignal(gm=500e-6, gds=10e-6, cgs=200e-15, cgd=20e-15,
+                               cdb=80e-15, polarity="nmos")
+    cascode = MosfetSmallSignal(gm=450e-6, gds=9e-6, cgs=180e-15, cgd=18e-15,
+                                cdb=70e-15, csb=70e-15, polarity="nmos")
+    load_cascode = MosfetSmallSignal(gm=350e-6, gds=7e-6, cgs=150e-15,
+                                     cgd=15e-15, cdb=60e-15, csb=60e-15,
+                                     polarity="pmos")
+    load_source = MosfetSmallSignal(gm=350e-6, gds=7e-6, cgs=150e-15,
+                                    cgd=15e-15, cdb=60e-15, polarity="pmos")
+
+    # NMOS branch: driver M1 into cascode M2.
+    expand_mosfet(circuit, "M1", "x1", "in", "0", "0", driver)
+    expand_mosfet(circuit, "M2", "vout", "0", "x1", "0", cascode)
+
+    # PMOS load branch: current source M4 into cascode M3.
+    expand_mosfet(circuit, "M4", "x2", "0", "0", "0", load_source)
+    expand_mosfet(circuit, "M3", "vout", "0", "x2", "0", load_cascode)
+
+    circuit.add_capacitor("CL", "vout", "0", load_capacitance)
+
+    spec = TransferSpec(inputs=["vin"], output="vout")
+    return circuit, spec

@@ -1,0 +1,65 @@
+"""Two-stage Miller-compensated CMOS OTA.
+
+A medium-size circuit (two gain stages, ~8 devices) used by the SDG / SBG
+examples: small enough for the exact symbolic expression to be enumerable, yet
+rich enough that simplification against the numerical reference removes a
+meaningful fraction of the terms.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..devices.expand import expand_mosfet
+from ..devices.mosfet import MosfetSmallSignal
+from ..netlist.circuit import Circuit
+from ..nodal.reduce import TransferSpec
+
+__all__ = ["build_miller_ota"]
+
+
+def build_miller_ota(compensation_capacitance=2e-12,
+                     load_capacitance=5e-12) -> Tuple[Circuit, TransferSpec]:
+    """Build the two-stage Miller OTA small-signal circuit.
+
+    Stage 1: NMOS differential pair (M1/M2) with PMOS mirror load (M3/M4) and
+    NMOS tail source (M5).  Stage 2: PMOS common-source device (M6) with NMOS
+    current-source load (M7).  ``Cc`` bridges the two stages (Miller
+    compensation), ``CL`` loads the output.
+
+    Returns
+    -------
+    (Circuit, TransferSpec)
+        Differential drive (``vip`` +0.5, ``vim`` −0.5), output at ``vout``.
+    """
+    circuit = Circuit("miller-ota", "two-stage Miller-compensated OTA")
+    circuit.add_voltage_source("vip", "inp", "0", +0.5)
+    circuit.add_voltage_source("vim", "inm", "0", -0.5)
+
+    nmos_pair = MosfetSmallSignal(gm=200e-6, gds=4e-6, cgs=100e-15, cgd=10e-15,
+                                  cdb=40e-15, polarity="nmos")
+    pmos_load = MosfetSmallSignal(gm=150e-6, gds=6e-6, cgs=80e-15, cgd=8e-15,
+                                  cdb=35e-15, polarity="pmos")
+    nmos_tail = MosfetSmallSignal(gm=250e-6, gds=8e-6, cgs=120e-15, cgd=12e-15,
+                                  cdb=50e-15, polarity="nmos")
+    pmos_drive = MosfetSmallSignal(gm=1e-3, gds=20e-6, cgs=400e-15, cgd=40e-15,
+                                   cdb=120e-15, polarity="pmos")
+    nmos_sink = MosfetSmallSignal(gm=800e-6, gds=25e-6, cgs=300e-15, cgd=30e-15,
+                                  cdb=100e-15, polarity="nmos")
+
+    # First stage.
+    expand_mosfet(circuit, "M1", "d1", "inp", "tail", "0", nmos_pair)
+    expand_mosfet(circuit, "M2", "d2", "inm", "tail", "0", nmos_pair)
+    expand_mosfet(circuit, "M3", "d1", "d1", "0", "0", pmos_load)
+    expand_mosfet(circuit, "M4", "d2", "d1", "0", "0", pmos_load)
+    expand_mosfet(circuit, "M5", "tail", "0", "0", "0", nmos_tail)
+
+    # Second stage (input at the first-stage output d2).
+    expand_mosfet(circuit, "M6", "vout", "d2", "0", "0", pmos_drive)
+    expand_mosfet(circuit, "M7", "vout", "0", "0", "0", nmos_sink)
+
+    circuit.add_capacitor("Cc", "d2", "vout", compensation_capacitance)
+    circuit.add_capacitor("CL", "vout", "0", load_capacitance)
+
+    spec = TransferSpec(inputs=["vip", "vim"], output="vout")
+    return circuit, spec

@@ -1,0 +1,125 @@
+"""µA741 operational amplifier small-signal macro (Tables 2–3, Fig. 2).
+
+The paper's large example is the µA741: its voltage-gain denominator spans
+roughly fifty powers of ``s`` with consecutive coefficients 10^6–10^12 apart,
+which is what defeats single-interpolation reference generation and motivates
+the adaptive scaling algorithm.
+
+This builder reconstructs the classic Fairchild topology (input stage with
+lateral-PNP common-base pair and current-mirror load, Widlar bias core,
+Darlington-style second stage with the 30 pF Miller compensation capacitor,
+V_BE-multiplier-biased class-AB output stage) as a *small-signal* circuit:
+
+* every transistor is expanded into its hybrid-π equivalent (``gm``, ``gpi``,
+  ``go``, ``cpi``, ``cmu``, base resistance and collector-substrate
+  capacitance) from textbook bias currents,
+* supplies are AC ground,
+* the exact foundry parameters of the original device are not public, so the
+  absolute coefficient values differ from the paper's Table 2/3 — the
+  reproduced claim is the *structure* of the problem: a ~40th-order
+  denominator whose coefficients span several hundred decades once
+  denormalized.
+
+The netlist is written in the library's SPICE-like syntax and parsed with
+:func:`repro.netlist.parser.parse_netlist`, so this module also doubles as an
+integration test of the parser + device-expansion pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..netlist.circuit import Circuit
+from ..netlist.parser import parse_netlist
+from ..nodal.reduce import TransferSpec
+
+__all__ = ["build_ua741", "UA741_NETLIST"]
+
+
+#: SPICE-like source of the µA741 small-signal macro.  Node 0 is AC ground
+#: (both supply rails).  Bias currents are the textbook operating point.
+UA741_NETLIST = """
+* uA741 operational amplifier - small-signal macro
+.model npn  npn (beta=200 va=130 tf=0.35n cje=1p  cmu=0.3p rb=200 ccs=2p)
+.model pnp  pnp (beta=50  va=50  tf=30n   cje=0.3p cmu=1p  rb=300 ccs=3p)
+.model npnout npn (beta=150 va=100 tf=0.4n cje=2p cmu=0.6p rb=100 ccs=3p)
+.model pnpout pnp (beta=50  va=60  tf=20n  cje=1p  cmu=1p  rb=150 ccs=3p)
+
+* differential inputs (antisymmetric drive for the differential gain)
+Vip inp 0 ac 0.5
+Vim inm 0 ac -0.5
+
+* ---- input stage -------------------------------------------------------
+* Q1/Q2: NPN emitter followers, Q3/Q4: lateral PNP common base,
+* Q5/Q6/Q7: NPN current-mirror load with emitter degeneration.
+Q1 n8   inp  e1   npn ic=9.5u
+Q2 n8   inm  e2   npn ic=9.5u
+Q3 c3   b34  e1   pnp ic=9.5u
+Q4 c4   b34  e2   pnp ic=9.5u
+Q5 c3   b56  r1t  npn ic=9.5u
+Q6 c4   b56  r2t  npn ic=9.5u
+Q7 0    c3   b56  npn ic=10u
+R1 r1t 0 1k
+R2 r2t 0 1k
+R3 b56 0 50k
+
+* ---- bias core ---------------------------------------------------------
+* Q8/Q9: PNP mirror feeding the input stage, Q10/Q11: Widlar source,
+* Q12/Q13: PNP mirror feeding the second and output stages.
+Q8  n8   n8    0   pnp ic=19u
+Q9  b34  n8    0   pnp ic=19u
+Q10 b34  b1011 r4t npn ic=19u
+Q11 b1011 b1011 0  npn ic=730u
+Q12 b1213 b1213 0  pnp ic=730u
+Q13 b14  b1213 0   pnp ic=550u
+R4 r4t 0 5k
+R5 b1011 b1213 39k
+
+* ---- second stage ------------------------------------------------------
+* Q16: emitter follower, Q17: common-emitter gain device, Cc: 30 pF Miller
+* compensation from the stage input (c4) to the stage output (c17).
+Q16 0   c4   b17 npn ic=16u
+Q17 c17 b17  r8t npn ic=550u
+R8 r8t 0 100
+R9 b17 0 50k
+Cc c4 c17 30p
+
+* ---- output stage ------------------------------------------------------
+* Q18/Q19: VBE-multiplier bias chain between the output-stage input nodes,
+* Q14/Q20: complementary emitter followers with current-sharing resistors.
+Q18 b14 b14 mid npn ic=160u
+Q19 mid mid c17 npn ic=160u
+Q14 0   b14 r6t npnout ic=170u
+Q20 0   c17 r7t pnpout ic=170u
+R6 r6t out 27
+R7 r7t out 22
+
+* ---- load --------------------------------------------------------------
+RL out 0 2k
+CL out 0 100p
+.end
+"""
+
+
+def build_ua741(load_resistance=2e3,
+                load_capacitance=100e-12) -> Tuple[Circuit, TransferSpec]:
+    """Build the µA741 small-signal circuit and its differential-gain spec.
+
+    Parameters
+    ----------
+    load_resistance, load_capacitance:
+        Output load; the defaults (2 kΩ, 100 pF) are the datasheet test load.
+
+    Returns
+    -------
+    (Circuit, TransferSpec)
+        The spec describes the differential voltage gain
+        ``V(out) / (V(inp) - V(inm))`` with the antisymmetric ±0.5 V drive.
+    """
+    circuit = parse_netlist(UA741_NETLIST, name="ua741")
+    if load_resistance != 2e3:
+        circuit.replace(type(circuit["RL"])("RL", "out", "0", load_resistance))
+    if load_capacitance != 100e-12:
+        circuit.replace(type(circuit["CL"])("CL", "out", "0", load_capacitance))
+    spec = TransferSpec(inputs=["Vip", "Vim"], output="out")
+    return circuit, spec

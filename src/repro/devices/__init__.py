@@ -1,0 +1,31 @@
+"""Small-signal device models and their expansion into primitive elements.
+
+Symbolic analysis of analog circuits operates on the *small-signal equivalent*
+of the transistor-level circuit: every MOSFET or BJT is replaced by a handful
+of conductances, capacitances and voltage-controlled current sources evaluated
+at the DC operating point.  This package provides:
+
+* :class:`~repro.devices.mosfet.MosfetSmallSignal` — MOS level-1 style
+  small-signal parameters (``gm``, ``gmb``, ``gds`` and the junction / overlap
+  capacitances), derivable from an operating point,
+* :class:`~repro.devices.bjt.BjtSmallSignal` — BJT hybrid-π parameters
+  (``gm``, ``gpi``, ``go``, ``cpi``, ``cmu``, base resistance),
+* :class:`~repro.devices.diode.DiodeSmallSignal` — diode conductance and
+  junction capacitance,
+* :mod:`~repro.devices.expand` — functions that stamp those models into a
+  :class:`~repro.netlist.circuit.Circuit` as primitive elements.
+"""
+
+from .mosfet import MosfetSmallSignal
+from .bjt import BjtSmallSignal
+from .diode import DiodeSmallSignal
+from .expand import expand_mosfet, expand_bjt, expand_diode
+
+__all__ = [
+    "MosfetSmallSignal",
+    "BjtSmallSignal",
+    "DiodeSmallSignal",
+    "expand_mosfet",
+    "expand_bjt",
+    "expand_diode",
+]

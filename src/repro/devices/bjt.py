@@ -1,0 +1,141 @@
+"""BJT hybrid-π small-signal model.
+
+The hybrid-π model used for the µA741 reproduction contains:
+
+* transconductance ``gm = I_C / V_T``,
+* base-emitter conductance ``gpi = gm / β``,
+* output conductance ``go = I_C / V_A``,
+* base-emitter capacitance ``cpi = gm τ_F + C_je``,
+* base-collector capacitance ``cmu`` (junction capacitance),
+* optional base spreading resistance ``rb`` and collector-substrate
+  capacitance ``ccs``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from ..errors import DeviceModelError
+
+__all__ = ["BjtSmallSignal", "THERMAL_VOLTAGE"]
+
+#: kT/q at ~300 K, in volts.
+THERMAL_VOLTAGE = 0.02585
+
+
+@dataclasses.dataclass(frozen=True)
+class BjtSmallSignal:
+    """Small-signal parameters of a bipolar transistor at a DC operating point."""
+
+    gm: float
+    gpi: float
+    go: float
+    cpi: float
+    cmu: float
+    rb: float = 0.0
+    ccs: float = 0.0
+    polarity: str = "npn"
+
+    def __post_init__(self):
+        if self.gm <= 0.0:
+            raise DeviceModelError("BJT gm must be positive")
+        if self.gpi < 0.0 or self.go < 0.0:
+            raise DeviceModelError("BJT gpi and go must be non-negative")
+        for cap_name in ("cpi", "cmu", "ccs"):
+            if getattr(self, cap_name) < 0.0:
+                raise DeviceModelError(f"BJT {cap_name} must be non-negative")
+        if self.rb < 0.0:
+            raise DeviceModelError("BJT rb must be non-negative")
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_params(cls, params: Dict[str, float], polarity="npn"):
+        """Build from a flat parameter dictionary (``.model`` card contents).
+
+        Either direct small-signal values (``gm, gpi, go, cpi, cmu, rb, ccs``)
+        or an operating point (``ic`` plus ``beta, va, tf, cje, cmu, rb, ccs``).
+        """
+        params = {k.lower(): float(v) for k, v in params.items()}
+        if "gm" in params:
+            return cls(
+                gm=params["gm"],
+                gpi=params.get("gpi", 0.0),
+                go=params.get("go", 0.0),
+                cpi=params.get("cpi", 0.0),
+                cmu=params.get("cmu", 0.0),
+                rb=params.get("rb", 0.0),
+                ccs=params.get("ccs", 0.0),
+                polarity=polarity,
+            )
+        if "ic" in params:
+            return cls.from_operating_point(
+                collector_current=params["ic"],
+                beta=params.get("beta", params.get("bf", 200.0)),
+                early_voltage=params.get("va", params.get("vaf", 50.0)),
+                transit_time=params.get("tf", 0.0),
+                cje=params.get("cje", 0.0),
+                cmu=params.get("cmu", params.get("cjc", 0.0)),
+                rb=params.get("rb", 0.0),
+                ccs=params.get("ccs", params.get("cjs", 0.0)),
+                polarity=polarity,
+            )
+        raise DeviceModelError(
+            "BJT model needs either gm/gpi/... parameters or an operating "
+            "point (ic, beta, va, ...)"
+        )
+
+    @classmethod
+    def from_operating_point(
+        cls,
+        collector_current,
+        beta=200.0,
+        early_voltage=50.0,
+        transit_time=0.0,
+        cje=0.0,
+        cmu=0.0,
+        rb=0.0,
+        ccs=0.0,
+        thermal_voltage=THERMAL_VOLTAGE,
+        polarity="npn",
+    ):
+        """Hybrid-π parameters from a bias point.
+
+        ``gm = I_C / V_T``, ``gpi = gm / β``, ``go = I_C / V_A``,
+        ``cpi = gm τ_F + C_je``.
+        """
+        collector_current = abs(float(collector_current))
+        if collector_current <= 0.0:
+            raise DeviceModelError("collector current must be non-zero")
+        if beta <= 0.0:
+            raise DeviceModelError("beta must be positive")
+        gm = collector_current / thermal_voltage
+        gpi = gm / beta
+        go = collector_current / early_voltage if early_voltage > 0.0 else 0.0
+        cpi = gm * transit_time + cje
+        return cls(
+            gm=gm, gpi=gpi, go=go, cpi=cpi, cmu=cmu, rb=rb, ccs=ccs,
+            polarity=polarity,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def beta(self):
+        """Small-signal current gain ``gm / gpi`` (inf when gpi is zero)."""
+        if self.gpi == 0.0:
+            return float("inf")
+        return self.gm / self.gpi
+
+    def transition_frequency(self):
+        """Approximate ``f_T = gm / (2π (cpi + cmu))`` in Hz."""
+        import math
+
+        total = self.cpi + self.cmu
+        if total == 0.0:
+            return float("inf")
+        return self.gm / (2.0 * math.pi * total)
+
+    def as_dict(self):
+        """Plain dict of all parameters (for reports)."""
+        return dataclasses.asdict(self)

@@ -1,0 +1,57 @@
+"""Diode small-signal model: junction conductance plus junction capacitance."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from ..errors import DeviceModelError
+from .bjt import THERMAL_VOLTAGE
+
+__all__ = ["DiodeSmallSignal"]
+
+
+@dataclasses.dataclass(frozen=True)
+class DiodeSmallSignal:
+    """Small-signal parameters of a (forward-biased) diode."""
+
+    gd: float
+    cd: float = 0.0
+
+    def __post_init__(self):
+        if self.gd < 0.0:
+            raise DeviceModelError("diode conductance must be non-negative")
+        if self.cd < 0.0:
+            raise DeviceModelError("diode capacitance must be non-negative")
+
+    @classmethod
+    def from_params(cls, params: Dict[str, float]):
+        """Build from a flat parameter dictionary.
+
+        Either direct (``gd, cd``) or from a bias current (``id`` plus optional
+        ``tt`` transit time and ``cj`` junction capacitance).
+        """
+        params = {k.lower(): float(v) for k, v in params.items()}
+        if "gd" in params:
+            return cls(gd=params["gd"], cd=params.get("cd", 0.0))
+        if "id" in params:
+            return cls.from_operating_point(
+                diode_current=params["id"],
+                transit_time=params.get("tt", 0.0),
+                junction_capacitance=params.get("cj", params.get("cj0", 0.0)),
+            )
+        raise DeviceModelError("diode model needs gd/cd or id/tt/cj parameters")
+
+    @classmethod
+    def from_operating_point(cls, diode_current, transit_time=0.0,
+                             junction_capacitance=0.0,
+                             thermal_voltage=THERMAL_VOLTAGE):
+        """``gd = I_D / V_T``, ``cd = gd τ_T + C_j``."""
+        diode_current = abs(float(diode_current))
+        gd = diode_current / thermal_voltage
+        cd = gd * transit_time + junction_capacitance
+        return cls(gd=gd, cd=cd)
+
+    def as_dict(self):
+        """Plain dict of all parameters (for reports)."""
+        return dataclasses.asdict(self)

@@ -1,0 +1,161 @@
+"""MOSFET small-signal model.
+
+The model is the standard saturation-region small-signal equivalent used in
+analog design (level-1 / square-law flavour):
+
+* transconductance ``gm`` from gate to channel,
+* bulk transconductance ``gmb``,
+* output conductance ``gds``,
+* capacitances ``cgs``, ``cgd``, ``cgb``, ``cdb``, ``csb``.
+
+Parameters can be given directly (when reproducing a published operating
+point) or derived from a square-law operating point with
+:meth:`MosfetSmallSignal.from_operating_point`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from ..errors import DeviceModelError
+
+__all__ = ["MosfetSmallSignal"]
+
+
+@dataclasses.dataclass(frozen=True)
+class MosfetSmallSignal:
+    """Small-signal parameters of a MOSFET at a DC operating point.
+
+    All conductances are in siemens, capacitances in farads.  ``polarity`` is
+    ``"nmos"`` or ``"pmos"``; it does not change the small-signal equations
+    (the incremental model is sign-symmetric) but is kept for reporting.
+    """
+
+    gm: float
+    gds: float
+    cgs: float
+    cgd: float
+    gmb: float = 0.0
+    cgb: float = 0.0
+    cdb: float = 0.0
+    csb: float = 0.0
+    polarity: str = "nmos"
+
+    def __post_init__(self):
+        if self.gm < 0.0:
+            raise DeviceModelError("MOSFET gm must be non-negative")
+        if self.gds < 0.0:
+            raise DeviceModelError("MOSFET gds must be non-negative")
+        for cap_name in ("cgs", "cgd", "cgb", "cdb", "csb"):
+            if getattr(self, cap_name) < 0.0:
+                raise DeviceModelError(f"MOSFET {cap_name} must be non-negative")
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_params(cls, params: Dict[str, float], polarity="nmos"):
+        """Build from a flat parameter dictionary (``.model`` card contents).
+
+        Recognized keys: ``gm, gds, gmb, cgs, cgd, cgb, cdb, csb`` for direct
+        specification, or ``id, vov, lambda, gamma_eff, cox_w_l, tof`` style
+        operating-point keys handled by :meth:`from_operating_point` when
+        ``gm`` is absent.
+        """
+        params = {k.lower(): float(v) for k, v in params.items()}
+        if "gm" in params:
+            return cls(
+                gm=params.get("gm", 0.0),
+                gds=params.get("gds", 0.0),
+                cgs=params.get("cgs", 0.0),
+                cgd=params.get("cgd", 0.0),
+                gmb=params.get("gmb", 0.0),
+                cgb=params.get("cgb", 0.0),
+                cdb=params.get("cdb", 0.0),
+                csb=params.get("csb", 0.0),
+                polarity=polarity,
+            )
+        if "id" in params:
+            return cls.from_operating_point(
+                drain_current=params["id"],
+                overdrive=params.get("vov", 0.2),
+                channel_length_modulation=params.get("lambda", 0.05),
+                cgs=params.get("cgs", 0.0),
+                cgd=params.get("cgd", 0.0),
+                cgb=params.get("cgb", 0.0),
+                cdb=params.get("cdb", 0.0),
+                csb=params.get("csb", 0.0),
+                bulk_factor=params.get("eta", 0.2),
+                polarity=polarity,
+            )
+        raise DeviceModelError(
+            "MOSFET model needs either gm/gds/c* parameters or an operating "
+            "point (id, vov, lambda)"
+        )
+
+    @classmethod
+    def from_operating_point(
+        cls,
+        drain_current,
+        overdrive=0.2,
+        channel_length_modulation=0.05,
+        cgs=0.0,
+        cgd=0.0,
+        cgb=0.0,
+        cdb=0.0,
+        csb=0.0,
+        bulk_factor=0.2,
+        polarity="nmos",
+    ):
+        """Square-law small-signal parameters from an operating point.
+
+        ``gm = 2 I_D / V_ov``, ``gds = λ I_D``, ``gmb = η gm``.
+
+        Parameters
+        ----------
+        drain_current:
+            Drain bias current in amperes (absolute value used).
+        overdrive:
+            Gate overdrive voltage ``V_GS - V_T`` in volts.
+        channel_length_modulation:
+            λ in 1/V.
+        bulk_factor:
+            ``gmb / gm`` ratio (typically 0.1–0.3).
+        """
+        drain_current = abs(float(drain_current))
+        if overdrive <= 0.0:
+            raise DeviceModelError("overdrive voltage must be positive")
+        gm = 2.0 * drain_current / overdrive
+        gds = channel_length_modulation * drain_current
+        return cls(
+            gm=gm,
+            gds=gds,
+            cgs=cgs,
+            cgd=cgd,
+            gmb=bulk_factor * gm,
+            cgb=cgb,
+            cdb=cdb,
+            csb=csb,
+            polarity=polarity,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def intrinsic_gain(self):
+        """``gm / gds`` (infinite when gds is zero)."""
+        if self.gds == 0.0:
+            return float("inf")
+        return self.gm / self.gds
+
+    def transition_frequency(self):
+        """Approximate ``f_T = gm / (2π (cgs + cgd))`` in Hz (inf if no caps)."""
+        import math
+
+        total = self.cgs + self.cgd
+        if total == 0.0:
+            return float("inf")
+        return self.gm / (2.0 * math.pi * total)
+
+    def as_dict(self):
+        """Plain dict of all parameters (for reports)."""
+        return dataclasses.asdict(self)

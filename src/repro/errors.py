@@ -1,0 +1,88 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single base class.  Sub-classes are grouped by subsystem: netlist
+parsing, circuit construction, linear algebra, interpolation and symbolic
+analysis.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class NetlistError(ReproError):
+    """Raised for malformed netlists or invalid circuit construction."""
+
+
+class ParseError(NetlistError):
+    """Raised when a netlist file or string cannot be parsed.
+
+    Attributes
+    ----------
+    line_number:
+        1-based line number of the offending line, if known.
+    line:
+        The raw text of the offending line, if known.
+    """
+
+    def __init__(self, message, line_number=None, line=None):
+        self.line_number = line_number
+        self.line = line
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+
+
+class ValidationError(NetlistError):
+    """Raised when a circuit fails structural validation."""
+
+
+class UnknownNodeError(NetlistError):
+    """Raised when an element refers to a node that does not exist."""
+
+
+class UnknownElementError(NetlistError):
+    """Raised when a reference to a named element cannot be resolved."""
+
+
+class DeviceModelError(ReproError):
+    """Raised for invalid small-signal device model parameters."""
+
+
+class LinAlgError(ReproError):
+    """Raised for linear-algebra failures (singular matrix, shape mismatch)."""
+
+
+class SingularMatrixError(LinAlgError):
+    """Raised when an LU factorization encounters a (numerically) singular pivot."""
+
+
+class FormulationError(ReproError):
+    """Raised when a circuit cannot be put in the required matrix form.
+
+    The interpolation engine requires a pure admittance (nodal) formulation;
+    circuits with elements that cannot be transformed raise this error.
+    """
+
+
+class InterpolationError(ReproError):
+    """Raised for failures inside the polynomial-interpolation engine."""
+
+
+class ConvergenceError(InterpolationError):
+    """Raised when the adaptive-scaling loop cannot cover all coefficients."""
+
+
+class ReferenceError_(ReproError):
+    """Raised for invalid use of a generated numerical reference."""
+
+
+class SymbolicError(ReproError):
+    """Raised for failures in the symbolic-analysis subsystem."""
+
+
+class SimplificationError(SymbolicError):
+    """Raised when SDG/SBG simplification cannot meet the requested error bound."""

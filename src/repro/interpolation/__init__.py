@@ -1,0 +1,54 @@
+"""Polynomial interpolation with adaptive scaling — the paper's contribution.
+
+The package implements, layer by layer:
+
+* :mod:`repro.interpolation.points` — interpolation points on the unit circle,
+* :mod:`repro.interpolation.dft` — the inverse DFT that recovers polynomial
+  coefficients from samples (with decimal-exponent aware batching),
+* :mod:`repro.interpolation.polynomial` / :mod:`repro.interpolation.rational`
+  — extended-range polynomial and rational-function containers,
+* :mod:`repro.interpolation.basic` — the conventional single-interpolation
+  method of Section 2 (used to reproduce Table 1),
+* :mod:`repro.interpolation.scaling` — frequency / conductance scale factors
+  and the Eq. (11) normalization bookkeeping,
+* :mod:`repro.interpolation.regions` — valid-coefficient region detection via
+  the round-off error level (Eq. 12),
+* :mod:`repro.interpolation.adaptive` — the adaptive scaling algorithm of
+  Section 3.2 (Eqs. 13–16),
+* :mod:`repro.interpolation.reduction` — the problem-size reduction of
+  Section 3.3 (Eq. 17),
+* :mod:`repro.interpolation.reference` — the high-level
+  :func:`~repro.interpolation.reference.generate_reference` API producing the
+  numerical reference consumed by SDG / SBG error control.
+"""
+
+from .points import unit_circle_points
+from .dft import inverse_dft, inverse_dft_scaled
+from .polynomial import Polynomial
+from .rational import RationalFunction
+from .basic import InterpolationResult, interpolate_network_function
+from .scaling import ScaleFactors, initial_scale_factors, denormalize_coefficients
+from .regions import ValidRegion, find_valid_region, error_level
+from .adaptive import AdaptiveScalingInterpolator, AdaptiveResult, AdaptiveOptions
+from .reference import NumericalReference, generate_reference
+
+__all__ = [
+    "unit_circle_points",
+    "inverse_dft",
+    "inverse_dft_scaled",
+    "Polynomial",
+    "RationalFunction",
+    "InterpolationResult",
+    "interpolate_network_function",
+    "ScaleFactors",
+    "initial_scale_factors",
+    "denormalize_coefficients",
+    "ValidRegion",
+    "find_valid_region",
+    "error_level",
+    "AdaptiveScalingInterpolator",
+    "AdaptiveResult",
+    "AdaptiveOptions",
+    "NumericalReference",
+    "generate_reference",
+]

@@ -1,0 +1,112 @@
+"""Inverse discrete Fourier transform for coefficient recovery.
+
+With samples ``P(s_k)`` at the ``K`` unit-circle points the polynomial
+coefficients follow from the inverse DFT (Eq. 5 of the paper):
+
+``p_i = (1/K) Σ_k P(s_k) · exp(-2πj i k / K)``.
+
+Two entry points are provided:
+
+* :func:`inverse_dft` — plain complex samples (numpy array in, numpy array
+  out), with a direct ``O(K²)`` reference implementation and a numpy-FFT fast
+  path that are tested against each other;
+* :func:`inverse_dft_scaled` — samples given as ``(mantissa, exponent)`` pairs
+  (the sampler's extended-range representation).  The whole batch is rescaled
+  by a common power of ten before the transform, and that common exponent is
+  returned alongside the coefficients, so nothing overflows regardless of the
+  determinant magnitudes.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import InterpolationError
+
+__all__ = ["inverse_dft", "inverse_dft_direct", "inverse_dft_scaled"]
+
+
+def inverse_dft_direct(samples) -> np.ndarray:
+    """Direct ``O(K²)`` inverse DFT (reference implementation)."""
+    samples = np.asarray(samples, dtype=complex)
+    count = samples.shape[0]
+    if count == 0:
+        raise InterpolationError("inverse DFT of an empty sample vector")
+    coefficients = np.zeros(count, dtype=complex)
+    for i in range(count):
+        accumulator = 0.0 + 0.0j
+        for k in range(count):
+            accumulator += samples[k] * cmath.exp(-2j * math.pi * i * k / count)
+        coefficients[i] = accumulator / count
+    return coefficients
+
+
+def inverse_dft(samples, method="fft") -> np.ndarray:
+    """Inverse DFT of equally spaced unit-circle samples.
+
+    Parameters
+    ----------
+    samples:
+        ``P(s_k)`` for ``s_k = exp(2πjk/K)``, ``k = 0..K-1``.
+    method:
+        ``"fft"`` (numpy, default) or ``"direct"`` (the O(K²) reference).
+
+    Returns
+    -------
+    numpy.ndarray
+        Complex coefficient estimates ``p_0 .. p_{K-1}``.
+    """
+    samples = np.asarray(samples, dtype=complex)
+    if samples.ndim != 1 or samples.shape[0] == 0:
+        raise InterpolationError("samples must be a non-empty 1-D sequence")
+    if method == "direct":
+        return inverse_dft_direct(samples)
+    if method != "fft":
+        raise InterpolationError(f"unknown inverse DFT method {method!r}")
+    # numpy.fft.fft computes sum x_k exp(-2πjik/K), i.e. exactly K * p_i.
+    return np.fft.fft(samples) / samples.shape[0]
+
+
+def inverse_dft_scaled(samples, method="fft") -> Tuple[np.ndarray, int]:
+    """Inverse DFT of extended-range samples.
+
+    Parameters
+    ----------
+    samples:
+        Sequence of ``(mantissa, exponent)`` pairs representing
+        ``mantissa * 10**exponent`` with complex mantissas.
+    method:
+        Passed through to :func:`inverse_dft`.
+
+    Returns
+    -------
+    (numpy.ndarray, int)
+        ``(coefficients, common_exponent)`` such that the true coefficient
+        ``p_i`` equals ``coefficients[i] * 10**common_exponent``.
+
+    Notes
+    -----
+    All samples of one interpolation lie on a circle and have comparable
+    magnitudes; samples more than ~300 decades below the largest one are
+    flushed to zero (they cannot influence double-precision sums anyway).
+    """
+    pairs = list(samples)
+    if not pairs:
+        raise InterpolationError("inverse DFT of an empty sample vector")
+    exponents = [exponent for mantissa, exponent in pairs if mantissa != 0]
+    if not exponents:
+        return np.zeros(len(pairs), dtype=complex), 0
+    common = max(exponents)
+    rescaled = np.zeros(len(pairs), dtype=complex)
+    for index, (mantissa, exponent) in enumerate(pairs):
+        if mantissa == 0:
+            continue
+        shift = exponent - common
+        if shift < -300:
+            continue
+        rescaled[index] = mantissa * 10.0**shift
+    return inverse_dft(rescaled, method=method), common

@@ -1,0 +1,52 @@
+"""Interpolation point generation.
+
+The polynomial interpolation method evaluates the network function at ``K``
+points; the paper (following Vlach & Singhal) uses equally spaced points on the
+unit circle of the complex plane, which turns coefficient recovery into an
+inverse DFT and gives the best numerical conditioning.  Frequency scaling is
+*not* applied here — the sampler scales the capacitance values instead, which
+is numerically equivalent to moving the circle radius but keeps the DFT on the
+unit circle.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import List
+
+from ..errors import InterpolationError
+
+__all__ = ["unit_circle_points", "circle_points", "minimum_point_count"]
+
+
+def minimum_point_count(degree):
+    """Number of interpolation points needed for a polynomial of ``degree``."""
+    if degree < 0:
+        raise InterpolationError("polynomial degree must be non-negative")
+    return degree + 1
+
+
+def unit_circle_points(count) -> List[complex]:
+    """``count`` equally spaced points ``exp(2πjk/K)`` for ``k = 0..K-1``.
+
+    Raises
+    ------
+    InterpolationError
+        If ``count`` is not a positive integer.
+    """
+    return circle_points(count, radius=1.0)
+
+
+def circle_points(count, radius=1.0) -> List[complex]:
+    """``count`` equally spaced points on a circle of ``radius``.
+
+    The first point is always the positive real point ``radius + 0j``.
+    """
+    count = int(count)
+    if count <= 0:
+        raise InterpolationError("point count must be positive")
+    if radius <= 0.0:
+        raise InterpolationError("circle radius must be positive")
+    step = 2.0 * math.pi / count
+    return [radius * cmath.exp(1j * step * k) for k in range(count)]

@@ -1,0 +1,33 @@
+"""Sparse complex linear algebra substrate.
+
+The interpolation engine needs, for every interpolation point ``s_k``, the
+determinant of the nodal admittance matrix and the solution of one linear
+system (Eqs. 7–10 of the paper).  The paper notes the algorithm "has been
+implemented using sparse matrix techniques"; this package provides that
+substrate from scratch:
+
+* :class:`~repro.linalg.sparse.SparseMatrix` — a complex sparse matrix with
+  dictionary-of-keys storage and row-wise access,
+* :func:`~repro.linalg.lu.sparse_lu` — sparse LU factorization with Markowitz
+  (threshold) pivoting, producing determinants with decimal-exponent tracking
+  so very large / very small determinants never overflow,
+* :func:`~repro.linalg.dense.dense_lu` — a dense LU with partial pivoting used
+  for cross-checking and for small systems,
+* :mod:`~repro.linalg.det` — convenience determinant / solve wrappers.
+"""
+
+from .sparse import SparseMatrix
+from .lu import sparse_lu, LUFactorization
+from .dense import dense_lu, DenseLU
+from .det import determinant, solve_linear_system, log10_determinant
+
+__all__ = [
+    "SparseMatrix",
+    "sparse_lu",
+    "LUFactorization",
+    "dense_lu",
+    "DenseLU",
+    "determinant",
+    "solve_linear_system",
+    "log10_determinant",
+]

@@ -1,0 +1,134 @@
+"""Dense complex LU with partial pivoting.
+
+Used for cross-checking the sparse factorization and as the default for small
+systems where sparse bookkeeping is not worth it.  Implemented directly on
+numpy arrays (no ``scipy`` dependency) with the same result interface as the
+sparse factorization: ``solve`` and exponent-tracked determinants.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import LinAlgError, SingularMatrixError
+from ..xfloat import XFloat
+
+__all__ = ["dense_lu", "DenseLU"]
+
+
+class DenseLU:
+    """Result of :func:`dense_lu`: packed LU factors plus the row permutation."""
+
+    def __init__(self, lu, permutation, n_swaps):
+        self.lu = lu
+        self.permutation = permutation
+        self.n_swaps = n_swaps
+        self.n = lu.shape[0]
+
+    def determinant_mantissa_exponent(self) -> Tuple[complex, int]:
+        """``det(A)`` as ``(complex mantissa, decimal exponent)``."""
+        mantissa = complex(-1.0 if self.n_swaps % 2 else 1.0)
+        exponent = 0
+        for k in range(self.n):
+            mantissa *= self.lu[k, k]
+            if mantissa == 0:
+                return 0.0 + 0.0j, 0
+            magnitude = abs(mantissa)
+            shift = int(math.floor(math.log10(magnitude)))
+            if shift:
+                mantissa /= 10.0**shift
+                exponent += shift
+        return mantissa, exponent
+
+    def determinant(self) -> complex:
+        """``det(A)`` as a plain complex (may overflow / underflow)."""
+        mantissa, exponent = self.determinant_mantissa_exponent()
+        if mantissa == 0:
+            return 0.0 + 0.0j
+        if exponent > 300:
+            return mantissa * cmath.inf
+        if exponent < -300:
+            return 0.0 + 0.0j
+        return mantissa * 10.0**exponent
+
+    def determinant_xfloat(self) -> Tuple[XFloat, float]:
+        """``|det(A)|`` as :class:`XFloat` plus the phase in radians."""
+        mantissa, exponent = self.determinant_mantissa_exponent()
+        if mantissa == 0:
+            return XFloat.zero(), 0.0
+        return XFloat(abs(mantissa), exponent), cmath.phase(mantissa)
+
+    def log10_determinant_magnitude(self) -> float:
+        """``log10 |det(A)|`` (``-inf`` when singular)."""
+        mantissa, exponent = self.determinant_mantissa_exponent()
+        if mantissa == 0:
+            return -math.inf
+        return math.log10(abs(mantissa)) + exponent
+
+    def solve(self, rhs):
+        """Solve ``A x = b``."""
+        rhs = np.asarray(rhs, dtype=complex)
+        if rhs.shape[0] != self.n:
+            raise LinAlgError(f"rhs has {rhs.shape[0]} entries, expected {self.n}")
+        work = rhs[self.permutation].astype(complex)
+        n = self.n
+        # Forward substitution (unit lower triangle).
+        for i in range(n):
+            work[i] -= np.dot(self.lu[i, :i], work[:i])
+        # Back substitution.
+        for i in range(n - 1, -1, -1):
+            work[i] -= np.dot(self.lu[i, i + 1:], work[i + 1:])
+            pivot = self.lu[i, i]
+            if pivot == 0:
+                raise SingularMatrixError("zero pivot in back substitution")
+            work[i] /= pivot
+        return work
+
+    def solve_many(self, rhs_matrix):
+        """Solve ``A X = B`` column by column."""
+        rhs_matrix = np.asarray(rhs_matrix, dtype=complex)
+        if rhs_matrix.ndim == 1:
+            return self.solve(rhs_matrix)
+        columns = [self.solve(rhs_matrix[:, j]) for j in range(rhs_matrix.shape[1])]
+        return np.column_stack(columns)
+
+
+def dense_lu(matrix):
+    """Factor a dense (or sparse, converted) complex matrix with partial pivoting.
+
+    Parameters
+    ----------
+    matrix:
+        A square 2-D numpy array or an object with ``to_dense()``.
+
+    Raises
+    ------
+    SingularMatrixError
+        When a zero pivot column is encountered.
+    """
+    if hasattr(matrix, "to_dense"):
+        array = matrix.to_dense()
+    else:
+        array = np.array(matrix, dtype=complex)
+    if array.ndim != 2 or array.shape[0] != array.shape[1]:
+        raise LinAlgError("dense_lu expects a square matrix")
+    lu = array.astype(complex).copy()
+    n = lu.shape[0]
+    permutation = np.arange(n)
+    n_swaps = 0
+    for k in range(n):
+        pivot_index = int(np.argmax(np.abs(lu[k:, k]))) + k
+        if lu[pivot_index, k] == 0:
+            raise SingularMatrixError(f"matrix is singular at column {k}")
+        if pivot_index != k:
+            lu[[k, pivot_index], :] = lu[[pivot_index, k], :]
+            permutation[[k, pivot_index]] = permutation[[pivot_index, k]]
+            n_swaps += 1
+        multipliers = lu[k + 1:, k] / lu[k, k]
+        lu[k + 1:, k] = multipliers
+        lu[k + 1:, k + 1:] -= np.outer(multipliers, lu[k, k + 1:])
+    return DenseLU(lu, permutation, n_swaps)

@@ -1,0 +1,219 @@
+"""Complex sparse matrices with dictionary-of-keys storage.
+
+:class:`SparseMatrix` is intentionally simple: circuit matrices have at most a
+few thousand non-zeros, so a dict-of-keys representation with row-wise views is
+fast enough while keeping the LU code readable.  The class supports the
+operations the rest of the library needs: stamping (``add``), row/column
+queries, matrix-vector products, dense conversion and structural statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+import numpy as np
+
+from ..errors import LinAlgError
+
+__all__ = ["SparseMatrix"]
+
+
+class SparseMatrix:
+    """A complex sparse matrix stored as ``{(row, col): value}``.
+
+    Parameters
+    ----------
+    n_rows, n_cols:
+        Matrix dimensions.  ``n_cols`` defaults to ``n_rows`` (square).
+    """
+
+    def __init__(self, n_rows, n_cols=None):
+        if n_cols is None:
+            n_cols = n_rows
+        if n_rows < 0 or n_cols < 0:
+            raise LinAlgError("matrix dimensions must be non-negative")
+        self.n_rows = int(n_rows)
+        self.n_cols = int(n_cols)
+        self._data: Dict[Tuple[int, int], complex] = {}
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_dense(cls, array):
+        """Build from a 2-D numpy array (zeros are dropped)."""
+        array = np.asarray(array)
+        if array.ndim != 2:
+            raise LinAlgError("from_dense expects a 2-D array")
+        matrix = cls(array.shape[0], array.shape[1])
+        rows, cols = np.nonzero(array)
+        for i, j in zip(rows.tolist(), cols.tolist()):
+            matrix._data[(i, j)] = complex(array[i, j])
+        return matrix
+
+    @classmethod
+    def identity(cls, n):
+        """The n×n identity matrix."""
+        matrix = cls(n, n)
+        for i in range(n):
+            matrix._data[(i, i)] = 1.0 + 0.0j
+        return matrix
+
+    def copy(self):
+        """Deep copy."""
+        duplicate = SparseMatrix(self.n_rows, self.n_cols)
+        duplicate._data = dict(self._data)
+        return duplicate
+
+    # -- element access ------------------------------------------------------
+
+    def _check_index(self, row, col):
+        if not (0 <= row < self.n_rows and 0 <= col < self.n_cols):
+            raise LinAlgError(
+                f"index ({row}, {col}) out of bounds for "
+                f"{self.n_rows}x{self.n_cols} matrix"
+            )
+
+    def get(self, row, col):
+        """Entry value (0 for structural zeros)."""
+        return self._data.get((row, col), 0.0 + 0.0j)
+
+    def set(self, row, col, value):
+        """Set an entry (setting 0 removes it)."""
+        self._check_index(row, col)
+        value = complex(value)
+        if value == 0:
+            self._data.pop((row, col), None)
+        else:
+            self._data[(row, col)] = value
+
+    def add(self, row, col, value):
+        """Add ``value`` to an entry — the stamping primitive."""
+        self._check_index(row, col)
+        value = complex(value)
+        if value == 0:
+            return
+        key = (row, col)
+        new_value = self._data.get(key, 0.0 + 0.0j) + value
+        if new_value == 0:
+            self._data.pop(key, None)
+        else:
+            self._data[key] = new_value
+
+    def __getitem__(self, index):
+        row, col = index
+        return self.get(row, col)
+
+    def __setitem__(self, index, value):
+        row, col = index
+        self.set(row, col, value)
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def shape(self):
+        """``(n_rows, n_cols)``."""
+        return (self.n_rows, self.n_cols)
+
+    @property
+    def nnz(self):
+        """Number of stored non-zero entries."""
+        return len(self._data)
+
+    def density(self):
+        """Fraction of entries that are non-zero."""
+        total = self.n_rows * self.n_cols
+        if total == 0:
+            return 0.0
+        return self.nnz / total
+
+    def entries(self) -> Iterator[Tuple[int, int, complex]]:
+        """Iterate over ``(row, col, value)`` triples in unspecified order."""
+        for (row, col), value in self._data.items():
+            yield row, col, value
+
+    def rows(self) -> List[Dict[int, complex]]:
+        """Row-wise view: list of ``{col: value}`` dicts (copies)."""
+        rows: List[Dict[int, complex]] = [dict() for __ in range(self.n_rows)]
+        for (row, col), value in self._data.items():
+            rows[row][col] = value
+        return rows
+
+    def columns(self) -> List[Dict[int, complex]]:
+        """Column-wise view: list of ``{row: value}`` dicts (copies)."""
+        cols: List[Dict[int, complex]] = [dict() for __ in range(self.n_cols)]
+        for (row, col), value in self._data.items():
+            cols[col][row] = value
+        return cols
+
+    def row_nnz(self) -> List[int]:
+        """Non-zero count per row."""
+        counts = [0] * self.n_rows
+        for (row, __) in self._data:
+            counts[row] += 1
+        return counts
+
+    def col_nnz(self) -> List[int]:
+        """Non-zero count per column."""
+        counts = [0] * self.n_cols
+        for (__, col) in self._data:
+            counts[col] += 1
+        return counts
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def matvec(self, vector):
+        """Matrix-vector product with a sequence or numpy vector."""
+        vector = np.asarray(vector, dtype=complex)
+        if vector.shape[0] != self.n_cols:
+            raise LinAlgError(
+                f"matvec dimension mismatch: matrix has {self.n_cols} columns, "
+                f"vector has {vector.shape[0]} entries"
+            )
+        result = np.zeros(self.n_rows, dtype=complex)
+        for (row, col), value in self._data.items():
+            result[row] += value * vector[col]
+        return result
+
+    def transpose(self):
+        """Return the transpose as a new matrix."""
+        transposed = SparseMatrix(self.n_cols, self.n_rows)
+        for (row, col), value in self._data.items():
+            transposed._data[(col, row)] = value
+        return transposed
+
+    def scaled(self, factor):
+        """Return ``factor * self`` as a new matrix."""
+        result = SparseMatrix(self.n_rows, self.n_cols)
+        factor = complex(factor)
+        if factor != 0:
+            for key, value in self._data.items():
+                result._data[key] = value * factor
+        return result
+
+    def plus(self, other, factor=1.0):
+        """Return ``self + factor * other`` as a new matrix."""
+        if self.shape != other.shape:
+            raise LinAlgError("matrix shape mismatch in plus()")
+        result = self.copy()
+        for (row, col), value in other._data.items():
+            result.add(row, col, factor * value)
+        return result
+
+    def to_dense(self):
+        """Convert to a dense complex numpy array."""
+        dense = np.zeros((self.n_rows, self.n_cols), dtype=complex)
+        for (row, col), value in self._data.items():
+            dense[row, col] = value
+        return dense
+
+    def max_abs(self):
+        """Largest entry magnitude (0.0 for an empty matrix)."""
+        if not self._data:
+            return 0.0
+        return max(abs(value) for value in self._data.values())
+
+    def __repr__(self):
+        return (
+            f"SparseMatrix({self.n_rows}x{self.n_cols}, nnz={self.nnz}, "
+            f"density={self.density():.3f})"
+        )

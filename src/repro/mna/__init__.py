@@ -1,0 +1,15 @@
+"""Modified nodal analysis (MNA) — the general-purpose formulation.
+
+The interpolation engine uses the restricted admittance-form nodal
+formulation (:mod:`repro.nodal`) because the scale-factor bookkeeping demands
+it.  Everything else — the numeric AC simulator standing in for the paper's
+"commercial electrical simulator" (Fig. 2), cross-checks, SBG what-if
+evaluations — uses the full MNA formulation in this package, which supports
+ideal voltage sources, all four controlled-source types and inductors without
+any transformation.
+"""
+
+from .builder import MnaSystem, build_mna_system
+from .solve import ac_solve, operating_transfer
+
+__all__ = ["MnaSystem", "build_mna_system", "ac_solve", "operating_transfer"]

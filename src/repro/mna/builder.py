@@ -1,0 +1,237 @@
+"""MNA system assembly.
+
+Unknowns are the non-ground node voltages plus one branch current for every
+element that needs an auxiliary equation: independent voltage sources, VCVS,
+CCVS and inductors.  The system matrix is split into a constant part ``G`` and
+a frequency-proportional part ``C`` so that ``A(s) = G + s·C`` can be
+assembled at any complex frequency; the right-hand side collects the
+independent source values.
+
+The stamps follow the standard MNA conventions (see Vlach & Singhal, the
+paper's reference [6]).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import FormulationError
+from ..linalg.sparse import SparseMatrix
+from ..netlist.circuit import Circuit
+from ..netlist.elements import (
+    CCCS,
+    CCVS,
+    Capacitor,
+    Conductor,
+    CurrentSource,
+    GROUND,
+    Inductor,
+    Resistor,
+    VCCS,
+    VCVS,
+    VoltageSource,
+)
+
+__all__ = ["MnaSystem", "build_mna_system"]
+
+#: Element types that require an auxiliary branch-current unknown.
+_BRANCH_TYPES = (VoltageSource, VCVS, CCVS, Inductor)
+
+
+class MnaSystem:
+    """Assembled MNA matrices for a circuit.
+
+    Attributes
+    ----------
+    node_names:
+        Unknown node voltages in matrix order.
+    branch_names:
+        Elements owning an auxiliary current unknown, in matrix order.
+    constant, dynamic:
+        :class:`SparseMatrix` ``G`` and ``C`` with ``A(s) = G + s·C``.
+    rhs:
+        Excitation vector (complex) from the independent sources' AC values.
+    """
+
+    def __init__(self, circuit, node_names, branch_names, constant, dynamic, rhs):
+        self.circuit = circuit
+        self.node_names = node_names
+        self.branch_names = branch_names
+        self.constant = constant
+        self.dynamic = dynamic
+        self.rhs = rhs
+        self._node_index = {name: i for i, name in enumerate(node_names)}
+        self._branch_index = {
+            name.lower(): len(node_names) + i for i, name in enumerate(branch_names)
+        }
+
+    @property
+    def dimension(self):
+        """Total number of unknowns (node voltages + branch currents)."""
+        return len(self.node_names) + len(self.branch_names)
+
+    def node_index(self, node):
+        """Index of a node voltage unknown (raises for ground / unknown nodes)."""
+        if node == GROUND:
+            raise FormulationError("ground has no unknown index")
+        if node not in self._node_index:
+            raise FormulationError(f"node {node!r} is not an MNA unknown")
+        return self._node_index[node]
+
+    def branch_index(self, element_name):
+        """Index of a branch-current unknown."""
+        key = str(element_name).lower()
+        if key not in self._branch_index:
+            raise FormulationError(
+                f"element {element_name!r} has no branch current unknown"
+            )
+        return self._branch_index[key]
+
+    def assemble(self, s) -> SparseMatrix:
+        """``A(s) = G + s·C`` as a new sparse matrix."""
+        matrix = self.constant.copy()
+        factor = complex(s)
+        for row, col, value in self.dynamic.entries():
+            matrix.add(row, col, factor * value)
+        return matrix
+
+    def node_voltage(self, solution, node):
+        """Extract a node voltage from a solution vector (0 for ground)."""
+        if node == GROUND:
+            return 0.0 + 0.0j
+        return complex(solution[self.node_index(node)])
+
+    def branch_current(self, solution, element_name):
+        """Extract a branch current from a solution vector."""
+        return complex(solution[self.branch_index(element_name)])
+
+
+def build_mna_system(circuit) -> MnaSystem:
+    """Assemble the MNA matrices of ``circuit``.
+
+    Raises
+    ------
+    FormulationError
+        For unsupported element types or dangling controlled-source references.
+    """
+    node_names: List[str] = list(circuit.non_ground_nodes)
+    node_index = {name: i for i, name in enumerate(node_names)}
+    branch_names: List[str] = [
+        element.name for element in circuit
+        if isinstance(element, _BRANCH_TYPES)
+    ]
+    # CCCS / CCVS control currents flow through a named voltage source (or any
+    # element with a branch unknown); verify the reference exists.
+    branch_lookup = {name.lower() for name in branch_names}
+    for element in circuit.elements_of_type(CCCS, CCVS):
+        if element.ctrl_source.lower() not in branch_lookup:
+            raise FormulationError(
+                f"{element.name}: controlling source {element.ctrl_source!r} "
+                "must be an element with a branch current (e.g. a voltage source)"
+            )
+
+    n_nodes = len(node_names)
+    dimension = n_nodes + len(branch_names)
+    constant = SparseMatrix(dimension, dimension)
+    dynamic = SparseMatrix(dimension, dimension)
+    rhs = np.zeros(dimension, dtype=complex)
+    branch_index = {name.lower(): n_nodes + i for i, name in enumerate(branch_names)}
+
+    def node(n):
+        return None if n == GROUND else node_index[n]
+
+    def stamp_pair(matrix, a, b, value):
+        """Standard two-terminal admittance stamp between nodes a and b."""
+        ia, ib = node(a), node(b)
+        if ia is not None:
+            matrix.add(ia, ia, value)
+        if ib is not None:
+            matrix.add(ib, ib, value)
+        if ia is not None and ib is not None:
+            matrix.add(ia, ib, -value)
+            matrix.add(ib, ia, -value)
+
+    for element in circuit:
+        if isinstance(element, (Resistor, Conductor)):
+            stamp_pair(constant, element.node_pos, element.node_neg,
+                       element.conductance)
+        elif isinstance(element, Capacitor):
+            stamp_pair(dynamic, element.node_pos, element.node_neg,
+                       element.capacitance)
+        elif isinstance(element, VCCS):
+            out_pos, out_neg = node(element.node_pos), node(element.node_neg)
+            ctrl_pos, ctrl_neg = node(element.ctrl_pos), node(element.ctrl_neg)
+            for row, row_sign in ((out_pos, +1.0), (out_neg, -1.0)):
+                if row is None:
+                    continue
+                if ctrl_pos is not None:
+                    constant.add(row, ctrl_pos, row_sign * element.gm)
+                if ctrl_neg is not None:
+                    constant.add(row, ctrl_neg, -row_sign * element.gm)
+        elif isinstance(element, CurrentSource):
+            pos, neg = node(element.node_pos), node(element.node_neg)
+            if pos is not None:
+                rhs[pos] -= element.value
+            if neg is not None:
+                rhs[neg] += element.value
+        elif isinstance(element, VoltageSource):
+            branch = branch_index[element.name.lower()]
+            pos, neg = node(element.node_pos), node(element.node_neg)
+            if pos is not None:
+                constant.add(pos, branch, 1.0)
+                constant.add(branch, pos, 1.0)
+            if neg is not None:
+                constant.add(neg, branch, -1.0)
+                constant.add(branch, neg, -1.0)
+            rhs[branch] += element.value
+        elif isinstance(element, VCVS):
+            branch = branch_index[element.name.lower()]
+            pos, neg = node(element.node_pos), node(element.node_neg)
+            ctrl_pos, ctrl_neg = node(element.ctrl_pos), node(element.ctrl_neg)
+            if pos is not None:
+                constant.add(pos, branch, 1.0)
+                constant.add(branch, pos, 1.0)
+            if neg is not None:
+                constant.add(neg, branch, -1.0)
+                constant.add(branch, neg, -1.0)
+            if ctrl_pos is not None:
+                constant.add(branch, ctrl_pos, -element.gain)
+            if ctrl_neg is not None:
+                constant.add(branch, ctrl_neg, element.gain)
+        elif isinstance(element, CCCS):
+            ctrl_branch = branch_index[element.ctrl_source.lower()]
+            pos, neg = node(element.node_pos), node(element.node_neg)
+            if pos is not None:
+                constant.add(pos, ctrl_branch, element.gain)
+            if neg is not None:
+                constant.add(neg, ctrl_branch, -element.gain)
+        elif isinstance(element, CCVS):
+            branch = branch_index[element.name.lower()]
+            ctrl_branch = branch_index[element.ctrl_source.lower()]
+            pos, neg = node(element.node_pos), node(element.node_neg)
+            if pos is not None:
+                constant.add(pos, branch, 1.0)
+                constant.add(branch, pos, 1.0)
+            if neg is not None:
+                constant.add(neg, branch, -1.0)
+                constant.add(branch, neg, -1.0)
+            constant.add(branch, ctrl_branch, -element.gain)
+        elif isinstance(element, Inductor):
+            branch = branch_index[element.name.lower()]
+            pos, neg = node(element.node_pos), node(element.node_neg)
+            if pos is not None:
+                constant.add(pos, branch, 1.0)
+                constant.add(branch, pos, 1.0)
+            if neg is not None:
+                constant.add(neg, branch, -1.0)
+                constant.add(branch, neg, -1.0)
+            dynamic.add(branch, branch, -element.inductance)
+        else:
+            raise FormulationError(
+                f"element {element.name!r} of type {type(element).__name__} is "
+                "not supported by the MNA builder"
+            )
+
+    return MnaSystem(circuit, node_names, branch_names, constant, dynamic, rhs)

@@ -1,0 +1,65 @@
+"""Circuit description substrate: elements, circuits, parsing and transforms.
+
+The netlist package provides the structural representation of analog circuits
+used throughout the library:
+
+* :mod:`repro.netlist.elements` — primitive linear(ized) circuit elements,
+* :mod:`repro.netlist.circuit` — the :class:`~repro.netlist.circuit.Circuit`
+  container with node bookkeeping,
+* :mod:`repro.netlist.parser` — a SPICE-like netlist parser (with ``.subckt``
+  flattening and small-signal device expansion),
+* :mod:`repro.netlist.writer` — netlist serialization,
+* :mod:`repro.netlist.validate` — structural validation (connectivity, ground,
+  dangling nodes),
+* :mod:`repro.netlist.transform` — admittance-form transformations
+  (inductor→gyrator-C, Norton equivalents, parallel merges).
+"""
+
+from .elements import (
+    Element,
+    Resistor,
+    Conductor,
+    Capacitor,
+    Inductor,
+    VoltageSource,
+    CurrentSource,
+    VCCS,
+    VCVS,
+    CCCS,
+    CCVS,
+    GROUND,
+)
+from .circuit import Circuit
+from .parser import parse_netlist, parse_netlist_file
+from .writer import write_netlist
+from .validate import validate_circuit
+from .transform import (
+    to_admittance_form,
+    transform_inductors,
+    merge_parallel_admittances,
+    norton_transform_sources,
+)
+
+__all__ = [
+    "Element",
+    "Resistor",
+    "Conductor",
+    "Capacitor",
+    "Inductor",
+    "VoltageSource",
+    "CurrentSource",
+    "VCCS",
+    "VCVS",
+    "CCCS",
+    "CCVS",
+    "GROUND",
+    "Circuit",
+    "parse_netlist",
+    "parse_netlist_file",
+    "write_netlist",
+    "validate_circuit",
+    "to_admittance_form",
+    "transform_inductors",
+    "merge_parallel_admittances",
+    "norton_transform_sources",
+]

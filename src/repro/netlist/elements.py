@@ -1,0 +1,375 @@
+"""Primitive linear circuit elements.
+
+All elements are small immutable-ish dataclasses carrying a name, their
+terminal nodes and their values.  Node names are plain strings; the ground node
+is ``"0"`` (also accepted as ``"gnd"`` by the parser, which canonicalizes it).
+
+Element taxonomy
+----------------
+
+Admittance-form elements (stampable into a pure nodal admittance matrix):
+
+* :class:`Resistor` / :class:`Conductor` — conductance ``G`` between two nodes,
+* :class:`Capacitor` — admittance ``s C`` between two nodes,
+* :class:`VCCS` — voltage-controlled current source (transconductance ``gm``),
+* :class:`CurrentSource` — independent current excitation (RHS only).
+
+Elements requiring MNA auxiliary equations or a transformation before the
+interpolation engine can use them:
+
+* :class:`Inductor` — handled by the gyrator-C transformation,
+* :class:`VoltageSource` — input sources are handled by node forcing; internal
+  ideal voltage sources require MNA,
+* :class:`VCVS`, :class:`CCCS`, :class:`CCVS` — controlled sources with
+  non-admittance form (MNA only).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+from ..errors import NetlistError
+
+__all__ = [
+    "GROUND",
+    "Element",
+    "TwoTerminal",
+    "Resistor",
+    "Conductor",
+    "Capacitor",
+    "Inductor",
+    "VoltageSource",
+    "CurrentSource",
+    "VCCS",
+    "VCVS",
+    "CCCS",
+    "CCVS",
+]
+
+#: Canonical name of the reference (ground) node.
+GROUND = "0"
+
+
+def _check_node(node):
+    node = str(node).strip()
+    if not node:
+        raise NetlistError("empty node name")
+    if node.lower() in ("gnd", "ground", "vss!", "0"):
+        return GROUND
+    return node
+
+
+@dataclasses.dataclass
+class Element:
+    """Base class for all circuit elements.
+
+    Attributes
+    ----------
+    name:
+        Unique element name within a circuit (e.g. ``"R1"``, ``"gm2"``).
+    """
+
+    name: str
+
+    #: Single-letter SPICE-style prefix used by the writer; subclasses override.
+    prefix = "X"
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        """All nodes this element touches (including controlling nodes)."""
+        raise NotImplementedError
+
+    def is_admittance(self):
+        """True when the element stamps into a pure nodal admittance matrix."""
+        return False
+
+    def renamed(self, name):
+        """Return a copy of the element with a different name."""
+        return dataclasses.replace(self, name=name)
+
+    def with_nodes(self, mapping):
+        """Return a copy with every node renamed through ``mapping``.
+
+        ``mapping`` is a dict; nodes not present map to themselves.  Used for
+        subcircuit flattening.
+        """
+        raise NotImplementedError
+
+
+@dataclasses.dataclass
+class TwoTerminal(Element):
+    """Base class for two-terminal elements between ``node_pos`` and ``node_neg``."""
+
+    node_pos: str
+    node_neg: str
+    value: float
+
+    def __post_init__(self):
+        self.node_pos = _check_node(self.node_pos)
+        self.node_neg = _check_node(self.node_neg)
+        self.value = float(self.value)
+        if self.node_pos == self.node_neg:
+            raise NetlistError(
+                f"element {self.name!r}: both terminals connect to node "
+                f"{self.node_pos!r}"
+            )
+
+    @property
+    def nodes(self):
+        return (self.node_pos, self.node_neg)
+
+    def with_nodes(self, mapping):
+        return dataclasses.replace(
+            self,
+            node_pos=mapping.get(self.node_pos, self.node_pos),
+            node_neg=mapping.get(self.node_neg, self.node_neg),
+        )
+
+
+@dataclasses.dataclass
+class Resistor(TwoTerminal):
+    """Linear resistor with resistance ``value`` in ohms."""
+
+    prefix = "R"
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.value <= 0.0:
+            raise NetlistError(f"resistor {self.name!r}: non-positive resistance")
+
+    @property
+    def conductance(self):
+        """Conductance ``1 / R`` in siemens."""
+        return 1.0 / self.value
+
+    def is_admittance(self):
+        return True
+
+
+@dataclasses.dataclass
+class Conductor(TwoTerminal):
+    """Linear conductance with value in siemens (convenient for small-signal gds)."""
+
+    prefix = "R"
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.value < 0.0:
+            raise NetlistError(f"conductor {self.name!r}: negative conductance")
+
+    @property
+    def conductance(self):
+        return self.value
+
+    def is_admittance(self):
+        return True
+
+
+@dataclasses.dataclass
+class Capacitor(TwoTerminal):
+    """Linear capacitor with capacitance ``value`` in farads."""
+
+    prefix = "C"
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.value < 0.0:
+            raise NetlistError(f"capacitor {self.name!r}: negative capacitance")
+
+    @property
+    def capacitance(self):
+        return self.value
+
+    def is_admittance(self):
+        return True
+
+
+@dataclasses.dataclass
+class Inductor(TwoTerminal):
+    """Linear inductor with inductance ``value`` in henries.
+
+    Inductors are not admittance-form elements; the interpolation engine
+    converts them with :func:`repro.netlist.transform.transform_inductors`.
+    """
+
+    prefix = "L"
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.value <= 0.0:
+            raise NetlistError(f"inductor {self.name!r}: non-positive inductance")
+
+    @property
+    def inductance(self):
+        return self.value
+
+
+@dataclasses.dataclass
+class VoltageSource(TwoTerminal):
+    """Independent voltage source (small-signal / AC value ``value`` in volts)."""
+
+    prefix = "V"
+
+    def __post_init__(self):
+        self.node_pos = _check_node(self.node_pos)
+        self.node_neg = _check_node(self.node_neg)
+        self.value = float(self.value)
+        if self.node_pos == self.node_neg:
+            raise NetlistError(
+                f"voltage source {self.name!r}: both terminals on the same node"
+            )
+
+
+@dataclasses.dataclass
+class CurrentSource(TwoTerminal):
+    """Independent current source; positive current flows from ``node_pos`` to
+    ``node_neg`` through the source (SPICE convention)."""
+
+    prefix = "I"
+
+    def __post_init__(self):
+        self.node_pos = _check_node(self.node_pos)
+        self.node_neg = _check_node(self.node_neg)
+        self.value = float(self.value)
+
+    def is_admittance(self):
+        # Current sources only contribute to the excitation vector, which is
+        # compatible with the admittance formulation.
+        return True
+
+
+@dataclasses.dataclass
+class VCCS(Element):
+    """Voltage-controlled current source (transconductance).
+
+    Current ``gm * (V(ctrl_pos) - V(ctrl_neg))`` flows from ``node_pos`` to
+    ``node_neg`` through the source.
+
+    Attributes
+    ----------
+    gm:
+        Transconductance in siemens.  Negative values are allowed (used for
+        cross-coupled / positive-feedback structures).
+    """
+
+    node_pos: str
+    node_neg: str
+    ctrl_pos: str
+    ctrl_neg: str
+    gm: float
+
+    prefix = "G"
+
+    def __post_init__(self):
+        self.node_pos = _check_node(self.node_pos)
+        self.node_neg = _check_node(self.node_neg)
+        self.ctrl_pos = _check_node(self.ctrl_pos)
+        self.ctrl_neg = _check_node(self.ctrl_neg)
+        self.gm = float(self.gm)
+
+    @property
+    def nodes(self):
+        return (self.node_pos, self.node_neg, self.ctrl_pos, self.ctrl_neg)
+
+    def is_admittance(self):
+        return True
+
+    def with_nodes(self, mapping):
+        return dataclasses.replace(
+            self,
+            node_pos=mapping.get(self.node_pos, self.node_pos),
+            node_neg=mapping.get(self.node_neg, self.node_neg),
+            ctrl_pos=mapping.get(self.ctrl_pos, self.ctrl_pos),
+            ctrl_neg=mapping.get(self.ctrl_neg, self.ctrl_neg),
+        )
+
+
+@dataclasses.dataclass
+class VCVS(Element):
+    """Voltage-controlled voltage source with gain ``gain`` (MNA only)."""
+
+    node_pos: str
+    node_neg: str
+    ctrl_pos: str
+    ctrl_neg: str
+    gain: float
+
+    prefix = "E"
+
+    def __post_init__(self):
+        self.node_pos = _check_node(self.node_pos)
+        self.node_neg = _check_node(self.node_neg)
+        self.ctrl_pos = _check_node(self.ctrl_pos)
+        self.ctrl_neg = _check_node(self.ctrl_neg)
+        self.gain = float(self.gain)
+
+    @property
+    def nodes(self):
+        return (self.node_pos, self.node_neg, self.ctrl_pos, self.ctrl_neg)
+
+    def with_nodes(self, mapping):
+        return dataclasses.replace(
+            self,
+            node_pos=mapping.get(self.node_pos, self.node_pos),
+            node_neg=mapping.get(self.node_neg, self.node_neg),
+            ctrl_pos=mapping.get(self.ctrl_pos, self.ctrl_pos),
+            ctrl_neg=mapping.get(self.ctrl_neg, self.ctrl_neg),
+        )
+
+
+@dataclasses.dataclass
+class CCCS(Element):
+    """Current-controlled current source; control current is the current through
+    the named voltage source ``ctrl_source`` (MNA only)."""
+
+    node_pos: str
+    node_neg: str
+    ctrl_source: str
+    gain: float
+
+    prefix = "F"
+
+    def __post_init__(self):
+        self.node_pos = _check_node(self.node_pos)
+        self.node_neg = _check_node(self.node_neg)
+        self.gain = float(self.gain)
+
+    @property
+    def nodes(self):
+        return (self.node_pos, self.node_neg)
+
+    def with_nodes(self, mapping):
+        return dataclasses.replace(
+            self,
+            node_pos=mapping.get(self.node_pos, self.node_pos),
+            node_neg=mapping.get(self.node_neg, self.node_neg),
+        )
+
+
+@dataclasses.dataclass
+class CCVS(Element):
+    """Current-controlled voltage source (transresistance, MNA only)."""
+
+    node_pos: str
+    node_neg: str
+    ctrl_source: str
+    gain: float
+
+    prefix = "H"
+
+    def __post_init__(self):
+        self.node_pos = _check_node(self.node_pos)
+        self.node_neg = _check_node(self.node_neg)
+        self.gain = float(self.gain)
+
+    @property
+    def nodes(self):
+        return (self.node_pos, self.node_neg)
+
+    def with_nodes(self, mapping):
+        return dataclasses.replace(
+            self,
+            node_pos=mapping.get(self.node_pos, self.node_pos),
+            node_neg=mapping.get(self.node_neg, self.node_neg),
+        )

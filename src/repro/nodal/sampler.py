@@ -1,0 +1,169 @@
+"""Evaluation of numerator / denominator samples at interpolation points.
+
+This module implements Eqs. (7)–(10) of the paper: at a complex frequency
+``s_k`` the (scaled) nodal matrix is LU-factored once; the determinant gives
+``D(s_k)`` and the solution of the linear system gives ``H(s_k)``, from which
+``N(s_k) = H(s_k) · D(s_k)``.
+
+Because scaled determinants of large circuits can exceed the double-precision
+exponent range, both values are carried as ``(complex mantissa, decimal
+exponent)`` pairs (see :class:`SampleValue`); the DFT stage later rescales a
+whole batch of samples by a common power of ten.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import InterpolationError
+from ..linalg.dense import dense_lu
+from ..linalg.lu import sparse_lu
+from .admittance import NodalFormulation, build_nodal_formulation
+from .reduce import TransferSpec
+
+__all__ = ["SampleValue", "NetworkFunctionSampler"]
+
+#: Systems at or below this dimension use the dense LU (numpy) by default.
+_DENSE_CUTOFF = 150
+
+
+@dataclasses.dataclass
+class SampleValue:
+    """One evaluation of the network function at a complex frequency.
+
+    ``numerator`` and ``denominator`` are ``(mantissa, exponent)`` pairs
+    representing ``mantissa * 10**exponent`` with a complex mantissa.
+    """
+
+    s: complex
+    numerator: Tuple[complex, int]
+    denominator: Tuple[complex, int]
+
+    def transfer(self) -> complex:
+        """``H(s) = N(s) / D(s)`` as a plain complex number."""
+        n_mantissa, n_exponent = self.numerator
+        d_mantissa, d_exponent = self.denominator
+        if d_mantissa == 0:
+            raise ZeroDivisionError("denominator sample is zero")
+        ratio = n_mantissa / d_mantissa
+        shift = n_exponent - d_exponent
+        return ratio * 10.0**shift
+
+
+def _scaled_value(mantissa: complex, exponent: int) -> Tuple[complex, int]:
+    """Renormalize so the mantissa magnitude is in [1, 10) (or exactly 0)."""
+    if mantissa == 0:
+        return 0.0 + 0.0j, 0
+    magnitude = abs(mantissa)
+    shift = int(math.floor(math.log10(magnitude)))
+    if shift:
+        mantissa /= 10.0**shift
+        exponent += shift
+    return mantissa, exponent
+
+
+class NetworkFunctionSampler:
+    """Samples ``N(s)`` and ``D(s)`` of a circuit's network function.
+
+    Parameters
+    ----------
+    circuit:
+        Admittance-form circuit (see
+        :func:`repro.netlist.transform.to_admittance_form`).
+    spec:
+        :class:`~repro.nodal.reduce.TransferSpec` naming drive and output.
+    method:
+        ``"auto"`` (dense below 150 unknowns), ``"dense"`` or ``"sparse"``.
+    """
+
+    def __init__(self, circuit, spec, method="auto"):
+        if isinstance(spec, TransferSpec):
+            self.formulation = build_nodal_formulation(circuit, spec)
+        elif isinstance(spec, NodalFormulation):
+            self.formulation = spec
+        else:
+            raise InterpolationError(
+                "spec must be a TransferSpec or NodalFormulation"
+            )
+        if method not in ("auto", "dense", "sparse"):
+            raise InterpolationError(f"unknown factorization method {method!r}")
+        self.method = method
+        #: Number of LU factorizations performed (for benchmarking).
+        self.factorization_count = 0
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def dimension(self):
+        """Number of unknown node voltages."""
+        return self.formulation.dimension
+
+    def max_polynomial_degree(self):
+        """Upper bound on numerator / denominator degree (see formulation)."""
+        return self.formulation.max_polynomial_degree()
+
+    def _factor(self, matrix):
+        self.factorization_count += 1
+        if self.method == "dense":
+            return dense_lu(matrix)
+        if self.method == "sparse":
+            return sparse_lu(matrix)
+        if matrix.n_rows <= _DENSE_CUTOFF:
+            return dense_lu(matrix)
+        return sparse_lu(matrix)
+
+    # ------------------------------------------------------------------ #
+
+    def sample(self, s, conductance_scale=1.0, frequency_scale=1.0) -> SampleValue:
+        """Evaluate numerator and denominator at complex frequency ``s``.
+
+        The matrix assembled is ``g·G + s·f·C`` — i.e. the *scaled* system —
+        so the polynomial recovered from these samples has the normalized
+        coefficients ``p'_i`` of Eq. (11).
+        """
+        formulation = self.formulation
+        matrix = formulation.assemble(s, conductance_scale, frequency_scale)
+        factorization = self._factor(matrix)
+        det_mantissa, det_exponent = factorization.determinant_mantissa_exponent()
+        if det_mantissa == 0:
+            return SampleValue(s=complex(s), numerator=(0.0 + 0.0j, 0),
+                               denominator=(0.0 + 0.0j, 0))
+
+        if formulation.output_is_forced():
+            rhs = None
+            transfer = formulation.output_voltage(
+                np.zeros(formulation.dimension, dtype=complex)
+            )
+        else:
+            rhs = formulation.rhs(s, conductance_scale, frequency_scale)
+            solution = factorization.solve(rhs)
+            transfer = formulation.output_voltage(solution)
+
+        numerator = _scaled_value(transfer * det_mantissa, det_exponent)
+        denominator = (det_mantissa, det_exponent)
+        return SampleValue(s=complex(s), numerator=numerator,
+                           denominator=denominator)
+
+    def sample_many(self, points, conductance_scale=1.0,
+                    frequency_scale=1.0) -> List[SampleValue]:
+        """Evaluate at every point of ``points`` (a sequence of complex values)."""
+        return [self.sample(point, conductance_scale, frequency_scale)
+                for point in points]
+
+    def transfer_value(self, s) -> complex:
+        """Exact (unscaled) ``H(s)`` at a single complex frequency.
+
+        This is the value a conventional AC analysis computes and is used for
+        cross-checking interpolated polynomials (Fig. 2 of the paper).
+        """
+        return self.sample(s, 1.0, 1.0).transfer()
+
+    def frequency_response(self, frequencies) -> np.ndarray:
+        """``H(j·2π·f)`` for an array of frequencies in hertz."""
+        frequencies = np.asarray(frequencies, dtype=float)
+        values = [self.transfer_value(2j * math.pi * f) for f in frequencies]
+        return np.asarray(values, dtype=complex)

@@ -1,0 +1,46 @@
+"""Experiment harness and table formatting for the paper reproduction.
+
+:mod:`repro.reporting.experiments` contains one runner per experiment of the
+paper's evaluation (Tables 1–3, Fig. 2, the CPU-time claim and the ablations
+listed in DESIGN.md); the benchmark suite asserts on the runners' results and
+the examples print them.  :mod:`repro.reporting.tables` renders the results in
+layouts mirroring the paper's tables.
+"""
+
+from .experiments import (
+    Table1Result,
+    Table2Result,
+    Fig2Result,
+    CpuReductionResult,
+    ScalingAblationResult,
+    run_table1,
+    run_table2_table3,
+    run_fig2,
+    run_cpu_reduction,
+    run_scaling_ablation,
+    run_sdg_experiment,
+)
+from .tables import (
+    format_table1,
+    format_adaptive_iterations,
+    format_bode_comparison,
+    format_coefficient_table,
+)
+
+__all__ = [
+    "Table1Result",
+    "Table2Result",
+    "Fig2Result",
+    "CpuReductionResult",
+    "ScalingAblationResult",
+    "run_table1",
+    "run_table2_table3",
+    "run_fig2",
+    "run_cpu_reduction",
+    "run_scaling_ablation",
+    "run_sdg_experiment",
+    "format_table1",
+    "format_adaptive_iterations",
+    "format_bode_comparison",
+    "format_coefficient_table",
+]

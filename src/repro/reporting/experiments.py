@@ -1,0 +1,319 @@
+"""Runners for every experiment reproduced from the paper.
+
+Each function builds the relevant circuit, runs the relevant algorithm and
+returns a small result dataclass.  The benchmark suite calls these runners and
+asserts on the *shape* of the results (who wins, which regions appear, how the
+iteration cost falls); the examples print them; EXPERIMENTS.md records the
+measured values next to the paper's.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..analysis.ac import ACAnalysis
+from ..analysis.compare import BodeComparison, compare_responses
+from ..circuits.miller_ota import build_miller_ota
+from ..circuits.ota import build_positive_feedback_ota
+from ..circuits.ua741 import build_ua741
+from ..interpolation.adaptive import (
+    AdaptiveOptions,
+    AdaptiveResult,
+    AdaptiveScalingInterpolator,
+)
+from ..interpolation.basic import InterpolationResult, interpolate_network_function
+from ..interpolation.reference import NumericalReference, generate_reference
+from ..interpolation.scaling import ScaleFactors, initial_scale_factors
+from ..netlist.transform import to_admittance_form
+from ..nodal.sampler import NetworkFunctionSampler
+from ..symbolic.sdg import SDGResult, simplification_during_generation
+
+__all__ = [
+    "Table1Result",
+    "Table2Result",
+    "Fig2Result",
+    "CpuReductionResult",
+    "ScalingAblationResult",
+    "run_table1",
+    "run_table2_table3",
+    "run_fig2",
+    "run_cpu_reduction",
+    "run_scaling_ablation",
+    "run_sdg_experiment",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Table 1 — positive-feedback OTA, unscaled vs frequency-scaled interpolation
+# --------------------------------------------------------------------------- #
+
+
+@dataclasses.dataclass
+class Table1Result:
+    """Reproduction of Table 1 (a: unscaled, b: frequency scale factor)."""
+
+    unscaled_numerator: InterpolationResult
+    unscaled_denominator: InterpolationResult
+    scaled_numerator: InterpolationResult
+    scaled_denominator: InterpolationResult
+    frequency_scale: float
+    degree_bound: int
+
+    def unscaled_valid_count(self, kind="denominator") -> int:
+        """Number of coefficients the unscaled interpolation can certify."""
+        result = (self.unscaled_denominator if kind == "denominator"
+                  else self.unscaled_numerator)
+        return 0 if result.region is None else result.region.width
+
+    def scaled_valid_count(self, kind="denominator") -> int:
+        """Number of coefficients the scaled interpolation certifies."""
+        result = (self.scaled_denominator if kind == "denominator"
+                  else self.scaled_numerator)
+        return 0 if result.region is None else result.region.width
+
+
+def run_table1(frequency_scale=1e9, significant_digits=6) -> Table1Result:
+    """Reproduce Table 1: OTA differential gain, unscaled vs scaled."""
+    circuit, spec = build_positive_feedback_ota()
+    unscaled = interpolate_network_function(
+        circuit, spec, factors=ScaleFactors(),
+        significant_digits=significant_digits)
+    scaled = interpolate_network_function(
+        circuit, spec, factors=ScaleFactors(frequency=frequency_scale),
+        significant_digits=significant_digits)
+    return Table1Result(
+        unscaled_numerator=unscaled.numerator,
+        unscaled_denominator=unscaled.denominator,
+        scaled_numerator=scaled.numerator,
+        scaled_denominator=scaled.denominator,
+        frequency_scale=frequency_scale,
+        degree_bound=unscaled.denominator.num_points - 1,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Tables 2 & 3 — µA741 denominator, successive adaptive interpolations
+# --------------------------------------------------------------------------- #
+
+
+@dataclasses.dataclass
+class Table2Result:
+    """Reproduction of Tables 2 and 3: the adaptive iteration sequence."""
+
+    adaptive: AdaptiveResult
+    degree_bound: int
+    initial_factors: ScaleFactors
+
+    @property
+    def iterations(self):
+        """Per-interpolation records (factors, regions, new coefficients)."""
+        return self.adaptive.iterations
+
+    def region_sequence(self) -> List[Tuple[int, int]]:
+        """``(start, end)`` of the valid region of every interpolation."""
+        return [(record.region_start, record.region_end)
+                for record in self.adaptive.iterations
+                if record.region_start is not None]
+
+    def covered_all(self) -> bool:
+        """True when the union of regions covered every coefficient."""
+        return self.adaptive.converged
+
+
+def run_table2_table3(options=None) -> Table2Result:
+    """Reproduce Tables 2–3: adaptive scaling on the µA741 denominator."""
+    circuit, spec = build_ua741()
+    admittance = to_admittance_form(circuit)
+    sampler = NetworkFunctionSampler(admittance, spec)
+    options = options or AdaptiveOptions()
+    interpolator = AdaptiveScalingInterpolator(sampler, kind="denominator",
+                                               options=options)
+    result = interpolator.run()
+    return Table2Result(
+        adaptive=result,
+        degree_bound=result.degree_bound,
+        initial_factors=initial_scale_factors(admittance),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 2 — Bode overlay of interpolated coefficients vs electrical simulator
+# --------------------------------------------------------------------------- #
+
+
+@dataclasses.dataclass
+class Fig2Result:
+    """Reproduction of Fig. 2: interpolated vs simulated Bode plot."""
+
+    frequencies: np.ndarray
+    interpolated_response: np.ndarray
+    simulated_response: np.ndarray
+    comparison: BodeComparison
+    reference: NumericalReference
+
+    def magnitude_db(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(interpolated, simulated)`` magnitude curves in dB."""
+        tiny = np.finfo(float).tiny
+        interp = 20.0 * np.log10(np.maximum(np.abs(self.interpolated_response), tiny))
+        simulated = 20.0 * np.log10(np.maximum(np.abs(self.simulated_response), tiny))
+        return interp, simulated
+
+
+def run_fig2(f_min=1.0, f_max=1e8, points_per_decade=8,
+             options=None) -> Fig2Result:
+    """Reproduce Fig. 2: µA741 voltage-gain Bode plot, interpolation vs AC."""
+    circuit, spec = build_ua741()
+    reference = generate_reference(circuit, spec, options=options)
+    decades = np.log10(f_max / f_min)
+    frequencies = np.logspace(np.log10(f_min), np.log10(f_max),
+                              int(decades * points_per_decade) + 1)
+    interpolated = reference.frequency_response(frequencies)
+    simulated = ACAnalysis(circuit, spec).frequency_response(frequencies)
+    comparison = compare_responses(frequencies, simulated, interpolated)
+    return Fig2Result(
+        frequencies=frequencies,
+        interpolated_response=interpolated,
+        simulated_response=simulated,
+        comparison=comparison,
+        reference=reference,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# CPU-time reduction (Section 3.3) — per-iteration cost with / without Eq. 17
+# --------------------------------------------------------------------------- #
+
+
+@dataclasses.dataclass
+class CpuReductionResult:
+    """Per-iteration point counts and times, with and without deflation."""
+
+    with_reduction_points: List[int]
+    with_reduction_times: List[float]
+    without_reduction_points: List[int]
+    without_reduction_times: List[float]
+
+    def total_points(self) -> Tuple[int, int]:
+        """``(with, without)`` total interpolation points."""
+        return sum(self.with_reduction_points), sum(self.without_reduction_points)
+
+    def reduction_ratio(self) -> float:
+        """Fraction of interpolation points saved by Eq. 17."""
+        with_points, without_points = self.total_points()
+        if without_points == 0:
+            return 0.0
+        return 1.0 - with_points / without_points
+
+    def per_iteration_decreasing(self) -> bool:
+        """True when the point count never increases across iterations (with Eq. 17)."""
+        points = self.with_reduction_points
+        return all(points[i + 1] <= points[i] for i in range(len(points) - 1))
+
+
+def run_cpu_reduction(options=None) -> CpuReductionResult:
+    """Reproduce the Section 3.3 claim: later iterations get cheaper with Eq. 17."""
+    circuit, spec = build_ua741()
+    admittance = to_admittance_form(circuit)
+
+    def run(deflation):
+        sampler = NetworkFunctionSampler(admittance, spec)
+        base = options or AdaptiveOptions()
+        opts = dataclasses.replace(base, deflation=deflation)
+        result = AdaptiveScalingInterpolator(sampler, kind="denominator",
+                                             options=opts).run()
+        points = [record.num_points for record in result.iterations]
+        times = [record.elapsed_seconds for record in result.iterations]
+        return points, times
+
+    with_points, with_times = run(True)
+    without_points, without_times = run(False)
+    return CpuReductionResult(
+        with_reduction_points=with_points,
+        with_reduction_times=with_times,
+        without_reduction_points=without_points,
+        without_reduction_times=without_times,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Ablations — simultaneous vs single-factor scaling, adaptive vs fixed grid
+# --------------------------------------------------------------------------- #
+
+
+@dataclasses.dataclass
+class ScalingAblationResult:
+    """Ablation of the scale-factor strategy on the µA741 denominator."""
+
+    simultaneous: AdaptiveResult
+    single_factor: AdaptiveResult
+    simultaneous_max_factor: float
+    single_factor_max_factor: float
+    fixed_grid_interpolations: Optional[int]
+    fixed_grid_covered: Optional[int]
+    degree_bound: int
+
+
+def run_scaling_ablation(fixed_grid_decades=4.0, options=None) -> ScalingAblationResult:
+    """Compare simultaneous f/g scaling, single-factor scaling and a fixed grid."""
+    circuit, spec = build_ua741()
+    admittance = to_admittance_form(circuit)
+    base = options or AdaptiveOptions()
+
+    def run(single_scale):
+        sampler = NetworkFunctionSampler(admittance, spec)
+        opts = dataclasses.replace(base, single_scale=single_scale)
+        result = AdaptiveScalingInterpolator(sampler, kind="denominator",
+                                             options=opts).run()
+        max_factor = max(record.factors.max_factor()
+                         for record in result.iterations)
+        return result, max_factor
+
+    simultaneous, simultaneous_max = run(False)
+    single, single_max = run(True)
+
+    # Fixed-grid strategy of Section 3.1: interpolate at log-spaced per-power
+    # ratios and count how many interpolations are needed to cover everything.
+    sampler = NetworkFunctionSampler(admittance, spec)
+    degree_bound = sampler.max_polynomial_degree()
+    initial = initial_scale_factors(admittance)
+    covered: set = set()
+    grid_interpolations = 0
+    from ..interpolation.basic import interpolate_polynomial
+
+    ratio = 1.0
+    max_grid = 12
+    while len(covered) <= degree_bound and grid_interpolations < max_grid:
+        factors = initial.with_ratio_applied(10.0 ** (fixed_grid_decades *
+                                                      grid_interpolations))
+        result = interpolate_polynomial(sampler, "denominator", factors,
+                                        significant_digits=base.significant_digits)
+        grid_interpolations += 1
+        if result.region is not None:
+            covered.update(result.region.indices)
+
+    return ScalingAblationResult(
+        simultaneous=simultaneous,
+        single_factor=single,
+        simultaneous_max_factor=simultaneous_max,
+        single_factor_max_factor=single_max,
+        fixed_grid_interpolations=grid_interpolations,
+        fixed_grid_covered=len([i for i in covered if i <= degree_bound]),
+        degree_bound=degree_bound,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# SDG error control (Eq. 3) on the Miller OTA
+# --------------------------------------------------------------------------- #
+
+
+def run_sdg_experiment(epsilon=0.01) -> SDGResult:
+    """Exercise the SDG error control against a generated reference."""
+    circuit, spec = build_miller_ota()
+    reference = generate_reference(circuit, spec)
+    return simplification_during_generation(circuit, spec, reference,
+                                            epsilon=epsilon)

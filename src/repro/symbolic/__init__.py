@@ -1,0 +1,45 @@
+"""Symbolic analysis consumers of the numerical reference (SAG / SDG / SBG).
+
+The whole point of the paper's reference generator is to provide the
+comparison values required by approximation-based symbolic analysis:
+
+* **SAG** (simplification after generation) — generate the complete symbolic
+  expression, then prune the terms that contribute less than the allowed error
+  to each coefficient (the reference supplies the coefficient totals),
+* **SDG** (simplification during generation) — accumulate terms of each
+  coefficient in decreasing order of magnitude and stop as soon as Eq. (3)
+  ``|h_k(x0) - Σ h_kl(x0)| < ε_k |h_k(x0)|`` is satisfied,
+* **SBG** (simplification before generation) — remove the circuit elements
+  whose influence on the network function (measured against the reference) is
+  negligible, then analyse the much smaller circuit.
+
+The symbolic engine itself (symbols, sum-of-products terms, sparse symbolic
+determinants of the nodal matrix) lives here too; it is exact but exponential,
+so it is meant for the small-to-medium circuits on which symbolic expressions
+are useful — exactly the setting of the original SAG/SDG literature.
+"""
+
+from .symbols import CircuitSymbol, build_symbol_table
+from .terms import Term, SymbolicExpression
+from .matrix import SymbolicNodal, build_symbolic_nodal
+from .determinant import symbolic_determinant
+from .generation import SymbolicTransferFunction, symbolic_network_function, simplify_after_generation
+from .sdg import SDGResult, simplification_during_generation
+from .sbg import SBGResult, simplification_before_generation
+
+__all__ = [
+    "CircuitSymbol",
+    "build_symbol_table",
+    "Term",
+    "SymbolicExpression",
+    "SymbolicNodal",
+    "build_symbolic_nodal",
+    "symbolic_determinant",
+    "SymbolicTransferFunction",
+    "symbolic_network_function",
+    "simplify_after_generation",
+    "SDGResult",
+    "simplification_during_generation",
+    "SBGResult",
+    "simplification_before_generation",
+]

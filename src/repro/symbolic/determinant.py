@@ -1,0 +1,102 @@
+"""Sparse symbolic determinant expansion.
+
+The determinant of the symbolic nodal matrix is expanded recursively along the
+structurally sparsest column of the remaining submatrix (a standard trick that
+keeps the intermediate term count close to the final one for circuit
+matrices).  The result is a flat sum-of-products
+:class:`~repro.symbolic.terms.SymbolicExpression`.
+
+The expansion is exact and therefore exponential in the worst case; a
+``max_terms`` guard raises :class:`~repro.errors.SymbolicError` before memory
+is exhausted, directing users of larger circuits towards SBG reduction first
+(which is precisely the paper's motivation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SymbolicError
+from .terms import SymbolicExpression, Term
+
+__all__ = ["symbolic_determinant"]
+
+#: Default cap on the number of generated terms.
+DEFAULT_MAX_TERMS = 500_000
+
+
+def symbolic_determinant(entries, size, max_terms=DEFAULT_MAX_TERMS,
+                         combine=True) -> SymbolicExpression:
+    """Determinant of a ``size``×``size`` symbolic matrix.
+
+    Parameters
+    ----------
+    entries:
+        ``{(row, col): SymbolicExpression}`` of the structurally non-zero
+        entries.
+    size:
+        Matrix dimension.
+    max_terms:
+        Upper bound on the number of terms produced (raises above it).
+    combine:
+        Combine like terms in the final expression (recommended — determinant
+        terms of nodal matrices frequently cancel pairwise).
+    """
+    if size == 0:
+        return SymbolicExpression.one()
+
+    # Row-wise structural view for fast column counting.
+    columns_of_row: List[List[int]] = [[] for __ in range(size)]
+    rows_of_column: List[List[int]] = [[] for __ in range(size)]
+    for (row, col), expression in entries.items():
+        if expression.terms:
+            columns_of_row[row].append(col)
+            rows_of_column[col].append(row)
+
+    term_budget = [max_terms]
+
+    def expand(active_rows: Tuple[int, ...], active_cols: Tuple[int, ...]) -> List[Term]:
+        if not active_rows:
+            return [Term(symbols=(), s_power=0, coefficient=1.0)]
+        # Pick the active column with the fewest entries in the active rows.
+        best_col = None
+        best_rows: List[int] = []
+        for col_position, col in enumerate(active_cols):
+            rows_here = [row for row in rows_of_column[col] if row in active_rows]
+            if best_col is None or len(rows_here) < len(best_rows):
+                best_col = col
+                best_rows = rows_here
+                if len(rows_here) <= 1:
+                    break
+        if best_col is None or not best_rows:
+            return []  # structurally singular in this branch
+        col_position = active_cols.index(best_col)
+        remaining_cols = tuple(c for c in active_cols if c != best_col)
+
+        result: List[Term] = []
+        for row in best_rows:
+            row_position = active_rows.index(row)
+            sign = -1.0 if (row_position + col_position) % 2 else 1.0
+            entry = entries[(row, best_col)]
+            remaining_rows = tuple(r for r in active_rows if r != row)
+            minor_terms = expand(remaining_rows, remaining_cols)
+            if not minor_terms:
+                continue
+            for entry_term in entry.terms:
+                scaled_entry = Term(entry_term.symbols, entry_term.s_power,
+                                    entry_term.coefficient * sign)
+                for minor_term in minor_terms:
+                    result.append(minor_term.multiply(scaled_entry))
+                    if len(result) > term_budget[0]:
+                        raise SymbolicError(
+                            "symbolic determinant exceeded the term budget "
+                            f"({max_terms}); reduce the circuit (SBG) first"
+                        )
+        return result
+
+    all_rows = tuple(range(size))
+    all_cols = tuple(range(size))
+    expression = SymbolicExpression(expand(all_rows, all_cols))
+    if combine:
+        expression = expression.combined()
+    return expression

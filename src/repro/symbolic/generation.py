@@ -1,0 +1,186 @@
+"""Exact symbolic network functions and simplification after generation (SAG).
+
+The numerator is obtained with Cramer's rule: replacing the output column of
+the symbolic nodal matrix by the excitation column yields a determinant whose
+expansion is ``N(s, x)``; the plain determinant is ``D(s, x)``.  Differential
+outputs are the difference of two column-replaced determinants.
+
+:func:`simplify_after_generation` then prunes each coefficient's terms against
+the *numerical reference*, which is the role the paper's algorithm plays in
+the SAG/SDG tool chain: terms are dropped (smallest first) for as long as the
+accumulated discarded magnitude stays below ``ε_k |h_k(x_0)|``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SymbolicError
+from ..netlist.transform import to_admittance_form
+from ..nodal.reduce import TransferSpec
+from ..xfloat import XFloat
+from .determinant import DEFAULT_MAX_TERMS, symbolic_determinant
+from .matrix import SymbolicNodal, build_symbolic_nodal
+from .terms import SymbolicExpression, Term
+
+__all__ = [
+    "SymbolicTransferFunction",
+    "symbolic_network_function",
+    "select_significant_terms",
+    "simplify_after_generation",
+]
+
+
+@dataclasses.dataclass
+class SymbolicTransferFunction:
+    """Exact (or simplified) symbolic network function ``N(s,x)/D(s,x)``."""
+
+    numerator: SymbolicExpression
+    denominator: SymbolicExpression
+    table: Dict[str, object]
+    spec: TransferSpec
+
+    def term_count(self) -> Tuple[int, int]:
+        """``(numerator terms, denominator terms)``."""
+        return len(self.numerator), len(self.denominator)
+
+    def coefficient_value(self, kind, power) -> XFloat:
+        """Design-point value of one coefficient (numeric, extended range)."""
+        expression = self.numerator if kind.startswith("n") else self.denominator
+        return expression.coefficient_value(power, self.table)
+
+    def evaluate(self, s) -> complex:
+        """Numeric value of the transfer function at complex ``s``."""
+        denominator = self.denominator.evaluate(self.table, s)
+        if denominator == 0:
+            raise ZeroDivisionError("symbolic denominator evaluates to zero")
+        return self.numerator.evaluate(self.table, s) / denominator
+
+    def summary(self) -> str:
+        """One-line term-count summary."""
+        n_terms, d_terms = self.term_count()
+        return (f"symbolic H(s): {n_terms} numerator terms, "
+                f"{d_terms} denominator terms")
+
+
+def _replace_column(nodal: SymbolicNodal, column: int) -> Dict[Tuple[int, int], SymbolicExpression]:
+    """Matrix entries with ``column`` replaced by the excitation vector."""
+    entries: Dict[Tuple[int, int], SymbolicExpression] = {}
+    for (row, col), expression in nodal.entries.items():
+        if col == column:
+            continue
+        entries[(row, col)] = expression
+    for row, expression in nodal.rhs.items():
+        if expression.terms:
+            entries[(row, column)] = expression
+    return entries
+
+
+def symbolic_network_function(circuit, spec, max_terms=DEFAULT_MAX_TERMS,
+                              admittance_transform=True) -> SymbolicTransferFunction:
+    """Generate the complete symbolic network function of a circuit.
+
+    The output nodes named by ``spec`` must be unknown nodes (not forced, not
+    ground) — the usual case for amplifier outputs.
+
+    Raises
+    ------
+    SymbolicError
+        When the expansion exceeds ``max_terms`` or the output is not an
+        unknown node.
+    """
+    if admittance_transform:
+        circuit = to_admittance_form(circuit)
+    nodal = build_symbolic_nodal(circuit, spec)
+    denominator = symbolic_determinant(nodal.entries, nodal.dimension, max_terms)
+
+    def column_determinant(node):
+        column = nodal.index_of(node)
+        replaced = _replace_column(nodal, column)
+        return symbolic_determinant(replaced, nodal.dimension, max_terms)
+
+    numerator = column_determinant(nodal.output_pos)
+    if nodal.output_neg is not None and nodal.output_neg != "0":
+        numerator = numerator.subtract(column_determinant(nodal.output_neg))
+        numerator = numerator.combined()
+
+    return SymbolicTransferFunction(
+        numerator=numerator,
+        denominator=denominator,
+        table=nodal.table,
+        spec=spec,
+    )
+
+
+def select_significant_terms(terms, table, reference_value, epsilon) -> Tuple[List[Term], int]:
+    """Keep the largest terms of one coefficient until Eq. (3) is satisfied.
+
+    Terms are accumulated in decreasing order of design-point magnitude until
+    ``|h_k(x0) - Σ kept| < ε |h_k(x0)|`` where ``h_k(x0)`` is the *reference*
+    value (not the sum of the generated terms — that is the whole point of the
+    numerical reference).
+
+    Returns
+    -------
+    (kept_terms, total_terms)
+    """
+    if epsilon < 0.0:
+        raise SymbolicError("epsilon must be non-negative")
+    valued = [(term, term.value(table)) for term in terms]
+    valued.sort(key=lambda item: (-item[1].log10() if not item[1].is_zero()
+                                  else float("inf")))
+    if isinstance(reference_value, (int, float)):
+        reference_value = XFloat(float(reference_value), 0)
+    target = abs(reference_value)
+    if target.is_zero():
+        return [], len(valued)
+
+    kept: List[Term] = []
+    accumulated = XFloat.zero()
+    for term, value in valued:
+        error = abs(reference_value - accumulated)
+        if error < target * epsilon:
+            break
+        kept.append(term)
+        accumulated = accumulated + value
+    return kept, len(valued)
+
+
+def simplify_after_generation(transfer_function, reference, epsilon=0.01) -> "SymbolicTransferFunction":
+    """SAG: prune a complete symbolic expression against the numerical reference.
+
+    Parameters
+    ----------
+    transfer_function:
+        A full :class:`SymbolicTransferFunction`.
+    reference:
+        A :class:`~repro.interpolation.reference.NumericalReference` for the
+        same circuit / spec.
+    epsilon:
+        Per-coefficient relative error budget ``ε_k`` (same for every k).
+
+    Returns
+    -------
+    SymbolicTransferFunction
+        A new transfer function containing only the significant terms.
+    """
+    simplified: Dict[str, SymbolicExpression] = {}
+    for kind, expression in (("numerator", transfer_function.numerator),
+                             ("denominator", transfer_function.denominator)):
+        kept_terms: List[Term] = []
+        for power in range(expression.max_s_power() + 1):
+            terms = expression.coefficient_terms(power)
+            if not terms:
+                continue
+            reference_value = reference.coefficient(kind, power)
+            kept, __ = select_significant_terms(terms, transfer_function.table,
+                                                reference_value, epsilon)
+            kept_terms.extend(kept)
+        simplified[kind] = SymbolicExpression(kept_terms)
+    return SymbolicTransferFunction(
+        numerator=simplified["numerator"],
+        denominator=simplified["denominator"],
+        table=transfer_function.table,
+        spec=transfer_function.spec,
+    )

@@ -1,0 +1,142 @@
+"""Engineering-notation value parsing and formatting.
+
+SPICE-style netlists express element values with SI / engineering suffixes
+(``30p``, ``1k``, ``2.5meg``, ``10u``).  This module converts between such
+strings and floats, and formats floats back into compact engineering notation
+for reports and netlist writing.
+
+The parser follows SPICE conventions:
+
+* suffixes are case-insensitive,
+* ``m`` is milli and ``meg`` (or ``x``) is mega,
+* trailing unit names after the suffix are ignored (``30pF`` == ``30p``),
+* a plain number without suffix is accepted.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from .errors import ParseError
+
+__all__ = [
+    "parse_value",
+    "format_value",
+    "format_si",
+    "SUFFIX_SCALE",
+]
+
+#: Mapping of SPICE engineering suffixes to multipliers.  Longer suffixes must
+#: be matched before shorter ones (``meg`` before ``m``).
+SUFFIX_SCALE = {
+    "meg": 1e6,
+    "mil": 25.4e-6,
+    "t": 1e12,
+    "g": 1e9,
+    "x": 1e6,
+    "k": 1e3,
+    "m": 1e-3,
+    "u": 1e-6,
+    "n": 1e-9,
+    "p": 1e-12,
+    "f": 1e-15,
+    "a": 1e-18,
+}
+
+_VALUE_RE = re.compile(
+    r"""^\s*
+        (?P<number>[+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)
+        (?P<rest>[a-zA-Z%]*)\s*$""",
+    re.VERBOSE,
+)
+
+#: Multipliers used when *formatting* values; keys are exponents of 10**3.
+_FORMAT_SUFFIXES = {
+    -18: "a",
+    -15: "f",
+    -12: "p",
+    -9: "n",
+    -6: "u",
+    -3: "m",
+    0: "",
+    3: "k",
+    6: "meg",
+    9: "g",
+    12: "t",
+}
+
+
+def parse_value(text):
+    """Parse a SPICE-style value string into a float.
+
+    Parameters
+    ----------
+    text:
+        A number with optional engineering suffix and optional trailing unit,
+        e.g. ``"30p"``, ``"2.5meg"``, ``"1e-12"``, ``"4.7kohm"``.  Floats and
+        ints are passed through unchanged.
+
+    Returns
+    -------
+    float
+        The numeric value.
+
+    Raises
+    ------
+    ParseError
+        If ``text`` is not a valid value string.
+    """
+    if isinstance(text, (int, float)):
+        return float(text)
+    match = _VALUE_RE.match(str(text))
+    if match is None:
+        raise ParseError(f"invalid value: {text!r}")
+    number = float(match.group("number"))
+    rest = match.group("rest").lower()
+    if not rest:
+        return number
+    # Longest-prefix match against known suffixes; anything after the suffix is
+    # treated as a unit name and ignored (SPICE behaviour).
+    for suffix in ("meg", "mil"):
+        if rest.startswith(suffix):
+            return number * SUFFIX_SCALE[suffix]
+    scale = SUFFIX_SCALE.get(rest[0])
+    if scale is None:
+        # Unknown letter: SPICE ignores it entirely (e.g. "10ohm", "5V").
+        return number
+    return number * scale
+
+
+def format_value(value, digits=4):
+    """Format ``value`` using an engineering suffix when one fits.
+
+    ``format_value(3.3e-12)`` returns ``"3.3p"``; values outside the suffix
+    table fall back to scientific notation.
+    """
+    value = float(value)
+    if value == 0.0:
+        return "0"
+    if math.isnan(value) or math.isinf(value):
+        return repr(value)
+    exponent = int(math.floor(math.log10(abs(value)) / 3.0)) * 3
+    suffix = _FORMAT_SUFFIXES.get(exponent)
+    if suffix is None:
+        return f"{value:.{digits}g}"
+    mantissa = value / 10.0**exponent
+    text = f"{mantissa:.{digits}g}"
+    return f"{text}{suffix}"
+
+
+def format_si(value, unit="", digits=4):
+    """Format ``value`` with an engineering suffix and a unit label.
+
+    Examples
+    --------
+    >>> format_si(30e-12, "F")
+    '30p F'.replace(' ', '') if unit else ...
+    """
+    body = format_value(value, digits=digits)
+    if not unit:
+        return body
+    return f"{body}{unit}"

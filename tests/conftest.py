@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.miller_ota import build_miller_ota
+from repro.circuits.ota import build_positive_feedback_ota
+from repro.circuits.rc_ladder import build_rc_ladder
+from repro.circuits.ua741 import build_ua741
+from repro.netlist.circuit import Circuit
+from repro.nodal.reduce import TransferSpec
+
+
+@pytest.fixture(scope="session")
+def rc_ladder_3():
+    """3-stage RC ladder with non-uniform values (circuit, spec, R list, C list)."""
+    resistances = [1e3, 2.2e3, 4.7e3]
+    capacitances = [1e-9, 470e-12, 220e-12]
+    circuit, spec = build_rc_ladder(3, resistances, capacitances)
+    return circuit, spec, resistances, capacitances
+
+
+@pytest.fixture(scope="session")
+def ota_circuit():
+    """Positive-feedback OTA (Fig. 1) circuit and spec."""
+    return build_positive_feedback_ota()
+
+
+@pytest.fixture(scope="session")
+def miller_circuit():
+    """Two-stage Miller OTA circuit and spec."""
+    return build_miller_ota()
+
+
+@pytest.fixture(scope="session")
+def ua741_circuit():
+    """µA741 small-signal macro circuit and spec (session-scoped: it is big)."""
+    return build_ua741()
+
+
+@pytest.fixture
+def simple_rc():
+    """Single-pole RC low-pass: R=1k, C=1n driven by Vin, output 'out'."""
+    circuit = Circuit("rc")
+    circuit.add_voltage_source("vin", "in", "0", 1.0)
+    circuit.add_resistor("R1", "in", "out", 1e3)
+    circuit.add_capacitor("C1", "out", "0", 1e-9)
+    return circuit, TransferSpec(inputs=["vin"], output="out")
+
+
+@pytest.fixture
+def frequencies_decade():
+    """Log frequency grid, 1 Hz – 100 MHz, 5 points per decade."""
+    return np.logspace(0, 8, 41)

@@ -1,0 +1,189 @@
+"""Tests for small-signal device models and their expansion."""
+
+import math
+
+import pytest
+
+from repro.devices.bjt import THERMAL_VOLTAGE, BjtSmallSignal
+from repro.devices.diode import DiodeSmallSignal
+from repro.devices.expand import expand_bjt, expand_diode, expand_mosfet
+from repro.devices.mosfet import MosfetSmallSignal
+from repro.errors import DeviceModelError
+from repro.netlist.circuit import Circuit
+from repro.netlist.elements import Capacitor, Conductor, VCCS
+
+
+class TestMosfetModel:
+    def test_direct_parameters(self):
+        model = MosfetSmallSignal(gm=1e-3, gds=20e-6, cgs=50e-15, cgd=5e-15)
+        assert model.intrinsic_gain() == pytest.approx(50.0)
+        assert model.transition_frequency() == pytest.approx(
+            1e-3 / (2 * math.pi * 55e-15))
+
+    def test_from_operating_point(self):
+        model = MosfetSmallSignal.from_operating_point(
+            drain_current=100e-6, overdrive=0.2, channel_length_modulation=0.05,
+            cgs=20e-15, cgd=2e-15, bulk_factor=0.25)
+        assert model.gm == pytest.approx(1e-3)
+        assert model.gds == pytest.approx(5e-6)
+        assert model.gmb == pytest.approx(0.25e-3)
+
+    def test_from_params_direct_and_op(self):
+        direct = MosfetSmallSignal.from_params({"gm": 1e-3, "gds": 1e-5,
+                                                "cgs": 1e-14, "cgd": 1e-15})
+        assert direct.gm == pytest.approx(1e-3)
+        op = MosfetSmallSignal.from_params({"id": 50e-6, "vov": 0.25,
+                                            "lambda": 0.1})
+        assert op.gm == pytest.approx(2 * 50e-6 / 0.25)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DeviceModelError):
+            MosfetSmallSignal(gm=-1.0, gds=0.0, cgs=0.0, cgd=0.0)
+        with pytest.raises(DeviceModelError):
+            MosfetSmallSignal(gm=1e-3, gds=0.0, cgs=-1e-15, cgd=0.0)
+        with pytest.raises(DeviceModelError):
+            MosfetSmallSignal.from_operating_point(1e-3, overdrive=0.0)
+        with pytest.raises(DeviceModelError):
+            MosfetSmallSignal.from_params({"cgs": 1e-15})
+
+    def test_infinite_figures_without_caps(self):
+        model = MosfetSmallSignal(gm=1e-3, gds=0.0, cgs=0.0, cgd=0.0)
+        assert model.intrinsic_gain() == math.inf
+        assert model.transition_frequency() == math.inf
+
+    def test_as_dict(self):
+        model = MosfetSmallSignal(gm=1e-3, gds=1e-5, cgs=1e-14, cgd=1e-15)
+        data = model.as_dict()
+        assert data["gm"] == pytest.approx(1e-3)
+        assert data["polarity"] == "nmos"
+
+
+class TestBjtModel:
+    def test_from_operating_point(self):
+        model = BjtSmallSignal.from_operating_point(
+            collector_current=1e-3, beta=200, early_voltage=100,
+            transit_time=0.3e-9, cje=1e-12, cmu=0.5e-12, rb=150, ccs=2e-12)
+        gm = 1e-3 / THERMAL_VOLTAGE
+        assert model.gm == pytest.approx(gm)
+        assert model.gpi == pytest.approx(gm / 200)
+        assert model.go == pytest.approx(1e-5)
+        assert model.cpi == pytest.approx(gm * 0.3e-9 + 1e-12)
+        assert model.beta() == pytest.approx(200)
+
+    def test_from_params_aliases(self):
+        model = BjtSmallSignal.from_params({"ic": 1e-3, "bf": 150, "vaf": 80,
+                                            "cjc": 0.4e-12})
+        assert model.beta() == pytest.approx(150)
+        assert model.cmu == pytest.approx(0.4e-12)
+
+    def test_direct_params(self):
+        model = BjtSmallSignal.from_params({"gm": 0.04, "gpi": 2e-4,
+                                            "cpi": 1e-12, "cmu": 1e-13})
+        assert model.gm == pytest.approx(0.04)
+
+    def test_invalid(self):
+        with pytest.raises(DeviceModelError):
+            BjtSmallSignal.from_operating_point(collector_current=0.0)
+        with pytest.raises(DeviceModelError):
+            BjtSmallSignal.from_operating_point(1e-3, beta=-5)
+        with pytest.raises(DeviceModelError):
+            BjtSmallSignal.from_params({"cje": 1e-12})
+        with pytest.raises(DeviceModelError):
+            BjtSmallSignal(gm=0.0, gpi=0.0, go=0.0, cpi=0.0, cmu=0.0)
+
+    def test_transition_frequency(self):
+        model = BjtSmallSignal.from_operating_point(1e-3, transit_time=0.3e-9,
+                                                    cmu=0.5e-12)
+        expected = model.gm / (2 * math.pi * (model.cpi + model.cmu))
+        assert model.transition_frequency() == pytest.approx(expected)
+
+
+class TestDiodeModel:
+    def test_from_operating_point(self):
+        model = DiodeSmallSignal.from_operating_point(1e-3, transit_time=1e-9,
+                                                      junction_capacitance=1e-12)
+        assert model.gd == pytest.approx(1e-3 / THERMAL_VOLTAGE)
+        assert model.cd == pytest.approx(model.gd * 1e-9 + 1e-12)
+
+    def test_from_params(self):
+        assert DiodeSmallSignal.from_params({"gd": 1e-3}).gd == pytest.approx(1e-3)
+        with pytest.raises(DeviceModelError):
+            DiodeSmallSignal.from_params({"tt": 1e-9})
+
+    def test_invalid(self):
+        with pytest.raises(DeviceModelError):
+            DiodeSmallSignal(gd=-1.0)
+
+
+class TestExpansion:
+    def test_expand_mosfet_elements(self):
+        circuit = Circuit("m")
+        model = MosfetSmallSignal(gm=1e-3, gds=2e-5, cgs=5e-14, cgd=5e-15,
+                                  gmb=2e-4, cdb=1e-14)
+        names = expand_mosfet(circuit, "M1", "d", "g", "s", "b", model)
+        assert "M1.gm" in circuit and isinstance(circuit["M1.gm"], VCCS)
+        assert circuit["M1.gm"].ctrl_pos == "g"
+        assert circuit["M1.gmb"].ctrl_pos == "b"
+        assert isinstance(circuit["M1.gds"], Conductor)
+        assert isinstance(circuit["M1.cgs"], Capacitor)
+        # Zero-valued parameters (cgb, csb) are skipped.
+        assert "M1.cgb" not in circuit
+        assert "M1.csb" not in circuit
+
+    def test_expand_mosfet_grounded_gate_skips_gm(self):
+        circuit = Circuit("m")
+        model = MosfetSmallSignal(gm=1e-3, gds=2e-5, cgs=5e-14, cgd=5e-15)
+        expand_mosfet(circuit, "M1", "d", "0", "0", "0", model)
+        # gate == source == ground -> the gm control is degenerate and skipped
+        assert "M1.gm" not in circuit
+        assert "M1.gds" in circuit
+
+    def test_expand_bjt_with_and_without_rb(self):
+        circuit = Circuit("q")
+        with_rb = BjtSmallSignal(gm=0.04, gpi=2e-4, go=1e-5, cpi=1e-12,
+                                 cmu=1e-13, rb=100.0)
+        expand_bjt(circuit, "Q1", "c", "b", "e", with_rb)
+        assert "Q1.gb" in circuit
+        assert circuit["Q1.gpi"].node_pos == "Q1.b"
+
+        circuit2 = Circuit("q2")
+        without_rb = BjtSmallSignal(gm=0.04, gpi=2e-4, go=1e-5, cpi=1e-12,
+                                    cmu=1e-13, rb=0.0)
+        expand_bjt(circuit2, "Q1", "c", "b", "e", without_rb)
+        assert "Q1.gb" not in circuit2
+        assert circuit2["Q1.gpi"].node_pos == "b"
+
+    def test_expand_bjt_ccs_goes_to_substrate(self):
+        circuit = Circuit("q")
+        model = BjtSmallSignal(gm=0.04, gpi=2e-4, go=1e-5, cpi=1e-12,
+                               cmu=1e-13, ccs=2e-12)
+        expand_bjt(circuit, "Q1", "c", "b", "e", model, substrate="sub")
+        assert circuit["Q1.ccs"].nodes == ("c", "sub")
+
+    def test_expand_diode(self):
+        circuit = Circuit("d")
+        expand_diode(circuit, "D1", "a", "k", DiodeSmallSignal(gd=1e-3, cd=1e-12))
+        assert circuit["D1.gd"].value == pytest.approx(1e-3)
+        assert circuit["D1.cd"].value == pytest.approx(1e-12)
+
+    def test_type_checks(self):
+        circuit = Circuit("x")
+        with pytest.raises(TypeError):
+            expand_mosfet(circuit, "M1", "d", "g", "s", "b", object())
+        with pytest.raises(TypeError):
+            expand_bjt(circuit, "Q1", "c", "b", "e", object())
+        with pytest.raises(TypeError):
+            expand_diode(circuit, "D1", "a", "k", object())
+
+    def test_expansion_gain_matches_hand_calculation(self):
+        """Common-source stage: DC gain must be -gm*(RL || 1/gds)."""
+        circuit = Circuit("cs")
+        circuit.add_voltage_source("vin", "g", "0", 1.0)
+        circuit.add_resistor("RL", "d", "0", 100e3)
+        model = MosfetSmallSignal(gm=1e-3, gds=1e-5, cgs=1e-14, cgd=1e-15)
+        expand_mosfet(circuit, "M1", "d", "g", "0", "0", model)
+        from repro.analysis.ac import ACAnalysis
+
+        gain = ACAnalysis(circuit, "d").value_at(0.0)
+        expected = -1e-3 / (1e-5 + 1e-5)
+        assert gain.real == pytest.approx(expected, rel=1e-9)

@@ -1,0 +1,120 @@
+"""Tests for primitive circuit elements."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.elements import (
+    CCCS,
+    CCVS,
+    Capacitor,
+    Conductor,
+    CurrentSource,
+    GROUND,
+    Inductor,
+    Resistor,
+    VCCS,
+    VCVS,
+    VoltageSource,
+)
+
+
+class TestTwoTerminal:
+    def test_resistor_conductance(self):
+        resistor = Resistor("R1", "a", "b", 2e3)
+        assert resistor.conductance == pytest.approx(5e-4)
+        assert resistor.nodes == ("a", "b")
+        assert resistor.is_admittance()
+
+    def test_resistor_rejects_non_positive(self):
+        with pytest.raises(NetlistError):
+            Resistor("R1", "a", "b", 0.0)
+        with pytest.raises(NetlistError):
+            Resistor("R1", "a", "b", -10.0)
+
+    def test_conductor(self):
+        conductor = Conductor("g1", "a", "0", 1e-3)
+        assert conductor.conductance == pytest.approx(1e-3)
+        with pytest.raises(NetlistError):
+            Conductor("g2", "a", "b", -1.0)
+
+    def test_capacitor(self):
+        capacitor = Capacitor("C1", "out", "0", 1e-12)
+        assert capacitor.capacitance == pytest.approx(1e-12)
+        assert capacitor.is_admittance()
+        with pytest.raises(NetlistError):
+            Capacitor("C2", "a", "b", -1e-12)
+
+    def test_inductor_not_admittance(self):
+        inductor = Inductor("L1", "a", "b", 1e-6)
+        assert not inductor.is_admittance()
+        with pytest.raises(NetlistError):
+            Inductor("L2", "a", "b", 0.0)
+
+    def test_same_node_rejected(self):
+        with pytest.raises(NetlistError):
+            Resistor("R1", "a", "a", 1e3)
+
+    def test_ground_aliases_canonicalized(self):
+        resistor = Resistor("R1", "a", "gnd", 1e3)
+        assert resistor.node_neg == GROUND
+        capacitor = Capacitor("C1", "GROUND", "x", 1e-12)
+        assert capacitor.node_pos == GROUND
+
+    def test_empty_node_rejected(self):
+        with pytest.raises(NetlistError):
+            Resistor("R1", "", "b", 1e3)
+
+
+class TestSources:
+    def test_voltage_source(self):
+        source = VoltageSource("vin", "in", "0", 1.0)
+        assert source.value == 1.0
+        assert not source.is_admittance()
+
+    def test_current_source_is_admittance_compatible(self):
+        source = CurrentSource("iin", "in", "0", 1e-6)
+        assert source.is_admittance()
+
+    def test_negative_ac_values_allowed(self):
+        assert VoltageSource("vim", "inm", "0", -0.5).value == -0.5
+
+
+class TestControlledSources:
+    def test_vccs(self):
+        vccs = VCCS("gm1", "d", "s", "g", "s", 1e-3)
+        assert vccs.nodes == ("d", "s", "g", "s")
+        assert vccs.is_admittance()
+        assert vccs.gm == pytest.approx(1e-3)
+
+    def test_vccs_negative_gm_allowed(self):
+        assert VCCS("gmx", "a", "0", "b", "0", -5e-4).gm == pytest.approx(-5e-4)
+
+    def test_vcvs_cccs_ccvs_not_admittance(self):
+        assert not VCVS("e1", "a", "0", "b", "0", 10.0).is_admittance()
+        assert not CCCS("f1", "a", "0", "vsense", 2.0).is_admittance()
+        assert not CCVS("h1", "a", "0", "vsense", 50.0).is_admittance()
+
+
+class TestNodeRemapping:
+    def test_with_nodes_two_terminal(self):
+        resistor = Resistor("R1", "x", "y", 1e3)
+        remapped = resistor.with_nodes({"x": "top", "y": "bottom"})
+        assert remapped.nodes == ("top", "bottom")
+        assert remapped.value == resistor.value
+        # Original is untouched.
+        assert resistor.nodes == ("x", "y")
+
+    def test_with_nodes_vccs_includes_controls(self):
+        vccs = VCCS("gm1", "d", "s", "g", "b", 1e-3)
+        remapped = vccs.with_nodes({"g": "gate", "d": "drain"})
+        assert remapped.nodes == ("drain", "s", "gate", "b")
+
+    def test_partial_mapping_keeps_other_nodes(self):
+        capacitor = Capacitor("C1", "a", "b", 1e-12)
+        remapped = capacitor.with_nodes({"a": "z"})
+        assert remapped.nodes == ("z", "b")
+
+    def test_renamed(self):
+        resistor = Resistor("R1", "a", "b", 1e3)
+        assert resistor.renamed("R99").name == "R99"
+        assert resistor.renamed("R99").value == resistor.value

@@ -1,0 +1,106 @@
+"""Tests for netlist serialization and structural validation."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.netlist.circuit import Circuit
+from repro.netlist.parser import parse_netlist
+from repro.netlist.validate import validate_circuit
+from repro.netlist.writer import element_to_line, write_netlist
+
+
+class TestWriter:
+    def test_roundtrip_preserves_values(self, tmp_path):
+        original = parse_netlist("""
+        Vin in 0 ac 1
+        R1 in out 1k
+        C1 out 0 1n
+        G1 out 0 in 0 2m
+        """)
+        text = write_netlist(original)
+        reparsed = parse_netlist(text)
+        assert len(reparsed) == len(original)
+        assert reparsed["R1"].value == pytest.approx(1e3)
+        assert reparsed["C1"].value == pytest.approx(1e-9)
+        assert reparsed["G1"].gm == pytest.approx(2e-3)
+
+    def test_write_to_file(self, tmp_path):
+        circuit = Circuit("f")
+        circuit.add_resistor("R1", "a", "0", 1e3)
+        path = tmp_path / "out.sp"
+        text = write_netlist(circuit, path)
+        assert path.read_text() == text
+        assert ".end" in text
+
+    def test_conductor_written_as_resistor(self):
+        circuit = Circuit("g")
+        circuit.add_conductor("gds", "a", "0", 1e-4)
+        line = element_to_line(circuit["gds"])
+        assert line.split()[-1] == "10k"
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeError):
+            element_to_line(object())
+
+    def test_controlled_sources_serialized(self):
+        circuit = Circuit("cs")
+        circuit.add_vcvs("E1", "a", "0", "b", "0", 10.0)
+        circuit.add_cccs("F1", "a", "0", "V1", 2.0)
+        circuit.add_ccvs("H1", "b", "0", "V1", 100.0)
+        circuit.add_voltage_source("V1", "b", "0", 0.0)
+        circuit.add_resistor("R1", "a", "b", 1.0)
+        text = write_netlist(circuit)
+        assert "E1 a 0 b 0 10" in text
+        assert "F1 a 0 V1 2" in text
+
+
+class TestValidation:
+    def test_valid_circuit_passes(self, simple_rc):
+        circuit, __ = simple_rc
+        report = validate_circuit(circuit)
+        assert report.ok
+        assert report.errors == []
+
+    def test_empty_circuit_fails(self):
+        report = validate_circuit(Circuit("empty"), raise_on_error=False)
+        assert not report.ok
+        with pytest.raises(ValidationError):
+            validate_circuit(Circuit("empty"))
+
+    def test_unreachable_node_detected(self):
+        circuit = Circuit("island")
+        circuit.add_resistor("R1", "a", "0", 1e3)
+        circuit.add_resistor("R2", "x", "y", 1e3)  # floating island
+        report = validate_circuit(circuit, raise_on_error=False)
+        assert not report.ok
+        assert any("no conducting path" in message for message in report.errors)
+
+    def test_dangling_node_warning(self):
+        circuit = Circuit("dangling")
+        circuit.add_resistor("R1", "a", "0", 1e3)
+        circuit.add_capacitor("C1", "a", "b", 1e-12)  # b touched once
+        report = validate_circuit(circuit, raise_on_error=False)
+        assert report.ok
+        assert any("single element terminal" in message
+                   for message in report.warnings)
+
+    def test_missing_controlled_source_reference(self):
+        circuit = Circuit("ctl")
+        circuit.add_cccs("F1", "a", "0", "Vmissing", 2.0)
+        circuit.add_resistor("R1", "a", "0", 1e3)
+        report = validate_circuit(circuit, raise_on_error=False)
+        assert not report.ok
+        assert any("controlling source" in message for message in report.errors)
+
+    def test_zero_sources_warning(self):
+        circuit = Circuit("zero")
+        circuit.add_voltage_source("vin", "a", "0", 0.0)
+        circuit.add_resistor("R1", "a", "0", 1e3)
+        report = validate_circuit(circuit, raise_on_error=False)
+        assert report.ok
+        assert any("zero AC value" in message for message in report.warnings)
+
+    def test_library_circuits_validate(self, ota_circuit, miller_circuit,
+                                        ua741_circuit):
+        for circuit, __ in (ota_circuit, miller_circuit, ua741_circuit):
+            assert validate_circuit(circuit).ok

@@ -1,0 +1,203 @@
+"""Tests for the nodal admittance formulation and the network-function sampler."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.ac import ACAnalysis
+from repro.errors import FormulationError, UnknownElementError
+from repro.netlist.circuit import Circuit
+from repro.netlist.transform import to_admittance_form
+from repro.nodal.admittance import build_nodal_formulation
+from repro.nodal.reduce import TransferSpec
+from repro.nodal.sampler import NetworkFunctionSampler
+
+
+class TestTransferSpec:
+    def test_single_and_differential_output(self):
+        spec = TransferSpec(inputs=["vin"], output="out")
+        assert spec.output_nodes() == ("out", None)
+        diff = TransferSpec(inputs=["vip", "vim"], output=("a", "b"))
+        assert diff.output_nodes() == ("a", "b")
+        assert "vin" in spec.describe() or "out" in spec.describe()
+
+    def test_string_input_promoted_to_list(self):
+        spec = TransferSpec(inputs="vin", output="out")
+        assert spec.inputs == ["vin"]
+
+    def test_needs_inputs(self):
+        with pytest.raises(FormulationError):
+            TransferSpec(inputs=[], output="out")
+
+    def test_resolve_checks_sources(self, simple_rc):
+        circuit, __ = simple_rc
+        kind, sources = TransferSpec(inputs=["vin"], output="out").resolve(circuit)
+        assert kind == "voltage"
+        with pytest.raises(UnknownElementError):
+            TransferSpec(inputs=["nope"], output="out").resolve(circuit)
+        with pytest.raises(FormulationError):
+            TransferSpec(inputs=["vin"], output="nonexistent").resolve(circuit)
+
+    def test_resolve_rejects_mixed_sources(self):
+        circuit = Circuit("mixed")
+        circuit.add_voltage_source("v1", "a", "0", 1.0)
+        circuit.add_current_source("i1", "b", "0", 1.0)
+        circuit.add_resistor("R1", "a", "b", 1e3)
+        circuit.add_resistor("R2", "b", "0", 1e3)
+        with pytest.raises(FormulationError):
+            TransferSpec(inputs=["v1", "i1"], output="b").resolve(circuit)
+
+    def test_resolve_rejects_floating_voltage_source(self):
+        circuit = Circuit("float")
+        circuit.add_voltage_source("v1", "a", "b", 1.0)
+        circuit.add_resistor("R1", "a", "0", 1e3)
+        circuit.add_resistor("R2", "b", "0", 1e3)
+        with pytest.raises(FormulationError):
+            TransferSpec(inputs=["v1"], output="a").resolve(circuit)
+
+
+class TestFormulation:
+    def test_rc_dimensions_and_orders(self, simple_rc):
+        circuit, spec = simple_rc
+        formulation = build_nodal_formulation(circuit, spec)
+        # 'in' is forced, 'out' is the only unknown.
+        assert formulation.dimension == 1
+        assert formulation.unknown_nodes == ["out"]
+        assert formulation.forced == {"in": 1.0}
+        assert formulation.denominator_admittance_order == 1
+        assert formulation.numerator_admittance_order == 1
+        assert formulation.max_polynomial_degree() == 1
+
+    def test_current_drive_orders(self):
+        circuit = Circuit("tz")
+        circuit.add_current_source("iin", "0", "out", 1.0)
+        circuit.add_resistor("R1", "out", "0", 1e3)
+        circuit.add_capacitor("C1", "out", "0", 1e-9)
+        spec = TransferSpec(inputs=["iin"], output="out")
+        formulation = build_nodal_formulation(circuit, spec)
+        assert formulation.drive_kind == "current"
+        assert formulation.denominator_admittance_order == 1
+        assert formulation.numerator_admittance_order == 0
+
+    def test_matrix_values(self, simple_rc):
+        circuit, spec = simple_rc
+        formulation = build_nodal_formulation(circuit, spec)
+        s = 2j * math.pi * 1e5
+        matrix = formulation.assemble(s)
+        assert matrix.get(0, 0) == pytest.approx(1e-3 + s * 1e-9)
+        rhs = formulation.rhs(s)
+        assert rhs[0] == pytest.approx(1e-3)  # conductance from the forced node
+
+    def test_scaling_applied_to_assembly(self, simple_rc):
+        circuit, spec = simple_rc
+        formulation = build_nodal_formulation(circuit, spec)
+        matrix = formulation.assemble(1.0, conductance_scale=1e3,
+                                      frequency_scale=1e9)
+        assert matrix.get(0, 0) == pytest.approx(1e-3 * 1e3 + 1e-9 * 1e9)
+
+    def test_rejects_internal_nonzero_voltage_source(self):
+        circuit = Circuit("bad")
+        circuit.add_voltage_source("vin", "in", "0", 1.0)
+        circuit.add_voltage_source("vbias", "b", "0", 1.0)   # not an input
+        circuit.add_resistor("R1", "in", "b", 1e3)
+        circuit.add_resistor("R2", "b", "0", 1e3)
+        with pytest.raises(FormulationError):
+            build_nodal_formulation(circuit, TransferSpec(["vin"], "b"))
+
+    def test_zero_valued_voltage_source_forces_node_to_ground(self):
+        circuit = Circuit("meter")
+        circuit.add_voltage_source("vin", "in", "0", 1.0)
+        circuit.add_voltage_source("vmeas", "x", "0", 0.0)
+        circuit.add_resistor("R1", "in", "x", 1e3)
+        circuit.add_resistor("R2", "x", "out", 1e3)
+        circuit.add_resistor("R3", "out", "0", 1e3)
+        formulation = build_nodal_formulation(circuit,
+                                              TransferSpec(["vin"], "out"))
+        assert formulation.forced["x"] == 0.0
+
+    def test_rejects_inductor(self):
+        circuit = Circuit("ind")
+        circuit.add_voltage_source("vin", "in", "0", 1.0)
+        circuit.add_inductor("L1", "in", "out", 1e-6)
+        circuit.add_resistor("R1", "out", "0", 50.0)
+        with pytest.raises(FormulationError):
+            build_nodal_formulation(circuit, TransferSpec(["vin"], "out"))
+
+    def test_output_voltage_differential(self, miller_circuit):
+        circuit, spec = miller_circuit
+        formulation = build_nodal_formulation(to_admittance_form(circuit), spec)
+        solution = np.zeros(formulation.dimension, dtype=complex)
+        solution[formulation.index_of("vout")] = 2.0 + 0.0j
+        assert formulation.output_voltage(solution) == pytest.approx(2.0)
+
+    def test_node_voltage_of_forced_and_ground(self, simple_rc):
+        circuit, spec = simple_rc
+        formulation = build_nodal_formulation(circuit, spec)
+        solution = np.array([0.5 + 0.0j])
+        assert formulation.node_voltage(solution, "0") == 0.0
+        assert formulation.node_voltage(solution, "in") == 1.0
+        assert formulation.node_voltage(solution, "out") == 0.5
+        with pytest.raises(FormulationError):
+            formulation.node_voltage(solution, "zzz")
+
+
+class TestSampler:
+    def test_rc_transfer_matches_analytic(self, simple_rc):
+        circuit, spec = simple_rc
+        sampler = NetworkFunctionSampler(circuit, spec)
+        for frequency in (1e3, 159.15e3, 1e7):
+            s = 2j * math.pi * frequency
+            expected = 1.0 / (1.0 + s * 1e3 * 1e-9)
+            assert sampler.transfer_value(s) == pytest.approx(expected, rel=1e-10)
+
+    def test_sampler_matches_mna_ac(self, miller_circuit):
+        circuit, spec = miller_circuit
+        sampler = NetworkFunctionSampler(to_admittance_form(circuit), spec)
+        analysis = ACAnalysis(circuit, spec)
+        for frequency in (10.0, 1e4, 1e7):
+            s = 2j * math.pi * frequency
+            assert sampler.transfer_value(s) == pytest.approx(
+                analysis.value_at(s), rel=1e-8)
+
+    def test_sample_consistency_of_ratio(self, simple_rc):
+        circuit, spec = simple_rc
+        sampler = NetworkFunctionSampler(circuit, spec)
+        sample = sampler.sample(1.0j, conductance_scale=2.0, frequency_scale=3.0)
+        # N/D of the scaled system still equals the scaled-system transfer.
+        transfer = sample.transfer()
+        expected = (2e-3) / (2e-3 + 1j * 3e-9)
+        assert transfer == pytest.approx(expected, rel=1e-12)
+
+    def test_scaled_denominator_sample_value(self, simple_rc):
+        circuit, spec = simple_rc
+        sampler = NetworkFunctionSampler(circuit, spec)
+        sample = sampler.sample(2.0, conductance_scale=10.0, frequency_scale=1e9)
+        mantissa, exponent = sample.denominator
+        value = mantissa * 10.0**exponent
+        assert value == pytest.approx(10.0 * 1e-3 + 2.0 * 1e9 * 1e-9, rel=1e-12)
+
+    def test_dense_and_sparse_methods_agree(self, ota_circuit):
+        circuit, spec = ota_circuit
+        admittance = to_admittance_form(circuit)
+        dense = NetworkFunctionSampler(admittance, spec, method="dense")
+        sparse = NetworkFunctionSampler(admittance, spec, method="sparse")
+        s = 2j * math.pi * 1e6
+        assert dense.transfer_value(s) == pytest.approx(sparse.transfer_value(s),
+                                                        rel=1e-8)
+
+    def test_factorization_count(self, simple_rc):
+        circuit, spec = simple_rc
+        sampler = NetworkFunctionSampler(circuit, spec)
+        sampler.sample_many([1.0, 2.0, 3.0])
+        assert sampler.factorization_count == 3
+
+    def test_invalid_method(self, simple_rc):
+        circuit, spec = simple_rc
+        with pytest.raises(Exception):
+            NetworkFunctionSampler(circuit, spec, method="magic")
+
+    def test_max_degree(self, ota_circuit):
+        circuit, spec = ota_circuit
+        sampler = NetworkFunctionSampler(to_admittance_form(circuit), spec)
+        assert sampler.max_polynomial_degree() == 9

@@ -1,0 +1,205 @@
+"""Tests for the extended-range float type."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xfloat import XFloat, log10_abs, xfloat
+
+
+class TestConstruction:
+    def test_normalizes_mantissa(self):
+        value = XFloat(123.456, 0)
+        assert 1.0 <= abs(value.mantissa) < 10.0
+        assert value.exponent == 2
+
+    def test_zero(self):
+        assert XFloat.zero().is_zero()
+        assert XFloat(0.0, 50).is_zero()
+        assert float(XFloat.zero()) == 0.0
+
+    def test_negative_values(self):
+        value = XFloat(-0.00321, 0)
+        assert value.sign() == -1.0
+        assert value.exponent == -3
+        assert math.isclose(value.mantissa, -3.21)
+
+    def test_from_log10(self):
+        value = XFloat.from_log10(-522.3, sign=-1.0)
+        assert value.exponent == -523
+        assert value.sign() == -1.0
+        assert math.isclose(value.log10(), -522.3, rel_tol=1e-12)
+
+    def test_from_xfloat_composes_exponents(self):
+        inner = XFloat(2.5, -100)
+        outer = XFloat(inner, 10)
+        assert math.isclose(outer.log10(), inner.log10() + 10)
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ValueError):
+            XFloat(float("nan"), 0)
+        with pytest.raises(ValueError):
+            XFloat(float("inf"), 0)
+
+    def test_convenience_constructor(self):
+        assert math.isclose(float(xfloat(3.2, -5)), 3.2e-5)
+
+
+class TestConversion:
+    def test_float_roundtrip_in_range(self):
+        for value in (1.0, -2.5e-30, 7.7e45, 123.456e-7):
+            assert math.isclose(float(XFloat(value, 0)), value, rel_tol=1e-12)
+
+    def test_float_overflow_gives_inf(self):
+        assert float(XFloat(1.0, 400)) == math.inf
+        assert float(XFloat(-1.0, 400)) == -math.inf
+
+    def test_float_underflow_gives_zero(self):
+        assert float(XFloat(1.0, -400)) == 0.0
+
+    def test_log10(self):
+        assert math.isclose(XFloat(1.0, -522).log10(), -522.0)
+        with pytest.raises(ValueError):
+            XFloat.zero().log10()
+
+    def test_log10_abs_helper(self):
+        assert log10_abs(100.0) == pytest.approx(2.0)
+        assert log10_abs(XFloat(1.0, -50)) == pytest.approx(-50.0)
+        assert log10_abs(0.0) == -math.inf
+
+
+class TestArithmetic:
+    def test_multiplication_adds_exponents(self):
+        a = XFloat(2.0, -100)
+        b = XFloat(3.0, -200)
+        product = a * b
+        assert math.isclose(product.mantissa, 6.0)
+        assert product.exponent == -300
+
+    def test_multiplication_with_plain_floats(self):
+        value = XFloat(2.0, -100) * 4.0
+        assert math.isclose(value.log10(), math.log10(8.0) - 100)
+        value = 4.0 * XFloat(2.0, -100)
+        assert math.isclose(value.log10(), math.log10(8.0) - 100)
+
+    def test_division(self):
+        a = XFloat(2.0, -100)
+        b = XFloat(4.0, -200)
+        ratio = a / b
+        assert math.isclose(float(ratio) / 1e100, 0.5, rel_tol=1e-12)
+        with pytest.raises(ZeroDivisionError):
+            a / XFloat.zero()
+
+    def test_addition_same_scale(self):
+        total = XFloat(2.0, -300) + XFloat(3.0, -300)
+        assert math.isclose(total.mantissa, 5.0)
+        assert total.exponent == -300
+
+    def test_addition_disparate_scales_keeps_larger(self):
+        big = XFloat(1.0, 0)
+        small = XFloat(1.0, -60)
+        assert (big + small) == big
+
+    def test_subtraction_and_negation(self):
+        a = XFloat(5.0, -10)
+        b = XFloat(2.0, -10)
+        assert math.isclose((a - b).mantissa, 3.0)
+        assert (-a).sign() == -1.0
+        assert (a - a).is_zero()
+
+    def test_integer_power(self):
+        value = XFloat(2.0, -5) ** 3
+        assert math.isclose(value.log10(), 3 * (math.log10(2.0) - 5))
+        assert (XFloat(-2.0, 0) ** 3).sign() == -1.0
+        assert (XFloat(-2.0, 0) ** 2).sign() == 1.0
+        assert (XFloat(3.0, 7) ** 0) == XFloat(1.0, 0)
+
+    def test_power_requires_integer(self):
+        with pytest.raises(TypeError):
+            XFloat(2.0, 0) ** 0.5
+
+    def test_zero_to_negative_power(self):
+        with pytest.raises(ZeroDivisionError):
+            XFloat.zero() ** -1
+
+    def test_abs(self):
+        assert abs(XFloat(-3.0, -400)).sign() == 1.0
+
+
+class TestComparison:
+    def test_ordering_across_exponents(self):
+        assert XFloat(9.0, -10) < XFloat(1.1, -9)
+        assert XFloat(1.0, 5) > XFloat(9.9, 4)
+        assert XFloat(-1.0, 5) < XFloat(9.9, -10)
+
+    def test_equality_and_hash(self):
+        a = XFloat(2.5, -7)
+        b = XFloat(25.0, -8)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_comparison_with_floats(self):
+        assert XFloat(2.0, 0) > 1.5
+        assert XFloat(2.0, 0) == 2.0
+        assert XFloat(200.0, 0) == XFloat(2.0, 2)
+
+    def test_bool(self):
+        assert not XFloat.zero()
+        assert XFloat(1.0, -500)
+
+    def test_approx_equal(self):
+        a = XFloat(1.0, -100)
+        b = XFloat(1.0 + 1e-12, -100)
+        assert a.approx_equal(b)
+        assert not a.approx_equal(-b)
+        assert not a.approx_equal(XFloat(1.0, -99))
+
+
+class TestFormatting:
+    def test_format(self):
+        assert XFloat(-4.3694, -176).format() == "-4.3694e-176"
+        assert XFloat.zero().format() == "0"
+
+    def test_str_and_repr(self):
+        value = XFloat(1.5, -20)
+        assert "e-20" in str(value)
+        assert "XFloat" in repr(value)
+
+
+class TestProperties:
+    @given(st.floats(min_value=-1e9, max_value=1e9).filter(lambda v: abs(v) > 1e-9),
+           st.floats(min_value=-1e9, max_value=1e9).filter(lambda v: abs(v) > 1e-9))
+    @settings(max_examples=200, deadline=None)
+    def test_multiplication_matches_floats(self, a, b):
+        result = XFloat(a, 0) * XFloat(b, 0)
+        assert math.isclose(float(result), a * b, rel_tol=1e-9)
+
+    @given(st.floats(min_value=-1e6, max_value=1e6),
+           st.floats(min_value=-1e6, max_value=1e6))
+    @settings(max_examples=200, deadline=None)
+    def test_addition_matches_floats(self, a, b):
+        result = XFloat(a, 0) + XFloat(b, 0)
+        expected = a + b
+        if expected == 0.0:
+            assert abs(float(result)) <= 1e-6 * max(abs(a), abs(b), 1.0)
+        else:
+            # abs_tol floor covers subnormal inputs, which float(XFloat)
+            # flushes to zero by design.
+            assert math.isclose(float(result), expected, rel_tol=1e-9,
+                                abs_tol=max(1e-9 * max(abs(a), abs(b)), 1e-300))
+
+    @given(st.floats(min_value=-1e8, max_value=1e8).filter(lambda v: abs(v) > 1e-8),
+           st.floats(min_value=-1e8, max_value=1e8).filter(lambda v: abs(v) > 1e-8))
+    @settings(max_examples=200, deadline=None)
+    def test_ordering_matches_floats(self, a, b):
+        assert (XFloat(a, 0) < XFloat(b, 0)) == (a < b)
+
+    @given(st.integers(min_value=-600, max_value=600),
+           st.floats(min_value=1.0, max_value=9.999))
+    @settings(max_examples=200, deadline=None)
+    def test_log10_roundtrip(self, exponent, mantissa):
+        value = XFloat(mantissa, exponent)
+        rebuilt = XFloat.from_log10(value.log10(), value.sign())
+        assert value.approx_equal(rebuilt, rel_tol=1e-9)
