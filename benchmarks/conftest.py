@@ -6,9 +6,10 @@ algorithm and ordinary assertions to check that the *shape* of the paper's
 result holds (which method wins, which regions appear, how costs fall); the
 absolute numbers are recorded in EXPERIMENTS.md.
 
-Run with::
+``bench_*.py`` files sit outside the default pytest collection pattern, so
+name them explicitly.  Run with::
 
-    pytest benchmarks/ --benchmark-only
+    PYTHONPATH=src python -m pytest benchmarks/bench_*.py --benchmark-only
 """
 
 from __future__ import annotations

@@ -36,7 +36,7 @@ from .netlist import (
     validate_circuit,
     to_admittance_form,
 )
-from .nodal import TransferSpec, NetworkFunctionSampler
+from .nodal import TransferSpec, NetworkFunctionSampler, BatchSampler
 from .interpolation import (
     AdaptiveOptions,
     AdaptiveScalingInterpolator,
@@ -68,6 +68,7 @@ __all__ = [
     "to_admittance_form",
     "TransferSpec",
     "NetworkFunctionSampler",
+    "BatchSampler",
     "AdaptiveOptions",
     "AdaptiveScalingInterpolator",
     "NumericalReference",

@@ -11,7 +11,8 @@ coefficients (:mod:`repro.analysis.poles`) and element sensitivity screening
 """
 
 from .ac import ACAnalysis, ac_sweep
-from .bode import BodeData, bode_from_response, gain_margin_db, phase_margin_deg
+from .bode import (BodeData, bode_from_response, bode_sweep, gain_margin_db,
+                   phase_margin_deg)
 from .compare import BodeComparison, compare_responses
 from .poles import polynomial_roots, reference_poles_zeros
 from .sensitivity import element_sensitivities
@@ -21,6 +22,7 @@ __all__ = [
     "ac_sweep",
     "BodeData",
     "bode_from_response",
+    "bode_sweep",
     "gain_margin_db",
     "phase_margin_deg",
     "BodeComparison",

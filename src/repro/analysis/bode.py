@@ -11,6 +11,7 @@ import numpy as np
 __all__ = [
     "BodeData",
     "bode_from_response",
+    "bode_sweep",
     "unity_gain_crossover",
     "phase_margin_deg",
     "gain_margin_db",
@@ -49,6 +50,21 @@ def bode_from_response(frequencies, response) -> BodeData:
         frequencies=np.asarray(frequencies, dtype=float),
         magnitude_db=20.0 * np.log10(magnitude),
         phase_deg=phase,
+    )
+
+
+def bode_sweep(circuit, output, frequencies, method="auto") -> BodeData:
+    """Batched AC sweep of ``circuit`` straight to :class:`BodeData`.
+
+    Convenience wrapper: the MNA system is assembled once and the whole grid
+    is solved through the batched sweep engine
+    (:func:`~repro.analysis.ac.ac_sweep`) before the magnitude / phase
+    extraction.
+    """
+    from .ac import ac_sweep
+
+    return bode_from_response(
+        frequencies, ac_sweep(circuit, output, frequencies, method=method)
     )
 
 

@@ -6,7 +6,9 @@ The package implements, layer by layer:
 * :mod:`repro.interpolation.dft` — the inverse DFT that recovers polynomial
   coefficients from samples (with decimal-exponent aware batching),
 * :mod:`repro.interpolation.polynomial` / :mod:`repro.interpolation.rational`
-  — extended-range polynomial and rational-function containers,
+  — extended-range polynomial and rational-function containers, with
+  vectorized grid evaluation (``evaluate_many`` / ``frequency_response``)
+  for whole frequency sweeps,
 * :mod:`repro.interpolation.basic` — the conventional single-interpolation
   method of Section 2 (used to reproduce Table 1),
 * :mod:`repro.interpolation.scaling` — frequency / conductance scale factors

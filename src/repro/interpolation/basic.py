@@ -109,16 +109,23 @@ class NetworkInterpolation:
     numerator: InterpolationResult
     denominator: InterpolationResult
 
-    def transfer_at(self, s) -> complex:
-        """Evaluate the interpolated transfer function at ``s`` (both full sets)."""
+    def rational_function(self):
+        """The interpolated ``H(s) = N(s) / D(s)`` (full coefficient sets)."""
         from .polynomial import Polynomial
         from .rational import RationalFunction
 
-        rational = RationalFunction(
+        return RationalFunction(
             Polynomial(self.numerator.coefficients()),
             Polynomial(self.denominator.coefficients()),
         )
-        return rational.evaluate(s)
+
+    def transfer_at(self, s) -> complex:
+        """Evaluate the interpolated transfer function at ``s`` (both full sets)."""
+        return self.rational_function().evaluate(s)
+
+    def frequency_response(self, frequencies) -> np.ndarray:
+        """``H(j 2π f)`` of the interpolated function over a grid (batched)."""
+        return self.rational_function().frequency_response(frequencies)
 
 
 def interpolate_polynomial(sampler, kind="denominator",

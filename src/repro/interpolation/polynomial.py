@@ -16,6 +16,8 @@ import cmath
 import math
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from ..errors import InterpolationError
 from ..xfloat import XFloat
 
@@ -174,6 +176,57 @@ class Polynomial:
                 continue
             accumulator += 10.0**shift * cmath.exp(1j * phase)
         return accumulator, exponent
+
+    def evaluate_many(self, s_values) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`evaluate` over an array of complex points.
+
+        The whole grid is evaluated with numpy batch arithmetic: per-term
+        log-magnitudes and phases form a ``(terms, K)`` matrix, the common
+        exponent is factored out per point, and the terms are summed along
+        the term axis.  Returns ``(mantissas, exponents)`` arrays with value
+        ``mantissa * 10**exponent`` per point.
+        """
+        s = np.asarray(s_values, dtype=complex)
+        shape = s.shape
+        s = s.ravel()
+        mantissas = np.zeros(s.shape, dtype=complex)
+        exponents = np.zeros(s.shape, dtype=np.int64)
+        zero_points = s == 0
+        if zero_points.any():
+            mantissa, exponent = self.evaluate(0.0)
+            mantissas[zero_points] = mantissa
+            exponents[zero_points] = exponent
+        live = ~zero_points
+        if live.any():
+            powers = np.array([power for power, coefficient
+                               in enumerate(self._coefficients)
+                               if not coefficient.is_zero()], dtype=float)
+            if powers.size:
+                log_coefficients = np.array([
+                    coefficient.log10()
+                    for coefficient in self._coefficients
+                    if not coefficient.is_zero()
+                ])
+                coefficient_phases = np.array([
+                    0.0 if coefficient.sign() > 0 else math.pi
+                    for coefficient in self._coefficients
+                    if not coefficient.is_zero()
+                ])
+                log_s = np.log10(np.abs(s[live]))
+                arg_s = np.angle(s[live])
+                log_magnitude = (log_coefficients[:, None]
+                                 + powers[:, None] * log_s[None, :])
+                phase = (coefficient_phases[:, None]
+                         + powers[:, None] * arg_s[None, :])
+                peak = log_magnitude.max(axis=0)
+                exponent = np.floor(peak).astype(np.int64)
+                shift = log_magnitude - exponent[None, :]
+                # Terms more than 300 decades below the peak cannot affect
+                # the double-precision sum (mirrors the scalar path).
+                terms = np.where(shift < -300.0, 0.0, 10.0**shift)
+                mantissas[live] = (terms * np.exp(1j * phase)).sum(axis=0)
+                exponents[live] = exponent
+        return mantissas.reshape(shape), exponents.reshape(shape)
 
     def evaluate_complex(self, s) -> complex:
         """Evaluate as a plain complex number (may overflow / underflow)."""

@@ -61,6 +61,31 @@ class RationalFunction:
             return 0.0 + 0.0j
         return ratio * 10.0**shift
 
+    def evaluate_many(self, s_values) -> np.ndarray:
+        """Vectorized :meth:`evaluate` over an array of complex points.
+
+        Numerator and denominator are evaluated with the batched polynomial
+        path (:meth:`~repro.interpolation.polynomial.Polynomial.evaluate_many`)
+        and combined per point with the same exponent-cancelling rule as the
+        scalar evaluation.
+        """
+        s = np.asarray(s_values, dtype=complex)
+        n_mantissas, n_exponents = self.numerator.evaluate_many(s)
+        d_mantissas, d_exponents = self.denominator.evaluate_many(s)
+        if (d_mantissas == 0).any():
+            index = np.unravel_index(int(np.argmax(d_mantissas == 0)), s.shape)
+            raise ZeroDivisionError(
+                f"denominator is zero at s={complex(s[index])!r}"
+            )
+        ratio = n_mantissas / d_mantissas
+        shift = n_exponents - d_exponents
+        values = ratio * 10.0 ** np.clip(shift, -300, 300).astype(float)
+        overflow = shift > 300
+        if overflow.any():
+            values[overflow] = ratio[overflow] * math.inf
+        values[(shift < -300) | (n_mantissas == 0)] = 0.0 + 0.0j
+        return values
+
     def __call__(self, s) -> complex:
         return self.evaluate(s)
 
@@ -73,11 +98,9 @@ class RationalFunction:
     # ------------------------------------------------------------------ #
 
     def frequency_response(self, frequencies) -> np.ndarray:
-        """``H(j 2π f)`` for an array of frequencies in hertz."""
+        """``H(j 2π f)`` for an array of frequencies in hertz (batched)."""
         frequencies = np.asarray(frequencies, dtype=float)
-        return np.array(
-            [self.evaluate(2j * math.pi * f) for f in frequencies], dtype=complex
-        )
+        return self.evaluate_many(2j * math.pi * frequencies)
 
     def magnitude_db(self, frequencies) -> np.ndarray:
         """Magnitude in dB over ``frequencies`` (hertz)."""

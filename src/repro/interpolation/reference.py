@@ -79,7 +79,7 @@ class NumericalReference:
         return self.transfer_function().bode(frequencies)
 
     def frequency_response(self, frequencies) -> np.ndarray:
-        """Complex ``H(j2πf)`` of the reference."""
+        """Complex ``H(j2πf)`` of the reference (vectorized over the grid)."""
         return self.transfer_function().frequency_response(frequencies)
 
     @property

@@ -11,22 +11,30 @@ substrate from scratch:
 * :func:`~repro.linalg.lu.sparse_lu` — sparse LU factorization with Markowitz
   (threshold) pivoting, producing determinants with decimal-exponent tracking
   so very large / very small determinants never overflow,
+* :func:`~repro.linalg.lu.sparse_lu_refactor` — numeric refactorization that
+  reuses the pivot order of a previous factorization, the factor-once /
+  refactor-many primitive of the batched frequency-sweep engine,
 * :func:`~repro.linalg.dense.dense_lu` — a dense LU with partial pivoting used
   for cross-checking and for small systems,
+* :func:`~repro.linalg.dense.batched_dense_lu` — the same dense algorithm
+  vectorized over a whole stack of sweep matrices at once,
 * :mod:`~repro.linalg.det` — convenience determinant / solve wrappers.
 """
 
 from .sparse import SparseMatrix
-from .lu import sparse_lu, LUFactorization
-from .dense import dense_lu, DenseLU
+from .lu import sparse_lu, sparse_lu_refactor, LUFactorization
+from .dense import dense_lu, DenseLU, batched_dense_lu, BatchedDenseLU
 from .det import determinant, solve_linear_system, log10_determinant
 
 __all__ = [
     "SparseMatrix",
     "sparse_lu",
+    "sparse_lu_refactor",
     "LUFactorization",
     "dense_lu",
     "DenseLU",
+    "batched_dense_lu",
+    "BatchedDenseLU",
     "determinant",
     "solve_linear_system",
     "log10_determinant",

@@ -1,9 +1,15 @@
-"""Dense complex LU with partial pivoting.
+"""Dense complex LU with partial pivoting, scalar and batched.
 
 Used for cross-checking the sparse factorization and as the default for small
 systems where sparse bookkeeping is not worth it.  Implemented directly on
 numpy arrays (no ``scipy`` dependency) with the same result interface as the
 sparse factorization: ``solve`` and exponent-tracked determinants.
+
+:func:`batched_dense_lu` factors a whole stack of same-structure matrices —
+one per frequency-sweep point — in a single pass whose elimination loop is
+vectorized over the batch axis.  It applies exactly the same algorithm as
+:func:`dense_lu` (partial pivoting by column magnitude, identical operation
+order), so a batched sweep reproduces the per-point results to rounding.
 """
 
 from __future__ import annotations
@@ -17,7 +23,28 @@ import numpy as np
 from ..errors import LinAlgError, SingularMatrixError
 from ..xfloat import XFloat
 
-__all__ = ["dense_lu", "DenseLU"]
+__all__ = ["dense_lu", "DenseLU", "batched_dense_lu", "BatchedDenseLU",
+           "sweep_chunk_size"]
+
+#: Complex entries per assembled dense sweep chunk (~64 MB): sweeps longer
+#: than this per-matrix budget are factored chunk by chunk so memory stays
+#: bounded regardless of grid size.
+_SWEEP_CHUNK_ELEMENTS = 4_000_000
+
+
+def sweep_chunk_size(dimension) -> int:
+    """Number of ``dimension``-sized matrices per batched sweep chunk."""
+    dimension = max(1, int(dimension))
+    return max(1, _SWEEP_CHUNK_ELEMENTS // (dimension * dimension))
+
+#: Powers of ten built with Python's scalar pow, which numpy's vectorized
+#: ``10.0**x`` does not always match to the last ulp.  The batched determinant
+#: renormalization indexes this table so that batched and per-point sweeps
+#: stay bit-for-bit identical.  Single-step shifts cannot leave ±308 (one
+#: pivot times a normalized mantissa is a finite double).
+_POW10_OFFSET = 330
+_POW10 = np.array([10.0**e if e <= 308 else math.inf
+                   for e in range(-_POW10_OFFSET, _POW10_OFFSET + 1)])
 
 
 class DenseLU:
@@ -132,3 +159,158 @@ def dense_lu(matrix):
         lu[k + 1:, k] = multipliers
         lu[k + 1:, k + 1:] -= np.outer(multipliers, lu[k, k + 1:])
     return DenseLU(lu, permutation, n_swaps)
+
+
+class BatchedDenseLU:
+    """Result of :func:`batched_dense_lu`: stacked LU factors for ``B`` matrices.
+
+    Attributes
+    ----------
+    lu:
+        ``(B, n, n)`` packed LU factors (unit lower triangle + upper triangle).
+    permutations:
+        ``(B, n)`` row permutation per matrix.
+    swap_parity:
+        ``(B,)`` number of row swaps per matrix (only its parity matters).
+    singular:
+        ``(B,)`` boolean mask of matrices where a zero pivot column appeared;
+        their factors, determinants and solutions are meaningless.  Unlike
+        :func:`dense_lu` the batched routine does not raise — callers decide
+        whether one singular sweep point should abort the whole sweep.
+    """
+
+    def __init__(self, lu, permutations, swap_parity, singular):
+        self.lu = lu
+        self.permutations = permutations
+        self.swap_parity = swap_parity
+        self.singular = singular
+        self.batch = lu.shape[0]
+        self.n = lu.shape[1]
+
+    def member(self, index) -> "DenseLU":
+        """The ``index``-th matrix's factors as a scalar :class:`DenseLU` view.
+
+        The factors produced by the batched elimination are bit-for-bit the
+        ones :func:`dense_lu` computes, so driving the scalar determinant /
+        solve code through this view reproduces the per-point results exactly
+        — numpy's vectorized ufuncs round complex multiplies differently from
+        the scalar operations, which is why the batched
+        :meth:`determinants_mantissa_exponent` / :meth:`solve` agree with the
+        per-point path only to rounding, not to the bit.
+        """
+        return DenseLU(self.lu[index], self.permutations[index],
+                       int(self.swap_parity[index]))
+
+    def determinants_mantissa_exponent(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-matrix ``det(A)`` as ``(mantissas, exponents)`` arrays.
+
+        Mantissas are complex with magnitude normalized into ``[1, 10)`` (or
+        exactly 0 for singular matrices); exponents are decimal.  The pivots
+        are multiplied in the same order, with the same per-step
+        renormalization, as :meth:`DenseLU.determinant_mantissa_exponent`.
+        """
+        mantissa = np.where(self.swap_parity % 2 == 1, -1.0, 1.0).astype(complex)
+        exponent = np.zeros(self.batch, dtype=np.int64)
+        dead = self.singular.copy()
+        for k in range(self.n):
+            mantissa = mantissa * self.lu[:, k, k]
+            dead |= mantissa == 0
+            magnitude = np.abs(np.where(dead, 1.0, mantissa))
+            shift = np.floor(np.log10(magnitude)).astype(np.int64)
+            mantissa = np.where(shift != 0,
+                                mantissa / _POW10[shift + _POW10_OFFSET],
+                                mantissa)
+            exponent += shift
+        mantissa = np.where(dead, 0.0 + 0.0j, mantissa)
+        exponent = np.where(dead, 0, exponent)
+        return mantissa, exponent
+
+    def solve(self, rhs):
+        """Solve ``A_b x_b = b_b`` for every matrix of the stack.
+
+        Parameters
+        ----------
+        rhs:
+            Either one shared right-hand side of length ``n`` (broadcast over
+            the batch) or a ``(B, n)`` stack of per-matrix right-hand sides.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(B, n)`` complex solutions.  Rows of singular matrices are zero.
+        """
+        rhs = np.asarray(rhs, dtype=complex)
+        if rhs.ndim == 1:
+            if rhs.shape[0] != self.n:
+                raise LinAlgError(
+                    f"rhs has {rhs.shape[0]} entries, expected {self.n}"
+                )
+            rhs = np.broadcast_to(rhs, (self.batch, self.n))
+        elif rhs.shape != (self.batch, self.n):
+            raise LinAlgError(
+                f"rhs stack has shape {rhs.shape}, expected "
+                f"({self.batch}, {self.n})"
+            )
+        work = np.take_along_axis(rhs, self.permutations, axis=1)
+        # Forward substitution (unit lower triangle), vectorized over the batch.
+        for i in range(1, self.n):
+            work[:, i] -= np.einsum("bj,bj->b", self.lu[:, i, :i], work[:, :i])
+        # Back substitution.
+        for i in range(self.n - 1, -1, -1):
+            if i < self.n - 1:
+                work[:, i] -= np.einsum("bj,bj->b", self.lu[:, i, i + 1:],
+                                        work[:, i + 1:])
+            pivots = self.lu[:, i, i]
+            work[:, i] /= np.where(pivots == 0, 1.0, pivots)
+        if self.singular.any():
+            work[self.singular] = 0.0
+        return work
+
+
+def batched_dense_lu(stack, overwrite=False) -> BatchedDenseLU:
+    """Factor a ``(B, n, n)`` stack of complex matrices in one vectorized pass.
+
+    Each matrix is factored with partial pivoting exactly as :func:`dense_lu`
+    does — the pivot choice (largest magnitude in the pivot column, ties to
+    the first row) and the elimination arithmetic are identical — but the
+    elimination loop runs once over ``n`` steps with every operation applied
+    to all ``B`` matrices at once, instead of ``B`` separate Python loops.
+
+    Singular matrices are flagged in :attr:`BatchedDenseLU.singular` rather
+    than raising, so one degenerate sweep point cannot abort a whole batch.
+
+    ``overwrite=True`` factors in place, destroying ``stack`` — the sweep
+    paths pass freshly assembled throwaway stacks, sparing a full-chunk copy.
+    """
+    if overwrite:
+        stack = np.asarray(stack, dtype=complex)
+    else:
+        stack = np.array(stack, dtype=complex)
+    if stack.ndim != 3 or stack.shape[1] != stack.shape[2]:
+        raise LinAlgError("batched_dense_lu expects a (B, n, n) stack")
+    batch, n = stack.shape[0], stack.shape[1]
+    lu = stack
+    permutations = np.tile(np.arange(n), (batch, 1))
+    swap_parity = np.zeros(batch, dtype=np.int64)
+    singular = np.zeros(batch, dtype=bool)
+    batch_index = np.arange(batch)
+    for k in range(n):
+        pivot_index = np.argmax(np.abs(lu[:, k:, k]), axis=1) + k
+        singular |= lu[batch_index, pivot_index, k] == 0
+        needs_swap = pivot_index != k
+        if needs_swap.any():
+            swap_batch = batch_index[needs_swap]
+            swap_pivot = pivot_index[needs_swap]
+            rows_k = lu[swap_batch, k, :].copy()
+            lu[swap_batch, k, :] = lu[swap_batch, swap_pivot, :]
+            lu[swap_batch, swap_pivot, :] = rows_k
+            perm_k = permutations[swap_batch, k].copy()
+            permutations[swap_batch, k] = permutations[swap_batch, swap_pivot]
+            permutations[swap_batch, swap_pivot] = perm_k
+            swap_parity += needs_swap
+        pivots = lu[:, k, k]
+        safe_pivots = np.where(pivots == 0, 1.0, pivots)
+        multipliers = lu[:, k + 1:, k] / safe_pivots[:, None]
+        lu[:, k + 1:, k] = multipliers
+        lu[:, k + 1:, k + 1:] -= multipliers[:, :, None] * lu[:, k, None, k + 1:]
+    return BatchedDenseLU(lu, permutations, swap_parity, singular)

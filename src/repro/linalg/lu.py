@@ -29,7 +29,8 @@ from ..errors import LinAlgError, SingularMatrixError
 from ..xfloat import XFloat
 from .sparse import SparseMatrix
 
-__all__ = ["sparse_lu", "LUFactorization"]
+__all__ = ["sparse_lu", "sparse_lu_refactor", "sparse_lu_reusing",
+           "LUFactorization"]
 
 
 def _permutation_sign(perm: Sequence[int]) -> int:
@@ -238,38 +239,165 @@ def sparse_lu(matrix, threshold=0.1, pivoting="markowitz"):
         active_cols.discard(pivot_col)
 
         # Eliminate pivot_col from every remaining active row that has it.
-        step_eliminations: List[Tuple[int, complex]] = []
         target_rows = [i for i in col_index[pivot_col] if i in active_rows]
-        pivot_row_items = [(j, v) for j, v in rows[pivot_row].items()
-                           if j in active_cols]
-        for i in target_rows:
-            multiplier = rows[i][pivot_col] / pivot_value
-            step_eliminations.append((i, multiplier))
-            row_i = rows[i]
-            # Remove the eliminated entry.
-            del row_i[pivot_col]
-            col_index[pivot_col].discard(i)
-            # Update the rest of the row.
-            for j, pivot_entry in pivot_row_items:
-                existing = row_i.get(j)
-                if existing is None:
-                    new_value = -multiplier * pivot_entry
-                    if new_value != 0:
-                        row_i[j] = new_value
-                        col_index[j].add(i)
-                        fill_in += 1
-                else:
-                    new_value = existing - multiplier * pivot_entry
-                    if new_value == 0:
-                        del row_i[j]
-                        col_index[j].discard(i)
-                    else:
-                        row_i[j] = new_value
+        step_eliminations, step_fill = _eliminate_pivot_column(
+            rows, col_index, active_cols, pivot_row, pivot_col, pivot_value,
+            target_rows,
+        )
+        fill_in += step_fill
         eliminations.append(step_eliminations)
 
     return LUFactorization(
         n, pivot_rows, pivot_cols, pivots, eliminations, upper_rows, fill_in
     )
+
+
+def _eliminate_pivot_column(rows, col_index, active_cols, pivot_row,
+                            pivot_col, pivot_value, target_rows):
+    """One elimination step shared by :func:`sparse_lu` and
+    :func:`sparse_lu_refactor`: remove ``pivot_col`` from ``target_rows`` and
+    update their remaining entries.  Returns ``(eliminations, fill_in)``.
+    """
+    step_eliminations: List[Tuple[int, complex]] = []
+    fill_in = 0
+    pivot_row_items = [(j, v) for j, v in rows[pivot_row].items()
+                       if j in active_cols]
+    for i in target_rows:
+        multiplier = rows[i][pivot_col] / pivot_value
+        step_eliminations.append((i, multiplier))
+        row_i = rows[i]
+        # Remove the eliminated entry.
+        del row_i[pivot_col]
+        col_index[pivot_col].discard(i)
+        # Update the rest of the row.
+        for j, pivot_entry in pivot_row_items:
+            existing = row_i.get(j)
+            if existing is None:
+                new_value = -multiplier * pivot_entry
+                if new_value != 0:
+                    row_i[j] = new_value
+                    col_index[j].add(i)
+                    fill_in += 1
+            else:
+                new_value = existing - multiplier * pivot_entry
+                if new_value == 0:
+                    del row_i[j]
+                    col_index[j].discard(i)
+                else:
+                    row_i[j] = new_value
+    return step_eliminations, fill_in
+
+
+def sparse_lu_refactor(matrix, pattern, stability=1e-8) -> LUFactorization:
+    """Refactor ``matrix`` numerically, reusing the pivot order of ``pattern``.
+
+    During a frequency sweep every matrix ``g·G + s_k·f·C`` shares one
+    sparsity structure, so the (expensive) Markowitz pivot search only needs
+    to run once: subsequent points replay the same elimination order with
+    fresh numbers.  This is the classical factor-once / refactor-many split of
+    sparse circuit simulators.
+
+    Parameters
+    ----------
+    matrix:
+        Square :class:`~repro.linalg.sparse.SparseMatrix` with (a subset of)
+        the sparsity structure that produced ``pattern``.
+    pattern:
+        An :class:`LUFactorization` of a structurally identical matrix whose
+        ``pivot_rows`` / ``pivot_cols`` sequence is reused.
+    stability:
+        A pivot is rejected when its magnitude falls below ``stability`` times
+        the largest magnitude in its column over the remaining rows.  Callers
+        should fall back to a fresh :func:`sparse_lu` (new pivot order) on
+        :class:`~repro.errors.SingularMatrixError`.
+
+    Raises
+    ------
+    SingularMatrixError
+        When a reused pivot is zero or numerically unacceptable at the new
+        frequency point.
+    """
+    if matrix.n_rows != matrix.n_cols:
+        raise LinAlgError("LU refactorization requires a square matrix")
+    n = matrix.n_rows
+    if pattern.n != n:
+        raise LinAlgError(
+            f"pattern is for a {pattern.n}x{pattern.n} matrix, "
+            f"got {n}x{n}"
+        )
+    rows: List[Dict[int, complex]] = matrix.rows()
+    col_index: List[set] = [set() for __ in range(n)]
+    for i, row in enumerate(rows):
+        for j in row:
+            col_index[j].add(i)
+
+    active_rows = set(range(n))
+    active_cols = set(range(n))
+    pivots: List[complex] = []
+    eliminations: List[List[Tuple[int, complex]]] = []
+    upper_rows: List[Dict[int, complex]] = []
+    fill_in = 0
+
+    for step in range(n):
+        pivot_row = pattern.pivot_rows[step]
+        pivot_col = pattern.pivot_cols[step]
+        pivot_value = rows[pivot_row].get(pivot_col, 0.0 + 0.0j)
+        target_rows = [i for i in col_index[pivot_col]
+                       if i in active_rows and i != pivot_row]
+        if pivot_value == 0:
+            raise SingularMatrixError(
+                f"reused pivot ({pivot_row}, {pivot_col}) is zero at "
+                f"step {step}; refactor with fresh pivoting"
+            )
+        if stability and target_rows:
+            column_max = max(abs(rows[i][pivot_col]) for i in target_rows)
+            if abs(pivot_value) < stability * column_max:
+                raise SingularMatrixError(
+                    f"reused pivot ({pivot_row}, {pivot_col}) lost "
+                    f"{1.0 / stability:.0e} of its column magnitude at "
+                    f"step {step}; refactor with fresh pivoting"
+                )
+        pivots.append(pivot_value)
+        upper_rows.append(dict(rows[pivot_row]))
+        active_rows.discard(pivot_row)
+        active_cols.discard(pivot_col)
+
+        step_eliminations, step_fill = _eliminate_pivot_column(
+            rows, col_index, active_cols, pivot_row, pivot_col, pivot_value,
+            target_rows,
+        )
+        fill_in += step_fill
+        eliminations.append(step_eliminations)
+
+    return LUFactorization(
+        n, list(pattern.pivot_rows), list(pattern.pivot_cols), pivots,
+        eliminations, upper_rows, fill_in
+    )
+
+
+def sparse_lu_reusing(matrix, pattern, stability=1e-8):
+    """Factor ``matrix``, reusing ``pattern``'s pivot order when possible.
+
+    The factor-once / refactor-many policy shared by every sparse sweep path:
+    with no ``pattern`` (first point) run the full Markowitz search; otherwise
+    refactor along the known pivot order, falling back to a fresh
+    factorization when a reused pivot is zero or numerically degraded.
+
+    Returns
+    -------
+    (LUFactorization, LUFactorization, bool)
+        The factorization, the pattern to reuse for the next point (a fresh
+        factorization replaces a degraded pattern), and whether the cheap
+        refactorization path was taken.
+    """
+    if pattern is not None:
+        try:
+            return (sparse_lu_refactor(matrix, pattern, stability=stability),
+                    pattern, True)
+        except SingularMatrixError:
+            pass
+    factorization = sparse_lu(matrix)
+    return factorization, factorization, False
 
 
 def _select_pivot(rows, col_index, active_rows, active_cols, threshold,

@@ -15,7 +15,33 @@ import numpy as np
 
 from ..errors import LinAlgError
 
-__all__ = ["SparseMatrix"]
+__all__ = ["SparseMatrix", "merged_structure"]
+
+
+def merged_structure(first, second):
+    """Union sparsity structure of two same-shape matrices.
+
+    The batched sweep primitive: collect the combined ``(row, col)`` key list
+    once, plus each matrix's values over those keys, so per sweep point only
+    a vectorized ``first_values + factor * second_values`` and a dict rebuild
+    remain.
+
+    Returns
+    -------
+    (keys, first_values, second_values)
+        Sorted key list and two aligned complex value arrays.
+    """
+    if first.shape != second.shape:
+        raise LinAlgError("matrix shape mismatch in merged_structure()")
+    keys = sorted(
+        {(row, col) for row, col, __ in first.entries()}
+        | {(row, col) for row, col, __ in second.entries()}
+    )
+    first_values = np.array([first.get(row, col) for row, col in keys],
+                            dtype=complex)
+    second_values = np.array([second.get(row, col) for row, col in keys],
+                             dtype=complex)
+    return keys, first_values, second_values
 
 
 class SparseMatrix:
@@ -48,6 +74,19 @@ class SparseMatrix:
         rows, cols = np.nonzero(array)
         for i, j in zip(rows.tolist(), cols.tolist()):
             matrix._data[(i, j)] = complex(array[i, j])
+        return matrix
+
+    @classmethod
+    def from_entries(cls, n_rows, n_cols, entries):
+        """Build from ``((row, col), value)`` pairs (zeros are dropped).
+
+        Duplicate keys overwrite; indices are not bounds-checked (the caller
+        is expected to supply a pre-validated structure, e.g. the cached key
+        list of a batched sweep).
+        """
+        matrix = cls(n_rows, n_cols)
+        matrix._data = {key: complex(value) for key, value in entries
+                        if value != 0}
         return matrix
 
     @classmethod

@@ -10,6 +10,7 @@ any transformation.
 """
 
 from .builder import MnaSystem, build_mna_system
-from .solve import ac_solve, operating_transfer
+from .solve import ac_solve, ac_sweep, operating_transfer
 
-__all__ = ["MnaSystem", "build_mna_system", "ac_solve", "operating_transfer"]
+__all__ = ["MnaSystem", "build_mna_system", "ac_solve", "ac_sweep",
+           "operating_transfer"]

@@ -66,6 +66,7 @@ class MnaSystem:
         self._branch_index = {
             name.lower(): len(node_names) + i for i, name in enumerate(branch_names)
         }
+        self._dense_parts = None
 
     @property
     def dimension(self):
@@ -97,11 +98,31 @@ class MnaSystem:
             matrix.add(row, col, factor * value)
         return matrix
 
+    def dense_parts(self):
+        """Cached dense ``(G, C)`` arrays for the batched sweep path."""
+        if self._dense_parts is None:
+            self._dense_parts = (self.constant.to_dense(),
+                                 self.dynamic.to_dense())
+        return self._dense_parts
+
+    def assemble_batch(self, s_values) -> np.ndarray:
+        """``A(s_k) = G + s_k·C`` for every ``s_k`` as one ``(K, n, n)`` stack."""
+        s = np.asarray(s_values, dtype=complex)
+        constant, dynamic = self.dense_parts()
+        return constant[None, :, :] + s[:, None, None] * dynamic[None, :, :]
+
     def node_voltage(self, solution, node):
         """Extract a node voltage from a solution vector (0 for ground)."""
         if node == GROUND:
             return 0.0 + 0.0j
         return complex(solution[self.node_index(node)])
+
+    def node_voltages(self, solutions, node) -> np.ndarray:
+        """Vectorized :meth:`node_voltage` over a ``(K, n)`` solution stack."""
+        solutions = np.asarray(solutions, dtype=complex)
+        if node == GROUND:
+            return np.zeros(solutions.shape[0], dtype=complex)
+        return solutions[:, self.node_index(node)]
 
     def branch_current(self, solution, element_name):
         """Extract a branch current from a solution vector."""

@@ -1,4 +1,12 @@
-"""Frequency-domain solution of MNA systems."""
+"""Frequency-domain solution of MNA systems.
+
+:func:`ac_solve` handles one complex frequency; :func:`ac_sweep` handles a
+whole grid at once, assembling the constant (``G``) and frequency-proportional
+(``C``) parts a single time and then reusing the factorization structure
+across points: dense systems go through the vectorized
+:func:`~repro.linalg.dense.batched_dense_lu`, sparse systems run the pivot
+search once and refactor numerically everywhere else.
+"""
 
 from __future__ import annotations
 
@@ -6,12 +14,13 @@ from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
-from ..errors import FormulationError
-from ..linalg.dense import dense_lu
-from ..linalg.lu import sparse_lu
+from ..errors import FormulationError, SingularMatrixError
+from ..linalg.dense import batched_dense_lu, dense_lu, sweep_chunk_size
+from ..linalg.lu import sparse_lu, sparse_lu_reusing
+from ..linalg.sparse import SparseMatrix, merged_structure
 from .builder import MnaSystem, build_mna_system
 
-__all__ = ["ac_solve", "operating_transfer"]
+__all__ = ["ac_solve", "ac_sweep", "operating_transfer"]
 
 #: Systems at or below this dimension use the dense LU.
 _DENSE_CUTOFF = 150
@@ -36,6 +45,72 @@ def ac_solve(system: Union[MnaSystem, "object"], s, method="auto") -> np.ndarray
     matrix = system.assemble(s)
     factorization = _factor(matrix, method)
     return factorization.solve(system.rhs)
+
+
+def ac_sweep(system: Union[MnaSystem, "object"], s_values,
+             method="auto") -> np.ndarray:
+    """Solve the MNA system at every complex frequency of ``s_values``.
+
+    The system is built (at most) once and the sweep reuses everything that
+    does not depend on the frequency: the dense path stacks all matrices and
+    factors them in one vectorized pass, the sparse path derives the pivot
+    order at the first point and refactors numerically at the others (with a
+    fresh factorization as fallback when a reused pivot degrades).
+
+    Parameters
+    ----------
+    system:
+        An :class:`MnaSystem` or a circuit (built on the fly).
+    s_values:
+        Sequence of complex frequencies.
+    method:
+        ``"auto"`` (dense at or below 150 unknowns), ``"dense"`` or
+        ``"sparse"``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(K, dimension)`` complex solutions, one row per frequency, in input
+        order (node voltages then branch currents, as in :func:`ac_solve`).
+    """
+    if not isinstance(system, MnaSystem):
+        system = build_mna_system(system)
+    s = np.asarray(list(s_values), dtype=complex)
+    if s.size == 0:
+        return np.zeros((0, system.dimension), dtype=complex)
+    if method == "dense" or (method == "auto"
+                             and system.dimension <= _DENSE_CUTOFF):
+        chunk = sweep_chunk_size(system.dimension)
+        solutions = np.zeros((len(s), system.dimension), dtype=complex)
+        for start in range(0, len(s), chunk):
+            block = s[start:start + chunk]
+            factorization = batched_dense_lu(system.assemble_batch(block),
+                                             overwrite=True)
+            if factorization.singular.any():
+                index = int(np.argmax(factorization.singular))
+                raise SingularMatrixError(
+                    f"MNA matrix is singular at sweep point {start + index} "
+                    f"(s={complex(block[index])!r})"
+                )
+            solutions[start:start + chunk] = factorization.solve(system.rhs)
+        return solutions
+    if method not in ("auto", "sparse"):
+        raise FormulationError(f"unknown factorization method {method!r}")
+    # Collect the union sparsity structure once; per point only the values
+    # change (G + s_k C over the same keys), and the pivot order found at the
+    # first point is reused by numeric refactorization wherever possible.
+    keys, constant_values, dynamic_values = merged_structure(system.constant,
+                                                             system.dynamic)
+    pattern = None
+    solutions = np.zeros((len(s), system.dimension), dtype=complex)
+    for k, point in enumerate(s):
+        values = constant_values + complex(point) * dynamic_values
+        matrix = SparseMatrix.from_entries(
+            system.dimension, system.dimension, zip(keys, values.tolist())
+        )
+        factorization, pattern, __ = sparse_lu_reusing(matrix, pattern)
+        solutions[k] = factorization.solve(system.rhs)
+    return solutions
 
 
 def operating_transfer(system: Union[MnaSystem, "object"], s, output,

@@ -76,6 +76,8 @@ class NodalFormulation:
         self._output_neg = output_neg
         self._index = {node: i for i, node in enumerate(unknown_nodes)}
         self._forced_index = {node: i for i, node in enumerate(forced)}
+        self._dense_parts = None
+        self._forced_couplings = None
 
     # ------------------------------------------------------------------ #
     # dimensions and orders
@@ -126,6 +128,62 @@ class NodalFormulation:
         for row, col, value in self.capacitance.entries():
             matrix.add(row, col, factor * value)
         return matrix
+
+    def dense_parts(self):
+        """Cached dense ``(G, C)`` arrays for the batched evaluation path.
+
+        The sparse stamping matrices are converted exactly once; every batched
+        sweep then assembles ``g·G + s_k·f·C`` with plain numpy arithmetic
+        instead of per-point dictionary iteration.
+        """
+        if self._dense_parts is None:
+            self._dense_parts = (self.conductance.to_dense(),
+                                 self.capacitance.to_dense())
+        return self._dense_parts
+
+    def assemble_batch(self, s_values, conductance_scale=1.0,
+                       frequency_scale=1.0):
+        """``g·G + s_k·f·C`` for every ``s_k`` as one ``(K, M, M)`` stack.
+
+        Entry-for-entry this evaluates the same products as
+        :meth:`assemble`, so the batched sweep reproduces the per-point
+        matrices to the last bit.
+        """
+        s = np.asarray(s_values, dtype=complex)
+        conductance, capacitance = self.dense_parts()
+        factors = s * frequency_scale
+        return (conductance_scale * conductance[None, :, :]
+                + factors[:, None, None] * capacitance[None, :, :])
+
+    def forced_couplings(self):
+        """Cached ``(G_f · v_f, C_f · v_f)`` coupling vectors (length ``M``).
+
+        These are the constant and frequency-proportional parts of the
+        forced-node contribution to the right-hand side; with them the whole
+        sweep's excitation is ``J - g·(G_f v_f) - s_k·f·(C_f v_f)``.
+        """
+        if self._forced_couplings is None:
+            m = self.dimension
+            conductance_part = np.zeros(m, dtype=complex)
+            capacitance_part = np.zeros(m, dtype=complex)
+            if self.forced:
+                forced_voltages = np.array(
+                    [self.forced[node] for node in self.forced], dtype=complex
+                )
+                for row, col, value in self.forced_conductance.entries():
+                    conductance_part[row] += value * forced_voltages[col]
+                for row, col, value in self.forced_capacitance.entries():
+                    capacitance_part[row] += value * forced_voltages[col]
+            self._forced_couplings = (conductance_part, capacitance_part)
+        return self._forced_couplings
+
+    def rhs_batch(self, s_values, conductance_scale=1.0, frequency_scale=1.0):
+        """Right-hand sides per unit drive as one ``(K, M)`` stack."""
+        s = np.asarray(s_values, dtype=complex)
+        conductance_part, capacitance_part = self.forced_couplings()
+        base = self.current_injection - conductance_scale * conductance_part
+        factors = s * frequency_scale
+        return base[None, :] - factors[:, None] * capacitance_part[None, :]
 
     def rhs(self, s, conductance_scale=1.0, frequency_scale=1.0):
         """Right-hand side per unit drive at complex frequency ``s``."""

@@ -1,0 +1,263 @@
+"""Batched evaluation of network-function samples over whole frequency sweeps.
+
+The per-point path (:meth:`~repro.nodal.sampler.NetworkFunctionSampler.sample`)
+rebuilds the scaled nodal matrix and re-derives a factorization from scratch
+at every complex frequency ``s_k``.  Across a sweep all those matrices share
+one structure — ``g·G + s_k·f·C`` with fixed ``G`` and ``C`` — so almost all
+of that work can be hoisted out of the loop:
+
+* the frequency-independent (``G``) and frequency-proportional (``C``) parts
+  are assembled **once** (dense arrays below the dense cutoff, a cached
+  sparsity structure above it),
+* dense systems are factored with :func:`~repro.linalg.dense.batched_dense_lu`
+  — one elimination loop vectorized over the whole stack of sweep points,
+* sparse systems run the Markowitz pivot search once and replay the pivot
+  order at every other point via
+  :func:`~repro.linalg.lu.sparse_lu_refactor`, falling back to a fresh
+  factorization only when a reused pivot becomes numerically unacceptable,
+* right-hand sides and output voltages are evaluated as numpy batches.
+
+The result is bit-compatible (dense path) or rounding-compatible (sparse
+path) with the per-point sampler, which the equivalence tests in
+``tests/test_batch_sweep.py`` and ``benchmarks/bench_batch_sweep.py`` assert.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import InterpolationError, SingularMatrixError
+from ..linalg.dense import batched_dense_lu, sweep_chunk_size
+from ..linalg.lu import sparse_lu_reusing
+from ..linalg.sparse import SparseMatrix, merged_structure
+from .admittance import NodalFormulation, build_nodal_formulation
+from .reduce import TransferSpec
+from .sampler import SampleValue, _DENSE_CUTOFF, _scaled_value
+
+__all__ = ["BatchSampler"]
+
+
+class BatchSampler:
+    """Samples ``N(s_k)`` and ``D(s_k)`` for a whole sweep in one pass.
+
+    Parameters
+    ----------
+    circuit:
+        Admittance-form circuit, or a ready-made
+        :class:`~repro.nodal.admittance.NodalFormulation` (then ``spec`` may
+        be omitted).
+    spec:
+        :class:`~repro.nodal.reduce.TransferSpec` naming drive and output, or
+        a :class:`NodalFormulation` (mirroring
+        :class:`~repro.nodal.sampler.NetworkFunctionSampler`).
+    method:
+        ``"auto"`` (dense at or below 150 unknowns), ``"dense"`` or
+        ``"sparse"``.
+
+    Attributes
+    ----------
+    factorization_count:
+        Full (pivot-searching) factorizations performed.
+    refactorization_count:
+        Structure-reusing refactorizations performed (sparse path only).
+    """
+
+    def __init__(self, circuit, spec=None, method="auto"):
+        if isinstance(circuit, NodalFormulation) and spec is None:
+            self.formulation = circuit
+        elif isinstance(spec, NodalFormulation):
+            self.formulation = spec
+        elif isinstance(spec, TransferSpec):
+            self.formulation = build_nodal_formulation(circuit, spec)
+        else:
+            raise InterpolationError(
+                "spec must be a TransferSpec or NodalFormulation"
+            )
+        if method not in ("auto", "dense", "sparse"):
+            raise InterpolationError(f"unknown factorization method {method!r}")
+        self.method = method
+        self.factorization_count = 0
+        self.refactorization_count = 0
+        self._sparse_pattern = None
+        self._sparse_structure = None
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def dimension(self):
+        """Number of unknown node voltages."""
+        return self.formulation.dimension
+
+    def _use_dense(self):
+        if self.method == "dense":
+            return True
+        if self.method == "sparse":
+            return False
+        return self.formulation.dimension <= _DENSE_CUTOFF
+
+    # ------------------------------------------------------------------ #
+
+    def sample_batch(self, points, conductance_scale=1.0,
+                     frequency_scale=1.0) -> List[SampleValue]:
+        """Evaluate numerator and denominator at every point of ``points``.
+
+        Results are returned in input order, one
+        :class:`~repro.nodal.sampler.SampleValue` per point, exactly as the
+        per-point sampler would produce them.
+
+        Raises
+        ------
+        SingularMatrixError
+            When the scaled matrix is singular at some sweep point (matching
+            the per-point path, which raises from the factorization).
+        """
+        s = np.asarray(list(points), dtype=complex)
+        if s.size == 0:
+            return []
+        if self._use_dense():
+            return self._sample_batch_dense(s, conductance_scale,
+                                            frequency_scale)
+        return self._sample_batch_sparse(s, conductance_scale, frequency_scale)
+
+    def transfer_values(self, points) -> np.ndarray:
+        """``H(s_k)`` for every point, as a complex array in input order."""
+        samples = self.sample_batch(points)
+        return np.asarray([sample.transfer() for sample in samples],
+                          dtype=complex)
+
+    def frequency_response(self, frequencies) -> np.ndarray:
+        """``H(j·2π·f)`` for an array of frequencies in hertz."""
+        frequencies = np.asarray(frequencies, dtype=float)
+        return self.transfer_values(2j * math.pi * frequencies)
+
+    # ------------------------------------------------------------------ #
+    # dense path: one vectorized LU over the whole stack
+    # ------------------------------------------------------------------ #
+
+    def _sample_batch_dense(self, s, conductance_scale, frequency_scale):
+        # Long sweeps are processed in chunks so the assembled (K, M, M)
+        # stack never outgrows a fixed memory budget.
+        chunk = sweep_chunk_size(self.formulation.dimension)
+        samples = []
+        for start in range(0, len(s), chunk):
+            samples.extend(self._sample_chunk_dense(
+                s[start:start + chunk], conductance_scale, frequency_scale,
+                offset=start,
+            ))
+        return samples
+
+    def _sample_chunk_dense(self, s, conductance_scale, frequency_scale,
+                            offset=0):
+        formulation = self.formulation
+        stack = formulation.assemble_batch(s, conductance_scale,
+                                           frequency_scale)
+        # The O(M^3) elimination runs once, vectorized over the whole chunk;
+        # determinant accumulation and substitution (O(M) / O(M^2) per point)
+        # go through scalar DenseLU views so every sample is bit-for-bit the
+        # one the per-point path produces.
+        factorization = batched_dense_lu(stack, overwrite=True)
+        self.factorization_count += len(s)
+        if factorization.singular.any():
+            index = int(np.argmax(factorization.singular))
+            raise SingularMatrixError(
+                f"matrix is singular at sweep point {offset + index} "
+                f"(s={complex(s[index])!r})"
+            )
+        forced_output = formulation.output_is_forced()
+        if forced_output:
+            constant = formulation.output_voltage(
+                np.zeros(formulation.dimension, dtype=complex)
+            )
+        samples = []
+        for k, point in enumerate(s):
+            member = factorization.member(k)
+            det_mantissa, det_exponent = member.determinant_mantissa_exponent()
+            if det_mantissa == 0:
+                samples.append(SampleValue(s=complex(point),
+                                           numerator=(0.0 + 0.0j, 0),
+                                           denominator=(0.0 + 0.0j, 0)))
+                continue
+            if forced_output:
+                transfer = constant
+            else:
+                rhs = formulation.rhs(point, conductance_scale,
+                                      frequency_scale)
+                transfer = formulation.output_voltage(member.solve(rhs))
+            samples.append(SampleValue(
+                s=complex(point),
+                numerator=_scaled_value(transfer * det_mantissa, det_exponent),
+                denominator=(det_mantissa, det_exponent),
+            ))
+        return samples
+
+    # ------------------------------------------------------------------ #
+    # sparse path: factor once, refactor everywhere else
+    # ------------------------------------------------------------------ #
+
+    def _structure(self):
+        """Cached union sparsity structure: keys plus G / C value arrays."""
+        if self._sparse_structure is None:
+            self._sparse_structure = merged_structure(
+                self.formulation.conductance, self.formulation.capacitance
+            )
+        return self._sparse_structure
+
+    def _factor_sparse(self, matrix):
+        factorization, self._sparse_pattern, refactored = sparse_lu_reusing(
+            matrix, self._sparse_pattern
+        )
+        if refactored:
+            self.refactorization_count += 1
+        else:
+            self.factorization_count += 1
+        return factorization
+
+    def _sample_batch_sparse(self, s, conductance_scale, frequency_scale):
+        formulation = self.formulation
+        m = formulation.dimension
+        keys, g_values, c_values = self._structure()
+        forced_output = formulation.output_is_forced()
+        if forced_output:
+            constant = formulation.output_voltage(np.zeros(m, dtype=complex))
+        rhs_stack = None
+        if not forced_output:
+            rhs_stack = formulation.rhs_batch(s, conductance_scale,
+                                              frequency_scale)
+        samples = []
+        for k, point in enumerate(s):
+            values = (conductance_scale * g_values
+                      + (complex(point) * frequency_scale) * c_values)
+            matrix = SparseMatrix.from_entries(m, m, zip(keys,
+                                                         values.tolist()))
+            factorization = self._factor_sparse(matrix)
+            det_mantissa, det_exponent = (
+                factorization.determinant_mantissa_exponent()
+            )
+            if det_mantissa == 0:
+                samples.append(SampleValue(s=complex(point),
+                                           numerator=(0.0 + 0.0j, 0),
+                                           denominator=(0.0 + 0.0j, 0)))
+                continue
+            if forced_output:
+                transfer = constant
+            else:
+                solution = factorization.solve(rhs_stack[k])
+                transfer = formulation.output_voltage(solution)
+            samples.append(SampleValue(
+                s=complex(point),
+                numerator=_scaled_value(transfer * det_mantissa, det_exponent),
+                denominator=(det_mantissa, det_exponent),
+            ))
+        return samples
+
+    # ------------------------------------------------------------------ #
+
+    def __repr__(self):
+        return (
+            f"BatchSampler(M={self.dimension}, method={self.method!r}, "
+            f"factorizations={self.factorization_count}, "
+            f"refactorizations={self.refactorization_count})"
+        )

@@ -9,6 +9,13 @@ Because scaled determinants of large circuits can exceed the double-precision
 exponent range, both values are carried as ``(complex mantissa, decimal
 exponent)`` pairs (see :class:`SampleValue`); the DFT stage later rescales a
 whole batch of samples by a common power of ten.
+
+Multi-point evaluation (:meth:`NetworkFunctionSampler.sample_many`,
+:meth:`NetworkFunctionSampler.frequency_response`) routes through the batched
+engine of :mod:`repro.nodal.batch`, which assembles the frequency-independent
+and frequency-proportional matrix parts once per sweep and reuses the
+factorization structure across all points; pass ``batch=False`` to force the
+original one-point-at-a-time loop (used by benchmarks and equivalence tests).
 """
 
 from __future__ import annotations
@@ -92,8 +99,11 @@ class NetworkFunctionSampler:
         if method not in ("auto", "dense", "sparse"):
             raise InterpolationError(f"unknown factorization method {method!r}")
         self.method = method
-        #: Number of LU factorizations performed (for benchmarking).
+        #: Number of LU factorizations performed (for benchmarking).  Batched
+        #: sweeps count one factorization per point, whether the work was done
+        #: by the vectorized stack LU or by structure-reusing refactorization.
         self.factorization_count = 0
+        self._batch_sampler = None
 
     # ------------------------------------------------------------------ #
 
@@ -149,10 +159,35 @@ class NetworkFunctionSampler:
                            denominator=denominator)
 
     def sample_many(self, points, conductance_scale=1.0,
-                    frequency_scale=1.0) -> List[SampleValue]:
-        """Evaluate at every point of ``points`` (a sequence of complex values)."""
+                    frequency_scale=1.0, batch=True) -> List[SampleValue]:
+        """Evaluate at every point of ``points`` (a sequence of complex values).
+
+        Results preserve the input order.  With ``batch=True`` (the default)
+        the sweep runs through the batched engine
+        (:class:`~repro.nodal.batch.BatchSampler`): the matrix parts are
+        assembled once and the factorization structure is shared across all
+        points.  ``batch=False`` evaluates one point at a time via
+        :meth:`sample` — same results, used as the baseline in benchmarks and
+        equivalence tests.
+        """
+        points = list(points)
+        if batch and len(points) > 1:
+            batch_sampler = self.batch_sampler()
+            samples = batch_sampler.sample_batch(points, conductance_scale,
+                                                 frequency_scale)
+            self.factorization_count += len(points)
+            return samples
         return [self.sample(point, conductance_scale, frequency_scale)
                 for point in points]
+
+    def batch_sampler(self):
+        """The cached :class:`~repro.nodal.batch.BatchSampler` for this circuit."""
+        if self._batch_sampler is None:
+            from .batch import BatchSampler
+
+            self._batch_sampler = BatchSampler(self.formulation,
+                                               method=self.method)
+        return self._batch_sampler
 
     def transfer_value(self, s) -> complex:
         """Exact (unscaled) ``H(s)`` at a single complex frequency.
@@ -163,7 +198,8 @@ class NetworkFunctionSampler:
         return self.sample(s, 1.0, 1.0).transfer()
 
     def frequency_response(self, frequencies) -> np.ndarray:
-        """``H(j·2π·f)`` for an array of frequencies in hertz."""
+        """``H(j·2π·f)`` for an array of frequencies in hertz (batched)."""
         frequencies = np.asarray(frequencies, dtype=float)
-        values = [self.transfer_value(2j * math.pi * f) for f in frequencies]
-        return np.asarray(values, dtype=complex)
+        samples = self.sample_many(2j * math.pi * frequencies)
+        return np.asarray([sample.transfer() for sample in samples],
+                          dtype=complex)

@@ -19,6 +19,7 @@ from ..analysis.ac import ACAnalysis
 from ..analysis.compare import BodeComparison, compare_responses
 from ..circuits.miller_ota import build_miller_ota
 from ..circuits.ota import build_positive_feedback_ota
+from ..circuits.rc_ladder import build_rc_ladder
 from ..circuits.ua741 import build_ua741
 from ..interpolation.adaptive import (
     AdaptiveOptions,
@@ -38,12 +39,14 @@ __all__ = [
     "Fig2Result",
     "CpuReductionResult",
     "ScalingAblationResult",
+    "BatchSweepResult",
     "run_table1",
     "run_table2_table3",
     "run_fig2",
     "run_cpu_reduction",
     "run_scaling_ablation",
     "run_sdg_experiment",
+    "run_batch_sweep",
 ]
 
 
@@ -304,6 +307,109 @@ def run_scaling_ablation(fixed_grid_decades=4.0, options=None) -> ScalingAblatio
         fixed_grid_covered=len([i for i in covered if i <= degree_bound]),
         degree_bound=degree_bound,
     )
+
+
+# --------------------------------------------------------------------------- #
+# Batched frequency sweeps — per-point vs batch-engine evaluation
+# --------------------------------------------------------------------------- #
+
+
+@dataclasses.dataclass
+class BatchSweepResult:
+    """Per-point vs batched sweep of one circuit's network function."""
+
+    circuit_name: str
+    dimension: int
+    num_points: int
+    pointwise_seconds: float
+    batched_seconds: float
+    max_relative_deviation: float
+    bitwise_identical: bool
+
+    @property
+    def speedup(self) -> float:
+        """Wall-clock ratio per-point / batched."""
+        if self.batched_seconds == 0.0:
+            return float("inf")
+        return self.pointwise_seconds / self.batched_seconds
+
+    def describe(self) -> str:
+        """One line for the experiment table."""
+        return (
+            f"{self.circuit_name:>12} (M={self.dimension:>3}): "
+            f"per-point {self.pointwise_seconds * 1e3:7.1f} ms, "
+            f"batched {self.batched_seconds * 1e3:7.1f} ms, "
+            f"speedup {self.speedup:4.1f}x, "
+            f"max rel dev {self.max_relative_deviation:.2e}"
+        )
+
+
+def _default_batch_sweep_circuits():
+    return [
+        ("rc_ladder_12", build_rc_ladder(12)),
+        ("rc_ladder_24", build_rc_ladder(24)),
+        ("rc_ladder_48", build_rc_ladder(48)),
+        ("ua741", build_ua741()),
+    ]
+
+
+def run_batch_sweep(num_points=200, circuits=None, method="auto",
+                    f_min=1.0, f_max=1e8, repeats=3) -> List[BatchSweepResult]:
+    """Compare per-point and batched sweeps over a set of circuits.
+
+    Every circuit is swept over ``num_points`` log-spaced frequencies twice —
+    once through the original one-matrix-at-a-time path, once through the
+    batch engine — taking the best wall-clock of ``repeats`` runs for each
+    path, and the transfer values are compared point by point.
+
+    Parameters
+    ----------
+    circuits:
+        Optional list of ``(name, (circuit, spec))`` pairs; defaults to the
+        RC ladders with 12 / 24 / 48 stages plus the µA741 macro.
+    """
+    if circuits is None:
+        circuits = _default_batch_sweep_circuits()
+    frequencies = np.logspace(np.log10(f_min), np.log10(f_max), num_points)
+    points = (2j * np.pi * frequencies).tolist()
+    results = []
+    for name, (circuit, spec) in circuits:
+        admittance = to_admittance_form(circuit)
+        pointwise_seconds = batched_seconds = float("inf")
+        for __ in range(repeats):
+            # Fresh samplers per repeat: the batched timing then always pays
+            # the one-time structure / factorization-pattern setup, so the
+            # reported speedup is a cold-sweep number, not a warm-cache one.
+            sampler = NetworkFunctionSampler(admittance, spec, method=method)
+            start = time.perf_counter()
+            pointwise = sampler.sample_many(points, batch=False)
+            pointwise_seconds = min(pointwise_seconds,
+                                    time.perf_counter() - start)
+            sampler = NetworkFunctionSampler(admittance, spec, method=method)
+            start = time.perf_counter()
+            batched = sampler.sample_many(points, batch=True)
+            batched_seconds = min(batched_seconds,
+                                  time.perf_counter() - start)
+        reference = np.array([sample.transfer() for sample in pointwise])
+        values = np.array([sample.transfer() for sample in batched])
+        deviation = float(np.max(
+            np.abs(values - reference)
+            / np.maximum(np.abs(reference), np.finfo(float).tiny)
+        ))
+        bitwise = all(
+            p.numerator == b.numerator and p.denominator == b.denominator
+            for p, b in zip(pointwise, batched)
+        )
+        results.append(BatchSweepResult(
+            circuit_name=name,
+            dimension=sampler.dimension,
+            num_points=num_points,
+            pointwise_seconds=pointwise_seconds,
+            batched_seconds=batched_seconds,
+            max_relative_deviation=deviation,
+            bitwise_identical=bitwise,
+        ))
+    return results
 
 
 # --------------------------------------------------------------------------- #
