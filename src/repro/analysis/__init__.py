@@ -15,7 +15,8 @@ from .bode import (BodeData, bode_from_response, bode_sweep, gain_margin_db,
                    phase_margin_deg)
 from .compare import BodeComparison, compare_responses
 from .poles import polynomial_roots, reference_poles_zeros
-from .sensitivity import element_sensitivities
+from .sensitivity import (ElementInfluence, ScreeningResult,
+                          element_sensitivities, screen_elements)
 
 __all__ = [
     "ACAnalysis",
@@ -29,5 +30,8 @@ __all__ = [
     "compare_responses",
     "polynomial_roots",
     "reference_poles_zeros",
+    "ElementInfluence",
+    "ScreeningResult",
     "element_sensitivities",
+    "screen_elements",
 ]

@@ -29,6 +29,14 @@ from ..errors import InterpolationError
 
 __all__ = ["inverse_dft", "inverse_dft_direct", "inverse_dft_scaled"]
 
+#: ``10**e`` for ``e`` in ``[-300, 0]``, built with Python's scalar pow so the
+#: vectorized rescaling reproduces the historical per-sample loop bit for bit
+#: (numpy's vectorized ``10.0**x`` does not always match scalar pow to the
+#: last ulp).  Shifts are relative to the batch maximum, hence never positive,
+#: and anything below -300 is flushed to zero before lookup.
+_POW10_SHIFT_FLOOR = -300
+_POW10 = np.array([10.0**e for e in range(_POW10_SHIFT_FLOOR, 1)])
+
 
 def inverse_dft_direct(samples) -> np.ndarray:
     """Direct ``O(K²)`` inverse DFT (reference implementation)."""
@@ -97,16 +105,15 @@ def inverse_dft_scaled(samples, method="fft") -> Tuple[np.ndarray, int]:
     pairs = list(samples)
     if not pairs:
         raise InterpolationError("inverse DFT of an empty sample vector")
-    exponents = [exponent for mantissa, exponent in pairs if mantissa != 0]
-    if not exponents:
+    mantissas = np.array([mantissa for mantissa, __ in pairs], dtype=complex)
+    exponents = np.array([exponent for __, exponent in pairs], dtype=np.int64)
+    nonzero = mantissas != 0
+    if not nonzero.any():
         return np.zeros(len(pairs), dtype=complex), 0
-    common = max(exponents)
+    common = int(exponents[nonzero].max())
+    shifts = exponents - common
+    keep = nonzero & (shifts >= _POW10_SHIFT_FLOOR)
     rescaled = np.zeros(len(pairs), dtype=complex)
-    for index, (mantissa, exponent) in enumerate(pairs):
-        if mantissa == 0:
-            continue
-        shift = exponent - common
-        if shift < -300:
-            continue
-        rescaled[index] = mantissa * 10.0**shift
+    rescaled[keep] = mantissas[keep] * _POW10[shifts[keep]
+                                              - _POW10_SHIFT_FLOOR]
     return inverse_dft(rescaled, method=method), common

@@ -18,12 +18,17 @@ substrate from scratch:
   for cross-checking and for small systems,
 * :func:`~repro.linalg.dense.batched_dense_lu` — the same dense algorithm
   vectorized over a whole stack of sweep matrices at once,
+* :func:`~repro.linalg.rank1.rank1_update_solve` — Sherman–Morrison solve of
+  a rank-1-modified system ``(A + Δy·u·vᵀ) x = b`` in O(n²) from any cached
+  factorization (dense, batched, or sparse), the kernel of the element
+  sensitivity screening,
 * :mod:`~repro.linalg.det` — convenience determinant / solve wrappers.
 """
 
 from .sparse import SparseMatrix
 from .lu import sparse_lu, sparse_lu_refactor, LUFactorization
 from .dense import dense_lu, DenseLU, batched_dense_lu, BatchedDenseLU
+from .rank1 import Rank1Stamp, rank1_update_solve
 from .det import determinant, solve_linear_system, log10_determinant
 
 __all__ = [
@@ -35,6 +40,8 @@ __all__ = [
     "DenseLU",
     "batched_dense_lu",
     "BatchedDenseLU",
+    "Rank1Stamp",
+    "rank1_update_solve",
     "determinant",
     "solve_linear_system",
     "log10_determinant",

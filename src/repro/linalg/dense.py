@@ -266,6 +266,59 @@ class BatchedDenseLU:
             work[self.singular] = 0.0
         return work
 
+    def solve_matrix(self, rhs_matrix):
+        """Solve ``A_b X_b = B`` for a whole right-hand-side *matrix* at once.
+
+        This is the multi-column counterpart of :meth:`solve`, vectorized over
+        both the batch and the columns — the screening engine uses it to push
+        every element's incidence vector through the cached factors in one
+        pass.
+
+        Parameters
+        ----------
+        rhs_matrix:
+            Either one shared ``(n, m)`` right-hand-side matrix (broadcast
+            over the batch) or a ``(B, n, m)`` stack.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(B, n, m)`` complex solutions.  Slices of singular matrices are
+            zero, mirroring :meth:`solve`.
+        """
+        rhs_matrix = np.asarray(rhs_matrix, dtype=complex)
+        if rhs_matrix.ndim == 2:
+            if rhs_matrix.shape[0] != self.n:
+                raise LinAlgError(
+                    f"rhs matrix has {rhs_matrix.shape[0]} rows, "
+                    f"expected {self.n}"
+                )
+            rhs_matrix = np.broadcast_to(
+                rhs_matrix, (self.batch,) + rhs_matrix.shape)
+        elif (rhs_matrix.ndim != 3
+              or rhs_matrix.shape[:2] != (self.batch, self.n)):
+            raise LinAlgError(
+                f"rhs stack has shape {rhs_matrix.shape}, expected "
+                f"({self.batch}, {self.n}, m)"
+            )
+        work = np.take_along_axis(rhs_matrix, self.permutations[:, :, None],
+                                  axis=1)
+        # Forward substitution (unit lower triangle), vectorized over batch
+        # and columns.
+        for i in range(1, self.n):
+            work[:, i, :] -= np.einsum("bj,bjm->bm", self.lu[:, i, :i],
+                                       work[:, :i, :])
+        # Back substitution.
+        for i in range(self.n - 1, -1, -1):
+            if i < self.n - 1:
+                work[:, i, :] -= np.einsum("bj,bjm->bm", self.lu[:, i, i + 1:],
+                                           work[:, i + 1:, :])
+            pivots = self.lu[:, i, i]
+            work[:, i, :] /= np.where(pivots == 0, 1.0, pivots)[:, None]
+        if self.singular.any():
+            work[self.singular] = 0.0
+        return work
+
 
 def batched_dense_lu(stack, overwrite=False) -> BatchedDenseLU:
     """Factor a ``(B, n, n)`` stack of complex matrices in one vectorized pass.

@@ -1,0 +1,191 @@
+"""Sherman–Morrison rank-1 update solves on cached factorizations.
+
+Every passive admittance element (resistor, conductor, capacitor, and VCCS as
+an outer product of output and control incidences) stamps the nodal / MNA
+matrix as a rank-1 modification
+
+``A' = A + Δy · u · vᵀ``
+
+with constant incidence vectors ``u``, ``v`` and a scalar admittance change
+``Δy(s) = Δg + s·Δc``.  Given any factorization of the *baseline* ``A``, the
+modified system ``A' x = b`` is therefore solvable in O(n²) — two triangular
+solves plus vector arithmetic — via the Sherman–Morrison formula
+
+``x = x₀ − (Δy · vᵀx₀) / (1 + Δy · vᵀw) · w``,
+``x₀ = A⁻¹ b``,  ``w = A⁻¹ u``,
+
+instead of the O(n³) refactorization of ``A'``.  This is the kernel under the
+element-sensitivity screening of :mod:`repro.analysis.sensitivity`: the
+baseline is factored once per frequency batch and every element's removal /
+perturbation response follows from the cached factors.
+
+The denominator ``1 + Δy·vᵀA⁻¹u`` equals ``det(A') / det(A)`` (the matrix
+determinant lemma); when it vanishes the updated matrix is singular — for a
+removal update this is exactly the "element is essential, removing it
+disconnects the circuit" case — and :class:`~repro.errors.SingularMatrixError`
+is raised.
+
+:func:`rank1_update_solve` accepts every factorization produced by this
+package: :class:`~repro.linalg.dense.DenseLU`, a whole frequency batch at once
+through :class:`~repro.linalg.dense.BatchedDenseLU` (the update vectorizes
+across the batch, with ``Δy`` varying per point), and the sparse
+:class:`~repro.linalg.lu.LUFactorization` — including factors produced by
+:func:`~repro.linalg.lu.sparse_lu_refactor`, so sweeps above the dense cutoff
+reuse their refactorization pattern unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..errors import LinAlgError, SingularMatrixError
+from .dense import BatchedDenseLU
+
+__all__ = ["Rank1Stamp", "rank1_update_solve"]
+
+#: Relative threshold below which the Sherman–Morrison denominator
+#: ``1 + Δy·vᵀA⁻¹u = det(A')/det(A)`` is treated as zero.  For a structurally
+#: singular update the denominator is pure rounding noise (~1e-16·cond), while
+#: merely influential elements keep it many orders of magnitude larger.
+SINGULAR_UPDATE_THRESHOLD = 1e-9
+
+
+@dataclasses.dataclass
+class Rank1Stamp:
+    """One element's matrix contribution ``(g + s·c) · u · vᵀ``.
+
+    Built by :meth:`repro.mna.builder.MnaSystem.element_stamp` and
+    :meth:`repro.nodal.admittance.NodalFormulation.element_stamp`; consumed by
+    :func:`rank1_update_solve` and the sensitivity screening.
+
+    Attributes
+    ----------
+    u, v:
+        Real incidence vectors over the formulation's unknowns (``u`` the row
+        pattern, ``v`` the column pattern; equal for two-terminal elements).
+    conductance:
+        Frequency-independent admittance ``g`` (conductance or
+        transconductance) of the element.
+    capacitance:
+        Frequency-proportional admittance ``c``; the element admittance is
+        ``y(s) = g + s·c``.
+    rhs_projection:
+        Nodal formulations drop forced-node columns into the right-hand side;
+        this scalar is the element's column incidence over the forced nodes
+        dotted with the forced voltages (per unit drive).  A change ``Δy`` of
+        the element then also shifts the excitation:
+        ``rhs' = rhs − Δy · rhs_projection · u``.  Zero for MNA stamps.
+    """
+
+    u: np.ndarray
+    v: np.ndarray
+    conductance: float = 0.0
+    capacitance: float = 0.0
+    rhs_projection: complex = 0.0 + 0.0j
+
+    def admittance(self, s_values, conductance_scale=1.0, frequency_scale=1.0):
+        """Element admittance ``g·g_scale + s·f_scale·c`` at ``s_values``.
+
+        Accepts a scalar or an array of complex frequencies and returns the
+        matching shape; the scale factors are the Eq. (11) conductance /
+        frequency factors of the nodal formulation (both 1 for MNA).
+        """
+        s = np.asarray(s_values, dtype=complex)
+        result = (conductance_scale * self.conductance
+                  + s * (frequency_scale * self.capacitance))
+        return result if s.ndim else complex(result)
+
+
+def _denominator_is_singular(denominator, t, threshold):
+    """Elementwise singularity test for ``denominator = 1 + t``."""
+    return np.abs(denominator) <= threshold * np.maximum(1.0, np.abs(t))
+
+
+def rank1_update_solve(factorization, u, v, delta, rhs, *,
+                       baseline_solution=None, update_solution=None,
+                       singular_threshold=SINGULAR_UPDATE_THRESHOLD):
+    """Solve ``(A + delta·u·vᵀ) x = rhs`` from a factorization of ``A``.
+
+    Parameters
+    ----------
+    factorization:
+        A :class:`~repro.linalg.dense.DenseLU`, sparse
+        :class:`~repro.linalg.lu.LUFactorization` (including refactorizations
+        from :func:`~repro.linalg.lu.sparse_lu_refactor`), or a
+        :class:`~repro.linalg.dense.BatchedDenseLU` covering a whole frequency
+        batch at once.
+    u, v:
+        Incidence vectors of length ``n`` (``v`` enters untransposed —
+        ``vᵀx``, not ``vᴴx``).
+    delta:
+        The scalar ``Δy``; for a batched factorization it may be an array of
+        length ``B`` (one admittance change per batch member, e.g. ``s_k·ΔC``
+        for a capacitor across a sweep).
+    rhs:
+        Right-hand side of length ``n``; for a batched factorization a
+        ``(B, n)`` stack is also accepted.
+    baseline_solution, update_solution:
+        Optional precomputed ``A⁻¹·rhs`` and ``A⁻¹·u``, so callers screening
+        many updates against one baseline can share one baseline solve across
+        every element and one update solve per element across removal *and*
+        perturbation.  (The bulk screening engine applies the same formula
+        inlined and vectorized over whole element blocks — see
+        ``repro.analysis.sensitivity._screen_rank1`` — with this function as
+        the single-element reference form.)
+    singular_threshold:
+        Relative tolerance on the Sherman–Morrison denominator; see
+        :data:`SINGULAR_UPDATE_THRESHOLD`.
+
+    Returns
+    -------
+    numpy.ndarray
+        The solution — ``(n,)`` for scalar factorizations, ``(B, n)`` batched.
+
+    Raises
+    ------
+    SingularMatrixError
+        When the updated matrix is (numerically) singular, i.e. the
+        denominator ``1 + delta·vᵀA⁻¹u = det(A')/det(A)`` vanishes.
+    """
+    u = np.asarray(u, dtype=complex)
+    v = np.asarray(v, dtype=complex)
+    rhs = np.asarray(rhs, dtype=complex)
+
+    if isinstance(factorization, BatchedDenseLU):
+        x0 = (np.asarray(baseline_solution, dtype=complex)
+              if baseline_solution is not None else factorization.solve(rhs))
+        w = (np.asarray(update_solution, dtype=complex)
+             if update_solution is not None else factorization.solve(u))
+        delta = np.broadcast_to(np.asarray(delta, dtype=complex),
+                                (factorization.batch,))
+        t = delta * (w @ v)
+        denominator = 1.0 + t
+        singular = _denominator_is_singular(denominator, t, singular_threshold)
+        if singular.any():
+            index = int(np.argmax(singular))
+            raise SingularMatrixError(
+                f"rank-1 update makes the matrix singular at batch member "
+                f"{index} (|det ratio| = {abs(denominator[index]):.3e})"
+            )
+        coefficient = delta * (x0 @ v) / denominator
+        return x0 - coefficient[:, None] * w
+
+    if u.shape[0] != v.shape[0]:
+        raise LinAlgError(
+            f"u has {u.shape[0]} entries but v has {v.shape[0]}"
+        )
+    x0 = (np.asarray(baseline_solution, dtype=complex)
+          if baseline_solution is not None else factorization.solve(rhs))
+    w = (np.asarray(update_solution, dtype=complex)
+         if update_solution is not None else factorization.solve(u))
+    delta = complex(delta)
+    t = delta * np.dot(v, w)
+    denominator = 1.0 + t
+    if _denominator_is_singular(denominator, t, singular_threshold):
+        raise SingularMatrixError(
+            f"rank-1 update makes the matrix singular "
+            f"(|det ratio| = {abs(denominator):.3e})"
+        )
+    return x0 - (delta * np.dot(v, x0) / denominator) * w

@@ -10,7 +10,8 @@ any transformation.
 """
 
 from .builder import MnaSystem, build_mna_system
-from .solve import ac_solve, ac_sweep, operating_transfer
+from .solve import (ac_factor_sweep, ac_solve, ac_sweep, operating_transfer,
+                    SweepFactorization)
 
 __all__ = ["MnaSystem", "build_mna_system", "ac_solve", "ac_sweep",
-           "operating_transfer"]
+           "ac_factor_sweep", "SweepFactorization", "operating_transfer"]

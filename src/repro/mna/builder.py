@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..errors import FormulationError
+from ..linalg.rank1 import Rank1Stamp
 from ..linalg.sparse import SparseMatrix
 from ..netlist.circuit import Circuit
 from ..netlist.elements import (
@@ -110,6 +111,50 @@ class MnaSystem:
         s = np.asarray(s_values, dtype=complex)
         constant, dynamic = self.dense_parts()
         return constant[None, :, :] + s[:, None, None] * dynamic[None, :, :]
+
+    def element_stamp(self, name) -> Rank1Stamp:
+        """The rank-1 matrix contribution ``(g + s·c)·u·vᵀ`` of one element.
+
+        Supported are the elements whose stamp is a pure admittance outer
+        product over the node unknowns: resistors / conductors (``g = G``),
+        capacitors (``c = C``) and VCCS (``g = gm`` with the output incidence
+        as ``u`` and the control incidence as ``v``).  With the returned stamp
+        an element's removal or value change becomes a rank-1 update of the
+        assembled matrix — ``A'(s) = A(s) + Δy(s)·u·vᵀ`` — locatable without
+        re-assembling the system (see :mod:`repro.linalg.rank1`).
+
+        Raises
+        ------
+        FormulationError
+            For element types whose stamp involves auxiliary branch equations
+            (sources, inductors, VCVS/CCCS/CCVS).
+        """
+        element = self.circuit[name]
+
+        def incidence(positive, negative):
+            vector = np.zeros(self.dimension)
+            if positive != GROUND:
+                vector[self.node_index(positive)] = 1.0
+            if negative != GROUND:
+                vector[self.node_index(negative)] = -1.0
+            return vector
+
+        if isinstance(element, (Resistor, Conductor)):
+            u = incidence(element.node_pos, element.node_neg)
+            return Rank1Stamp(u=u, v=u, conductance=element.conductance)
+        if isinstance(element, Capacitor):
+            u = incidence(element.node_pos, element.node_neg)
+            return Rank1Stamp(u=u, v=u, capacitance=element.capacitance)
+        if isinstance(element, VCCS):
+            return Rank1Stamp(
+                u=incidence(element.node_pos, element.node_neg),
+                v=incidence(element.ctrl_pos, element.ctrl_neg),
+                conductance=element.gm,
+            )
+        raise FormulationError(
+            f"element {element.name!r} of type {type(element).__name__} does "
+            "not stamp as a rank-1 admittance outer product"
+        )
 
     def node_voltage(self, solution, node):
         """Extract a node voltage from a solution vector (0 for ground)."""

@@ -20,7 +20,8 @@ from ..linalg.lu import sparse_lu, sparse_lu_reusing
 from ..linalg.sparse import SparseMatrix, merged_structure
 from .builder import MnaSystem, build_mna_system
 
-__all__ = ["ac_solve", "ac_sweep", "operating_transfer"]
+__all__ = ["ac_solve", "ac_sweep", "ac_factor_sweep", "SweepFactorization",
+           "operating_transfer"]
 
 #: Systems at or below this dimension use the dense LU.
 _DENSE_CUTOFF = 150
@@ -111,6 +112,124 @@ def ac_sweep(system: Union[MnaSystem, "object"], s_values,
         factorization, pattern, __ = sparse_lu_reusing(matrix, pattern)
         solutions[k] = factorization.solve(system.rhs)
     return solutions
+
+
+class SweepFactorization:
+    """Cached LU factors of ``A(s_k)`` across one whole frequency sweep.
+
+    Where :func:`ac_sweep` factors, solves once and discards, this object
+    *keeps* the factors — the dense path as chunked
+    :class:`~repro.linalg.dense.BatchedDenseLU` stacks (same chunking as
+    :func:`ac_sweep`, so solutions are bit-identical to it), the sparse path
+    as one :class:`~repro.linalg.lu.LUFactorization` per point sharing the
+    first point's pivot order via
+    :func:`~repro.linalg.lu.sparse_lu_reusing`.  Repeated solves against the
+    same sweep — the baseline plus one solve per screened element in the
+    rank-1 sensitivity engine — then cost O(n²) per right-hand side instead
+    of an O(n³) refactorization.
+
+    Build via :func:`ac_factor_sweep`.
+
+    Raises
+    ------
+    SingularMatrixError
+        On construction, when the baseline matrix is singular at some sweep
+        point (matching :func:`ac_sweep`).
+    """
+
+    def __init__(self, system, s_values, method="auto"):
+        self.system = system
+        self.s_values = np.asarray(list(s_values), dtype=complex)
+        dense = (method == "dense"
+                 or (method == "auto" and system.dimension <= _DENSE_CUTOFF))
+        if not dense and method not in ("auto", "sparse"):
+            raise FormulationError(f"unknown factorization method {method!r}")
+        self.is_dense = dense
+        #: Dense path: list of ``(start_index, BatchedDenseLU)`` chunks;
+        #: sparse path: one LUFactorization per sweep point.
+        self.factors = []
+        s = self.s_values
+        if dense:
+            chunk = sweep_chunk_size(system.dimension)
+            for start in range(0, len(s), chunk):
+                block = s[start:start + chunk]
+                factorization = batched_dense_lu(system.assemble_batch(block),
+                                                 overwrite=True)
+                if factorization.singular.any():
+                    index = int(np.argmax(factorization.singular))
+                    raise SingularMatrixError(
+                        f"MNA matrix is singular at sweep point "
+                        f"{start + index} (s={complex(block[index])!r})"
+                    )
+                self.factors.append((start, factorization))
+        else:
+            keys, constant_values, dynamic_values = merged_structure(
+                system.constant, system.dynamic)
+            pattern = None
+            for point in s:
+                values = constant_values + complex(point) * dynamic_values
+                matrix = SparseMatrix.from_entries(
+                    system.dimension, system.dimension,
+                    zip(keys, values.tolist())
+                )
+                factorization, pattern, __ = sparse_lu_reusing(matrix, pattern)
+                self.factors.append(factorization)
+
+    @property
+    def num_points(self):
+        """Number of sweep points covered by the cached factors."""
+        return len(self.s_values)
+
+    def solve(self, rhs) -> np.ndarray:
+        """Solve ``A(s_k) x_k = rhs`` at every point; returns ``(K, n)``."""
+        rhs = np.asarray(rhs, dtype=complex)
+        solutions = np.zeros((len(self.s_values), self.system.dimension),
+                             dtype=complex)
+        if self.is_dense:
+            for start, factorization in self.factors:
+                solutions[start:start + factorization.batch] = (
+                    factorization.solve(rhs))
+        else:
+            for k, factorization in enumerate(self.factors):
+                solutions[k] = factorization.solve(rhs)
+        return solutions
+
+    def solve_columns(self, columns) -> np.ndarray:
+        """Solve ``A(s_k) W = U`` for an ``(n, m)`` column stack at every point.
+
+        Returns ``(K, n, m)`` — one solved column per right-hand-side column
+        per sweep point.  The rank-1 screening pushes every element's
+        incidence vector through the cached factors with a single call.
+        """
+        columns = np.asarray(columns, dtype=complex)
+        if columns.ndim != 2 or columns.shape[0] != self.system.dimension:
+            raise FormulationError(
+                f"columns must be ({self.system.dimension}, m), "
+                f"got {columns.shape}"
+            )
+        solutions = np.zeros(
+            (len(self.s_values), self.system.dimension, columns.shape[1]),
+            dtype=complex)
+        if self.is_dense:
+            for start, factorization in self.factors:
+                solutions[start:start + factorization.batch] = (
+                    factorization.solve_matrix(columns))
+        else:
+            for k, factorization in enumerate(self.factors):
+                solutions[k] = factorization.solve_many(columns)
+        return solutions
+
+
+def ac_factor_sweep(system: Union[MnaSystem, "object"], s_values,
+                    method="auto") -> SweepFactorization:
+    """Factor the MNA system at every point of a sweep and keep the factors.
+
+    ``system`` may be an :class:`MnaSystem` or a circuit (built on the fly).
+    See :class:`SweepFactorization`.
+    """
+    if not isinstance(system, MnaSystem):
+        system = build_mna_system(system)
+    return SweepFactorization(system, s_values, method=method)
 
 
 def operating_transfer(system: Union[MnaSystem, "object"], s, output,

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..analysis.ac import ACAnalysis
 from ..analysis.compare import BodeComparison, compare_responses
+from ..analysis.sensitivity import screen_elements
 from ..circuits.miller_ota import build_miller_ota
 from ..circuits.ota import build_positive_feedback_ota
 from ..circuits.rc_ladder import build_rc_ladder
@@ -29,6 +30,7 @@ from ..interpolation.adaptive import (
 from ..interpolation.basic import InterpolationResult, interpolate_network_function
 from ..interpolation.reference import NumericalReference, generate_reference
 from ..interpolation.scaling import ScaleFactors, initial_scale_factors
+from ..mna.builder import build_mna_system
 from ..netlist.transform import to_admittance_form
 from ..nodal.sampler import NetworkFunctionSampler
 from ..symbolic.sdg import SDGResult, simplification_during_generation
@@ -40,6 +42,7 @@ __all__ = [
     "CpuReductionResult",
     "ScalingAblationResult",
     "BatchSweepResult",
+    "SensitivityScreeningResult",
     "run_table1",
     "run_table2_table3",
     "run_fig2",
@@ -47,6 +50,7 @@ __all__ = [
     "run_scaling_ablation",
     "run_sdg_experiment",
     "run_batch_sweep",
+    "run_sensitivity_screening",
 ]
 
 
@@ -423,3 +427,133 @@ def run_sdg_experiment(epsilon=0.01) -> SDGResult:
     reference = generate_reference(circuit, spec)
     return simplification_during_generation(circuit, spec, reference,
                                             epsilon=epsilon)
+
+
+# --------------------------------------------------------------------------- #
+# Rank-1 sensitivity screening vs brute-force rebuild (PR 2)
+# --------------------------------------------------------------------------- #
+
+
+@dataclasses.dataclass
+class SensitivityScreeningResult:
+    """Rank-1 vs rebuild element screening of one circuit."""
+
+    circuit_name: str
+    dimension: int
+    num_elements: int
+    num_frequencies: int
+    rank1_seconds: float
+    rebuild_seconds: float
+    #: Worst relative deviation between the two engines' removal /
+    #: perturbation responses, measured against the transfer-function scale
+    #: ``max(|response|, |baseline|)`` at each frequency.
+    max_relative_deviation: float
+    #: True when both engines sort the elements into the same removal order.
+    ranking_identical: bool
+    #: True when both engines flag the same elements as singular-on-removal.
+    singular_sets_identical: bool
+
+    @property
+    def speedup(self) -> float:
+        """Wall-clock ratio rebuild / rank-1."""
+        if self.rank1_seconds == 0.0:
+            return float("inf")
+        return self.rebuild_seconds / self.rank1_seconds
+
+    def describe(self) -> str:
+        """One line for the experiment table."""
+        return (
+            f"{self.circuit_name:>12} (n={self.dimension:>3}, "
+            f"E={self.num_elements:>3}, F={self.num_frequencies:>3}): "
+            f"rebuild {self.rebuild_seconds * 1e3:8.1f} ms, "
+            f"rank-1 {self.rank1_seconds * 1e3:7.1f} ms, "
+            f"speedup {self.speedup:5.1f}x, "
+            f"max rel dev {self.max_relative_deviation:.2e}, "
+            f"ranking {'==' if self.ranking_identical else '!='}"
+        )
+
+
+def _screening_deviation(rank1, rebuild):
+    """Worst response deviation between two ScreeningResults (same elements).
+
+    Each removal / perturbation response is compared against the rebuild
+    oracle relative to ``max(|response|, |baseline|)`` per frequency — the
+    transfer-function scale that also normalizes the influence figures.
+    Singular (``None``) responses must agree between the engines; a
+    ``None`` mismatch counts as infinite deviation.
+    """
+    tiny = np.finfo(float).tiny
+    worst = 0.0
+    for ours, oracle in zip(rank1.screenings, rebuild.screenings):
+        for candidate, reference in (
+            (ours.removal_response, oracle.removal_response),
+            (ours.perturbed_response, oracle.perturbed_response),
+        ):
+            if (candidate is None) != (reference is None):
+                return float("inf")
+            if candidate is None:
+                continue
+            scale = np.maximum(
+                np.maximum(np.abs(reference), np.abs(rebuild.baseline)), tiny)
+            worst = max(worst, float(np.max(
+                np.abs(candidate - reference) / scale)))
+    return worst
+
+
+def run_sensitivity_screening(num_frequencies=25, circuits=None,
+                              perturbation=0.01, f_min=1.0, f_max=1e8,
+                              repeats=3) -> List[SensitivityScreeningResult]:
+    """Compare rank-1 and rebuild element screening over a set of circuits.
+
+    Every circuit's full element set is screened over ``num_frequencies``
+    log-spaced sample frequencies twice — once through the Sherman–Morrison
+    engine on the cached baseline factorization, once through the brute-force
+    rebuild path — taking the best wall-clock of ``repeats`` runs for each,
+    and the removal / perturbation responses, influence rankings and
+    singular-element sets are compared.
+
+    Parameters
+    ----------
+    circuits:
+        Optional list of ``(name, (circuit, spec))`` pairs; defaults to the
+        µA741 macro and the Miller OTA.
+    """
+    if circuits is None:
+        circuits = [("ua741", build_ua741()), ("miller_ota", build_miller_ota())]
+    frequencies = np.logspace(np.log10(f_min), np.log10(f_max),
+                              num_frequencies)
+    results = []
+    for name, (circuit, spec) in circuits:
+        dimension = build_mna_system(circuit).dimension
+        rank1_seconds = rebuild_seconds = float("inf")
+        rank1 = rebuild = None
+        for __ in range(repeats):
+            start = time.perf_counter()
+            rank1 = screen_elements(circuit, spec, frequencies,
+                                    perturbation=perturbation, method="rank1")
+            rank1_seconds = min(rank1_seconds, time.perf_counter() - start)
+            start = time.perf_counter()
+            rebuild = screen_elements(circuit, spec, frequencies,
+                                      perturbation=perturbation,
+                                      method="rebuild")
+            rebuild_seconds = min(rebuild_seconds,
+                                  time.perf_counter() - start)
+        ranking = ([i.name for i in rank1.influences()]
+                   == [i.name for i in rebuild.influences()])
+        singular = (
+            {s.name for s in rank1.screenings if s.removal_response is None}
+            == {s.name for s in rebuild.screenings
+                if s.removal_response is None}
+        )
+        results.append(SensitivityScreeningResult(
+            circuit_name=name,
+            dimension=dimension,
+            num_elements=len(rank1.screenings),
+            num_frequencies=num_frequencies,
+            rank1_seconds=rank1_seconds,
+            rebuild_seconds=rebuild_seconds,
+            max_relative_deviation=_screening_deviation(rank1, rebuild),
+            ranking_identical=ranking,
+            singular_sets_identical=singular,
+        ))
+    return results

@@ -79,6 +79,31 @@ class TestInverseDFT:
         assert exponent == 0
         np.testing.assert_allclose(values, 0.0)
 
+    def test_scaled_variant_matches_per_sample_rescaling(self):
+        # The vectorized rescaling must be bit-identical to the per-sample
+        # reference: shift each mantissa by scalar-pow powers of ten relative
+        # to the batch's largest exponent, flushing shifts below -300.
+        rng = np.random.default_rng(42)
+        for __ in range(25):
+            count = int(rng.integers(1, 24))
+            mantissas = rng.standard_normal(count) + 1j * rng.standard_normal(count)
+            mantissas[rng.random(count) < 0.25] = 0.0
+            exponents = rng.integers(-500, 500, size=count)
+            pairs = [(complex(m), int(e))
+                     for m, e in zip(mantissas, exponents)]
+            nonzero = [e for m, e in pairs if m != 0]
+            if not nonzero:
+                continue
+            common = max(nonzero)
+            rescaled = np.zeros(count, dtype=complex)
+            for index, (mantissa, exponent) in enumerate(pairs):
+                if mantissa == 0 or exponent - common < -300:
+                    continue
+                rescaled[index] = mantissa * 10.0**(exponent - common)
+            values, tracked = inverse_dft_scaled(pairs)
+            assert tracked == common
+            assert np.array_equal(values, inverse_dft(rescaled))
+
     @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=1,
                     max_size=12))
     @settings(max_examples=100, deadline=None)
