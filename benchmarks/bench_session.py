@@ -1,0 +1,55 @@
+"""Chained analysis workload through the AnalysisSession cache vs standalone.
+
+A realistic multi-stage pipeline touches the *same* circuit over and over:
+AC verification (Bode), a stability check, element-influence screening, SBG
+reduction, interpolation-based reference generation, the Fig. 2 overlay, and
+finally a reporting pass that re-queries the curves and rankings to render
+them.  Run stage by stage — each a standalone consumer, the way separate
+tools call the library — everything is rebuilt from scratch at every stage;
+run against one :class:`repro.engine.session.AnalysisSession`, formulations,
+sweep factorizations, screening results and the numerical reference are each
+built exactly once and shared (:func:`repro.reporting.experiments.run_session_workload`).
+
+Asserted here (the PR 3 acceptance criteria):
+
+* the chained µA741 workload runs at least 2x faster through the session
+  (measured ~2.5x),
+* the session-backed outputs deviate from the standalone outputs by exactly
+  0.0 — the session is a pure cache, every stage answer is bit-identical.
+
+Run standalone for the full experiment table::
+
+    PYTHONPATH=src python benchmarks/bench_session.py
+"""
+
+import pytest
+
+from repro.reporting.experiments import run_session_workload
+
+
+def _check(result):
+    assert result.speedup >= 2.0, result.describe()
+    assert result.max_relative_deviation == 0.0, result.describe()
+    assert result.cache_hits > 0, result.describe()
+
+
+@pytest.mark.benchmark(group="session")
+def test_session_chained_ua741(benchmark, ua741):
+    """Chained µA741 workload: >= 2x wall-clock, zero output deviation."""
+    circuit, spec = ua741
+    result = benchmark(lambda: run_session_workload(
+        circuits=[("ua741", (circuit, spec))],
+    )[0])
+    _check(result)
+
+
+def main():
+    print("chained workload (Bode -> margins -> screening -> SBG -> "
+          "interpolation -> Fig.2 -> report), standalone vs AnalysisSession")
+    for result in run_session_workload():
+        print(result.describe())
+        _check(result)
+
+
+if __name__ == "__main__":
+    main()

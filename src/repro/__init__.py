@@ -7,7 +7,9 @@ large analog circuits"*, DATE 1997.
 The package is organised in layers:
 
 * structural substrates — :mod:`repro.netlist`, :mod:`repro.devices`,
-  :mod:`repro.linalg`, :mod:`repro.nodal`, :mod:`repro.mna`,
+  :mod:`repro.linalg`, :mod:`repro.nodal`, :mod:`repro.mna`, with the shared
+  assembly/factorization core and the cached analysis session in
+  :mod:`repro.engine`,
 * the paper's contribution — :mod:`repro.interpolation` (polynomial
   interpolation with adaptive frequency / conductance scaling),
 * consumers and evaluation — :mod:`repro.symbolic` (SAG / SDG / SBG),
@@ -36,6 +38,7 @@ from .netlist import (
     validate_circuit,
     to_admittance_form,
 )
+from .engine import AnalysisSession
 from .nodal import TransferSpec, NetworkFunctionSampler, BatchSampler
 from .interpolation import (
     AdaptiveOptions,
@@ -66,6 +69,7 @@ __all__ = [
     "write_netlist",
     "validate_circuit",
     "to_admittance_form",
+    "AnalysisSession",
     "TransferSpec",
     "NetworkFunctionSampler",
     "BatchSampler",

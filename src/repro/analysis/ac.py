@@ -38,9 +38,18 @@ class ACAnalysis:
         sources are assumed to carry their drive values already).
     method:
         LU backend selection (``"auto"``, ``"dense"``, ``"sparse"``).
+    session:
+        Optional :class:`~repro.engine.session.AnalysisSession`.  When given,
+        the MNA system comes from the session cache and whole-grid sweeps
+        reuse the session's kept factorizations — repeating a grid (or
+        running one after a screening pass factored it) skips the O(n³)
+        work.  Results are bit-identical to the session-less path: both
+        analyse the *snapshot* taken at construction (the circuit's content
+        hash is pinned here), so mutating the circuit in place afterwards
+        cannot mix old and new artifacts.
     """
 
-    def __init__(self, circuit, output, method="auto"):
+    def __init__(self, circuit, output, method="auto", session=None):
         self.circuit = circuit
         if isinstance(output, TransferSpec):
             positive, negative = output.output_nodes()
@@ -48,7 +57,14 @@ class ACAnalysis:
         else:
             self.output = output
         self.method = method
-        self.system = build_mna_system(circuit)
+        self._session = session
+        if session is not None:
+            self._fingerprint = session.fingerprint(circuit)
+            self.system = session.mna_system(circuit,
+                                             fingerprint=self._fingerprint)
+        else:
+            self._fingerprint = None
+            self.system = build_mna_system(circuit)
         #: Number of sweep points LU-processed so far.  Batched sweeps count
         #: one per point even when the sparse path served most points by
         #: cheap structure-reusing refactorization.
@@ -69,9 +85,20 @@ class ACAnalysis:
     def frequency_response(self, frequencies) -> np.ndarray:
         """Complex output over an array of frequencies in hertz (batched)."""
         frequencies = np.asarray(frequencies, dtype=float)
-        solutions = mna_ac_sweep(self.system, 2j * math.pi * frequencies,
-                                 method=self.method)
-        self.factorization_count += len(frequencies)
+        s = 2j * math.pi * frequencies
+        if self._session is not None:
+            misses_before = self._session.misses
+            sweep = self._session.factored_sweep(
+                self.circuit, s, method=self.method,
+                system=self.system, fingerprint=self._fingerprint)
+            solutions = sweep.solve(self.system.rhs)
+            # A pure cache hit performed no LU work — only count points the
+            # session actually had to factor.
+            if self._session.misses != misses_before:
+                self.factorization_count += len(frequencies)
+        else:
+            solutions = mna_ac_sweep(self.system, s, method=self.method)
+            self.factorization_count += len(frequencies)
         if isinstance(self.output, (tuple, list)):
             positive, negative = self.output
             return (self.system.node_voltages(solutions, positive)

@@ -190,11 +190,19 @@ def _screen_rebuild_one(circuit, output, frequencies, name,
 
 
 def _screen_rank1(circuit, output, frequencies, names,
-                  perturbation) -> ScreeningResult:
+                  perturbation, session=None,
+                  fingerprint=None) -> ScreeningResult:
     """Screen every element against the cached baseline factorization."""
-    system = build_mna_system(circuit)
     s = 2j * math.pi * frequencies
-    sweep = ac_factor_sweep(system, s)
+    if session is not None:
+        if fingerprint is None:
+            fingerprint = session.fingerprint(circuit)
+        system = session.mna_system(circuit, fingerprint=fingerprint)
+        sweep = session.factored_sweep(circuit, s, system=system,
+                                       fingerprint=fingerprint)
+    else:
+        system = build_mna_system(circuit)
+        sweep = ac_factor_sweep(system, s)
     x0 = sweep.solve(system.rhs)
     terms = _output_terms(system, output)
     baseline = _project_output(terms, x0)
@@ -278,7 +286,8 @@ def _screen_rank1(circuit, output, frequencies, names,
 
 
 def screen_elements(circuit, output, frequencies, elements=None,
-                    perturbation=0.01, method="rank1") -> ScreeningResult:
+                    perturbation=0.01, method="rank1",
+                    session=None) -> ScreeningResult:
     """Compute removal / perturbation responses for every candidate element.
 
     Parameters
@@ -299,10 +308,34 @@ def screen_elements(circuit, output, frequencies, elements=None,
         ``"rank1"`` (Sherman–Morrison on the cached baseline factorization,
         default) or ``"rebuild"`` (full re-assembly + sweep per element, the
         equivalence oracle).
+    session:
+        Optional :class:`~repro.engine.session.AnalysisSession` — the whole
+        :class:`ScreeningResult` is then memoized on circuit content, output,
+        grid and parameters (and the rank-1 engine takes the MNA system and
+        baseline sweep factors from the same cache), so repeated screenings
+        of unchanged content return the stored answer outright.
 
     Returns
     -------
     ScreeningResult
+    """
+    if session is not None:
+        return session.screening(circuit, output, frequencies,
+                                 elements=elements, perturbation=perturbation,
+                                 method=method)
+    return _screen(circuit, output, frequencies, elements, perturbation,
+                   method)
+
+
+def _screen(circuit, output, frequencies, elements, perturbation, method,
+            session=None, fingerprint=None) -> ScreeningResult:
+    """The screening computation itself (no memoization).
+
+    ``session``, when given, only feeds the rank-1 engine's system / baseline
+    factor caches (keyed by the already-computed ``fingerprint``) —
+    result-level memoization lives in
+    :meth:`~repro.engine.session.AnalysisSession.screening`, which calls this
+    to build missing entries.
     """
     frequencies = np.asarray(frequencies, dtype=float)
     output = _normalize_output(output)
@@ -314,7 +347,8 @@ def screen_elements(circuit, output, frequencies, elements=None,
 
     if method == "rank1":
         return _screen_rank1(circuit, output, frequencies, elements,
-                             perturbation)
+                             perturbation, session=session,
+                             fingerprint=fingerprint)
     if method != "rebuild":
         raise FormulationError(f"unknown screening method {method!r}")
 
@@ -333,8 +367,8 @@ def screen_elements(circuit, output, frequencies, elements=None,
 
 
 def element_sensitivities(circuit, output, frequencies, elements=None,
-                          perturbation=0.01,
-                          method="rank1") -> List[ElementInfluence]:
+                          perturbation=0.01, method="rank1",
+                          session=None) -> List[ElementInfluence]:
     """Rank elements by their influence on the transfer function.
 
     Parameters
@@ -353,6 +387,9 @@ def element_sensitivities(circuit, output, frequencies, elements=None,
         figure (in addition to the removal test).
     method:
         Screening engine — see :func:`screen_elements`.
+    session:
+        Optional :class:`~repro.engine.session.AnalysisSession` shared with
+        other stages of a chained workload — see :func:`screen_elements`.
 
     Returns
     -------
@@ -360,5 +397,5 @@ def element_sensitivities(circuit, output, frequencies, elements=None,
     influential first — the SBG removal order).
     """
     return screen_elements(circuit, output, frequencies, elements=elements,
-                           perturbation=perturbation,
-                           method=method).influences()
+                           perturbation=perturbation, method=method,
+                           session=session).influences()

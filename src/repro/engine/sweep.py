@@ -1,0 +1,285 @@
+"""Batched frequency-sweep factorization engine, shared by every formulation.
+
+One sweep is "factor ``A(s_k) = g·G + s_k·f·C`` at every point of a frequency
+grid, reusing everything that does not depend on the frequency".  The engine
+owns the whole strategy:
+
+* **dispatch** — dense at or below the :mod:`repro.linalg.config` cutoff,
+  sparse above (``method="auto"``), or forced either way;
+* **dense path** — the sweep is assembled chunk by chunk (so the ``(K, n, n)``
+  stack never outgrows a fixed memory budget) and factored with
+  :func:`~repro.linalg.dense.batched_dense_lu`, one vectorized elimination
+  per chunk;
+* **sparse path** — the union sparsity structure is assembled once, the
+  Markowitz pivot search runs at the first point and every other point is
+  served by numeric refactorization
+  (:func:`~repro.linalg.lu.sparse_lu_reusing`), falling back to a fresh
+  factorization only when a reused pivot degrades.
+
+:class:`SweepEngine` streams factors (factor, use, discard — the memory-light
+shape of ``ac_sweep``); :class:`SweepFactors` keeps them (the shape of
+``ac_factor_sweep`` and the rank-1 screening, where every subsequent solve
+costs O(n²) instead of an O(n³) refactorization).  The MNA sweeps
+(:mod:`repro.mna.solve`), the interpolation batch sampler
+(:mod:`repro.nodal.batch`) and the sensitivity engine
+(:mod:`repro.analysis.sensitivity`) are all thin adapters over this module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FormulationError, SingularMatrixError
+from ..linalg.config import use_dense
+from ..linalg.dense import batched_dense_lu, sweep_chunk_size
+from ..linalg.lu import sparse_lu_reusing
+from ..linalg.sparse import SparseMatrix
+
+__all__ = ["SweepEngine", "SweepFactors"]
+
+_METHODS = ("auto", "dense", "sparse")
+
+
+class SweepEngine:
+    """Factorization strategy for one formulation across frequency sweeps.
+
+    Parameters
+    ----------
+    formulation:
+        Any :class:`~repro.engine.formulation.Formulation` (an
+        :class:`~repro.mna.builder.MnaSystem` or a
+        :class:`~repro.nodal.admittance.NodalFormulation`).
+    method:
+        ``"auto"`` (dense at or below the configured cutoff), ``"dense"`` or
+        ``"sparse"``.
+    singular_label:
+        Noun used in :class:`~repro.errors.SingularMatrixError` messages
+        (``"matrix"``, ``"MNA matrix"``, …), so adapters keep their historic
+        diagnostics.
+
+    Attributes
+    ----------
+    factorization_count:
+        Full (pivot-searching) factorizations performed; the dense path
+        counts one per sweep point.
+    refactorization_count:
+        Structure-reusing numeric refactorizations (sparse path only).
+
+    The engine instance carries the sparse pivot pattern across calls, so a
+    long-lived engine (e.g. inside a :class:`~repro.nodal.batch.BatchSampler`)
+    keeps refactoring cheaply from one sweep to the next.
+    """
+
+    def __init__(self, formulation, method="auto", singular_label="matrix"):
+        if method not in _METHODS:
+            raise FormulationError(f"unknown factorization method {method!r}")
+        self.formulation = formulation
+        self.method = method
+        self.singular_label = singular_label
+        self.factorization_count = 0
+        self.refactorization_count = 0
+        self._sparse_pattern = None
+
+    @property
+    def dimension(self):
+        """Number of unknowns of the underlying formulation."""
+        return self.formulation.dimension
+
+    @property
+    def is_dense(self):
+        """True when this engine factors through the dense (batched) LU."""
+        return use_dense(self.formulation.dimension, self.method)
+
+    # ------------------------------------------------------------------ #
+    # streaming factor production
+    # ------------------------------------------------------------------ #
+
+    def dense_chunks(self, s, conductance_scale=1.0, frequency_scale=1.0):
+        """Yield ``(start, BatchedDenseLU)`` chunks covering the sweep.
+
+        Chunks are sized by :func:`~repro.linalg.dense.sweep_chunk_size` so
+        the assembled stack stays within a fixed memory budget regardless of
+        grid length.
+
+        Raises
+        ------
+        SingularMatrixError
+            When the assembled matrix is singular at some sweep point.
+        """
+        chunk = sweep_chunk_size(self.formulation.dimension)
+        for start in range(0, len(s), chunk):
+            block = s[start:start + chunk]
+            stack = self.formulation.assemble_batch(block, conductance_scale,
+                                                    frequency_scale)
+            factorization = batched_dense_lu(stack, overwrite=True)
+            self.factorization_count += len(block)
+            if factorization.singular.any():
+                index = int(np.argmax(factorization.singular))
+                raise SingularMatrixError(
+                    f"{self.singular_label} is singular at sweep point "
+                    f"{start + index} (s={complex(block[index])!r})"
+                )
+            yield start, factorization
+
+    def sparse_factors(self, s, conductance_scale=1.0, frequency_scale=1.0):
+        """Yield ``(k, LUFactorization)`` per sweep point.
+
+        The union sparsity structure comes from the formulation's cache; the
+        pivot order found at the first point is replayed everywhere else via
+        numeric refactorization, with a fresh Markowitz search as fallback.
+        """
+        keys, constant_values, dynamic_values = (
+            self.formulation.merged_sparse_structure())
+        n = self.formulation.dimension
+        base = (constant_values if conductance_scale == 1.0
+                else conductance_scale * constant_values)
+        for k, point in enumerate(s):
+            factor = complex(point)
+            if frequency_scale != 1.0:
+                factor = factor * frequency_scale
+            values = base + factor * dynamic_values
+            matrix = SparseMatrix.from_entries(n, n,
+                                               zip(keys, values.tolist()))
+            factorization, self._sparse_pattern, refactored = (
+                sparse_lu_reusing(matrix, self._sparse_pattern))
+            if refactored:
+                self.refactorization_count += 1
+            else:
+                self.factorization_count += 1
+            yield k, factorization
+
+    # ------------------------------------------------------------------ #
+    # whole-sweep conveniences
+    # ------------------------------------------------------------------ #
+
+    def solve_sweep(self, s, rhs, conductance_scale=1.0,
+                    frequency_scale=1.0) -> np.ndarray:
+        """Solve ``A(s_k) x_k = rhs`` at every point, discarding the factors.
+
+        ``rhs`` is one shared right-hand side (broadcast over the sweep).
+        Returns ``(K, n)`` complex solutions in input order.
+        """
+        s = np.asarray(s, dtype=complex)
+        solutions = np.zeros((len(s), self.formulation.dimension),
+                             dtype=complex)
+        if len(s) == 0:
+            return solutions
+        if self.is_dense:
+            for start, factorization in self.dense_chunks(
+                    s, conductance_scale, frequency_scale):
+                solutions[start:start + factorization.batch] = (
+                    factorization.solve(rhs))
+        else:
+            for k, factorization in self.sparse_factors(
+                    s, conductance_scale, frequency_scale):
+                solutions[k] = factorization.solve(rhs)
+        return solutions
+
+    def factor_sweep(self, s, conductance_scale=1.0,
+                     frequency_scale=1.0) -> "SweepFactors":
+        """Factor at every point and *keep* the factors (see :class:`SweepFactors`)."""
+        s = np.asarray(list(s), dtype=complex)
+        if self.is_dense:
+            factors = list(self.dense_chunks(s, conductance_scale,
+                                             frequency_scale))
+        else:
+            factors = [factorization for __, factorization
+                       in self.sparse_factors(s, conductance_scale,
+                                              frequency_scale)]
+        return SweepFactors(self.formulation, s, self.is_dense, factors)
+
+
+class SweepFactors:
+    """Cached LU factors of ``A(s_k)`` across one whole frequency sweep.
+
+    Where :meth:`SweepEngine.solve_sweep` factors, solves once and discards,
+    this object *keeps* the factors — the dense path as chunked
+    :class:`~repro.linalg.dense.BatchedDenseLU` stacks (same chunking as the
+    streaming path, so solutions are bit-identical to it), the sparse path as
+    one :class:`~repro.linalg.lu.LUFactorization` per point sharing the first
+    point's pivot order.  Repeated solves against the same sweep — the
+    baseline plus one solve per screened element in the rank-1 sensitivity
+    engine — then cost O(n²) per right-hand side instead of an O(n³)
+    refactorization.
+
+    Build via :meth:`SweepEngine.factor_sweep` (or the
+    :func:`repro.mna.solve.ac_factor_sweep` adapter).
+    """
+
+    def __init__(self, formulation, s_values, is_dense, factors):
+        self.formulation = formulation
+        self.s_values = s_values
+        self.is_dense = is_dense
+        #: Dense path: list of ``(start_index, BatchedDenseLU)`` chunks;
+        #: sparse path: one LUFactorization per sweep point.
+        self.factors = factors
+
+    @property
+    def num_points(self):
+        """Number of sweep points covered by the cached factors."""
+        return len(self.s_values)
+
+    @property
+    def dimension(self):
+        """Number of unknowns per sweep point."""
+        return self.formulation.dimension
+
+    def solve(self, rhs) -> np.ndarray:
+        """Solve ``A(s_k) x_k = rhs`` at every point; returns ``(K, n)``."""
+        rhs = np.asarray(rhs, dtype=complex)
+        solutions = np.zeros((len(self.s_values), self.dimension),
+                             dtype=complex)
+        if self.is_dense:
+            for start, factorization in self.factors:
+                solutions[start:start + factorization.batch] = (
+                    factorization.solve(rhs))
+        else:
+            for k, factorization in enumerate(self.factors):
+                solutions[k] = factorization.solve(rhs)
+        return solutions
+
+    def solve_columns(self, columns) -> np.ndarray:
+        """Solve ``A(s_k) W = U`` for an ``(n, m)`` column stack at every point.
+
+        Returns ``(K, n, m)`` — one solved column per right-hand-side column
+        per sweep point.  The rank-1 screening pushes every element's
+        incidence vector through the cached factors with a single call.
+        """
+        columns = np.asarray(columns, dtype=complex)
+        if columns.ndim != 2 or columns.shape[0] != self.dimension:
+            raise FormulationError(
+                f"columns must be ({self.dimension}, m), got {columns.shape}"
+            )
+        solutions = np.zeros(
+            (len(self.s_values), self.dimension, columns.shape[1]),
+            dtype=complex)
+        if self.is_dense:
+            for start, factorization in self.factors:
+                solutions[start:start + factorization.batch] = (
+                    factorization.solve_matrix(columns))
+        else:
+            for k, factorization in enumerate(self.factors):
+                solutions[k] = factorization.solve_many(columns)
+        return solutions
+
+    def members(self):
+        """Yield one scalar factorization per sweep point, in order.
+
+        Dense chunks are exposed through
+        :meth:`~repro.linalg.dense.BatchedDenseLU.member` views, whose
+        determinant / substitution arithmetic is bit-for-bit the per-point
+        :func:`~repro.linalg.dense.dense_lu` path — this is what keeps the
+        interpolation samples identical between batched and per-point
+        evaluation.
+        """
+        if self.is_dense:
+            for __, factorization in self.factors:
+                for index in range(factorization.batch):
+                    yield factorization.member(index)
+        else:
+            yield from self.factors
+
+    def __repr__(self):
+        kind = "dense" if self.is_dense else "sparse"
+        return (f"SweepFactors(n={self.dimension}, points={self.num_points}, "
+                f"path={kind!r})")

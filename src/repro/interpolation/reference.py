@@ -102,8 +102,8 @@ class NumericalReference:
 
 
 def generate_reference(circuit, spec, options=None, method="auto",
-                       admittance_transform=True,
-                       merge_parallel=False) -> NumericalReference:
+                       admittance_transform=True, merge_parallel=False,
+                       session=None) -> NumericalReference:
     """Generate the numerical reference of a circuit's network function.
 
     Parameters
@@ -122,11 +122,22 @@ def generate_reference(circuit, spec, options=None, method="auto",
     merge_parallel:
         Merge parallel capacitors / conductances first (tightens the degree
         bound, hence the point count).
+    session:
+        Optional :class:`~repro.engine.session.AnalysisSession` — the whole
+        generation run is then memoized on circuit content, spec, options
+        and backend, so chained workloads (SBG error control followed by an
+        interpolation stage on the same circuit) generate the reference
+        exactly once.
 
     Returns
     -------
     NumericalReference
     """
+    if session is not None:
+        return session.reference(circuit, spec, options=options,
+                                 method=method,
+                                 admittance_transform=admittance_transform,
+                                 merge_parallel=merge_parallel)
     if admittance_transform:
         circuit = to_admittance_form(circuit, merge_parallel=merge_parallel)
     sampler = NetworkFunctionSampler(circuit, spec, method=method)

@@ -25,6 +25,7 @@ substrate from scratch:
 * :mod:`~repro.linalg.det` — convenience determinant / solve wrappers.
 """
 
+from .config import DEFAULT_DENSE_CUTOFF, dense_cutoff
 from .sparse import SparseMatrix
 from .lu import sparse_lu, sparse_lu_refactor, LUFactorization
 from .dense import dense_lu, DenseLU, batched_dense_lu, BatchedDenseLU
@@ -32,6 +33,8 @@ from .rank1 import Rank1Stamp, rank1_update_solve
 from .det import determinant, solve_linear_system, log10_determinant
 
 __all__ = [
+    "DEFAULT_DENSE_CUTOFF",
+    "dense_cutoff",
     "SparseMatrix",
     "sparse_lu",
     "sparse_lu_refactor",

@@ -1,0 +1,57 @@
+"""Shared linear-algebra configuration.
+
+One knob lives here: the dense/sparse dispatch cutoff.  Systems at or below
+:func:`dense_cutoff` unknowns are factored with the vectorizable dense LU
+(:func:`~repro.linalg.dense.dense_lu` / its batched variant); larger systems
+go through the Markowitz sparse LU.  Historically three copies of this
+constant existed (``linalg.det``, ``mna.solve``, ``nodal.sampler``) and had
+drifted apart; every ``method="auto"`` decision now reads this module, so the
+whole stack flips backend at the same dimension.
+
+The cutoff is overridable per process through the ``REPRO_DENSE_CUTOFF``
+environment variable — useful for forcing one backend in benchmarks or for
+tuning on hardware where the crossover sits elsewhere.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["DEFAULT_DENSE_CUTOFF", "DENSE_CUTOFF_ENV", "dense_cutoff",
+           "use_dense"]
+
+#: Default dimension at or below which the dense LU is used by ``"auto"``.
+DEFAULT_DENSE_CUTOFF = 150
+
+#: Environment variable overriding :data:`DEFAULT_DENSE_CUTOFF`.
+DENSE_CUTOFF_ENV = "REPRO_DENSE_CUTOFF"
+
+
+def dense_cutoff() -> int:
+    """The active dense/sparse cutoff (env override, else the default).
+
+    Read at every call so tests and benchmarks can flip the backend by
+    setting ``REPRO_DENSE_CUTOFF`` without re-importing anything.  Invalid
+    or negative values fall back to the default.
+    """
+    raw = os.environ.get(DENSE_CUTOFF_ENV)
+    if raw is None:
+        return DEFAULT_DENSE_CUTOFF
+    try:
+        value = int(raw)
+    except ValueError:
+        return DEFAULT_DENSE_CUTOFF
+    return value if value >= 0 else DEFAULT_DENSE_CUTOFF
+
+
+def use_dense(dimension, method="auto") -> bool:
+    """Resolve a factorization ``method`` against the active cutoff.
+
+    ``method`` must be ``"auto"``, ``"dense"`` or ``"sparse"`` — validation
+    (and the error type raised for anything else) stays with the caller.
+    """
+    if method == "dense":
+        return True
+    if method == "sparse":
+        return False
+    return dimension <= dense_cutoff()

@@ -9,21 +9,19 @@ import numpy as np
 
 from ..errors import LinAlgError
 from ..xfloat import XFloat
+from .config import use_dense
 from .dense import dense_lu
 from .lu import sparse_lu
 from .sparse import SparseMatrix
 
 __all__ = ["determinant", "log10_determinant", "solve_linear_system"]
 
-#: Below this dimension a dense factorization is used by default.
-_DENSE_CUTOFF = 40
-
 
 def _factor(matrix, method="auto"):
     if method not in ("auto", "sparse", "dense"):
         raise LinAlgError(f"unknown method {method!r}")
     if isinstance(matrix, SparseMatrix):
-        if method == "dense" or (method == "auto" and matrix.n_rows <= _DENSE_CUTOFF):
+        if use_dense(matrix.n_rows, method):
             return dense_lu(matrix)
         return sparse_lu(matrix)
     array = np.asarray(matrix, dtype=complex)
@@ -35,7 +33,8 @@ def _factor(matrix, method="auto"):
 def determinant(matrix, method="auto") -> Tuple[complex, int]:
     """Determinant of ``matrix`` as ``(complex mantissa, decimal exponent)``.
 
-    ``method`` is ``"auto"`` (dense below 40 unknowns, sparse above),
+    ``method`` is ``"auto"`` (dense at or below
+    :func:`repro.linalg.config.dense_cutoff` unknowns, sparse above),
     ``"sparse"`` or ``"dense"``.
     """
     return _factor(matrix, method).determinant_mantissa_exponent()

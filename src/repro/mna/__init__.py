@@ -9,9 +9,10 @@ ideal voltage sources, all four controlled-source types and inductors without
 any transformation.
 """
 
-from .builder import MnaSystem, build_mna_system
+from .builder import MnaSystem, build_mna_system, system_dimension
 from .solve import (ac_factor_sweep, ac_solve, ac_sweep, operating_transfer,
                     SweepFactorization)
 
-__all__ = ["MnaSystem", "build_mna_system", "ac_solve", "ac_sweep",
-           "ac_factor_sweep", "SweepFactorization", "operating_transfer"]
+__all__ = ["MnaSystem", "build_mna_system", "system_dimension", "ac_solve",
+           "ac_sweep", "ac_factor_sweep", "SweepFactorization",
+           "operating_transfer"]

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..engine.formulation import FormulationBase
 from ..errors import FormulationError
 from ..linalg.rank1 import Rank1Stamp
 from ..linalg.sparse import SparseMatrix
@@ -35,14 +36,18 @@ from ..netlist.elements import (
     VoltageSource,
 )
 
-__all__ = ["MnaSystem", "build_mna_system"]
+__all__ = ["MnaSystem", "build_mna_system", "system_dimension"]
 
 #: Element types that require an auxiliary branch-current unknown.
 _BRANCH_TYPES = (VoltageSource, VCVS, CCVS, Inductor)
 
 
-class MnaSystem:
+class MnaSystem(FormulationBase):
     """Assembled MNA matrices for a circuit.
+
+    Implements the :class:`~repro.engine.formulation.Formulation` protocol —
+    assembly (single-point, batched, merged sparse structure) is inherited
+    from :class:`~repro.engine.formulation.FormulationBase`.
 
     Attributes
     ----------
@@ -67,7 +72,6 @@ class MnaSystem:
         self._branch_index = {
             name.lower(): len(node_names) + i for i, name in enumerate(branch_names)
         }
-        self._dense_parts = None
 
     @property
     def dimension(self):
@@ -91,26 +95,9 @@ class MnaSystem:
             )
         return self._branch_index[key]
 
-    def assemble(self, s) -> SparseMatrix:
-        """``A(s) = G + s·C`` as a new sparse matrix."""
-        matrix = self.constant.copy()
-        factor = complex(s)
-        for row, col, value in self.dynamic.entries():
-            matrix.add(row, col, factor * value)
-        return matrix
-
-    def dense_parts(self):
-        """Cached dense ``(G, C)`` arrays for the batched sweep path."""
-        if self._dense_parts is None:
-            self._dense_parts = (self.constant.to_dense(),
-                                 self.dynamic.to_dense())
-        return self._dense_parts
-
-    def assemble_batch(self, s_values) -> np.ndarray:
-        """``A(s_k) = G + s_k·C`` for every ``s_k`` as one ``(K, n, n)`` stack."""
-        s = np.asarray(s_values, dtype=complex)
-        constant, dynamic = self.dense_parts()
-        return constant[None, :, :] + s[:, None, None] * dynamic[None, :, :]
+    def sparse_parts(self):
+        """``(G, C)`` with ``A(s) = G + s·C`` (the Formulation protocol)."""
+        return self.constant, self.dynamic
 
     def element_stamp(self, name) -> Rank1Stamp:
         """The rank-1 matrix contribution ``(g + s·c)·u·vᵀ`` of one element.
@@ -172,6 +159,19 @@ class MnaSystem:
     def branch_current(self, solution, element_name):
         """Extract a branch current from a solution vector."""
         return complex(solution[self.branch_index(element_name)])
+
+
+def system_dimension(circuit) -> int:
+    """Dimension of the circuit's MNA system without assembling any matrices.
+
+    The unknown count — non-ground node voltages plus one branch current per
+    voltage source / VCVS / CCVS / inductor — follows from the element list
+    alone, so callers that only need the size (reports, chunk sizing) can
+    skip the full :func:`build_mna_system` stamping pass.
+    """
+    branch_count = sum(1 for element in circuit
+                       if isinstance(element, _BRANCH_TYPES))
+    return len(circuit.non_ground_nodes) + branch_count
 
 
 def build_mna_system(circuit) -> MnaSystem:

@@ -1,38 +1,40 @@
 """Frequency-domain solution of MNA systems.
 
-:func:`ac_solve` handles one complex frequency; :func:`ac_sweep` handles a
-whole grid at once, assembling the constant (``G``) and frequency-proportional
-(``C``) parts a single time and then reusing the factorization structure
-across points: dense systems go through the vectorized
-:func:`~repro.linalg.dense.batched_dense_lu`, sparse systems run the pivot
-search once and refactor numerically everywhere else.
+:func:`ac_solve` handles one complex frequency; :func:`ac_sweep` and
+:func:`ac_factor_sweep` handle whole grids through the shared sweep engine
+(:mod:`repro.engine.sweep`), which assembles the constant (``G``) and
+frequency-proportional (``C``) parts a single time and reuses the
+factorization structure across points: dense systems go through the
+vectorized :func:`~repro.linalg.dense.batched_dense_lu`, sparse systems run
+the pivot search once and refactor numerically everywhere else.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple, Union
+from typing import Union
 
 import numpy as np
 
-from ..errors import FormulationError, SingularMatrixError
-from ..linalg.dense import batched_dense_lu, dense_lu, sweep_chunk_size
-from ..linalg.lu import sparse_lu, sparse_lu_reusing
-from ..linalg.sparse import SparseMatrix, merged_structure
+from ..engine.sweep import SweepEngine, SweepFactors
+from ..errors import FormulationError
+from ..linalg.config import use_dense
+from ..linalg.dense import dense_lu
+from ..linalg.lu import sparse_lu
 from .builder import MnaSystem, build_mna_system
 
 __all__ = ["ac_solve", "ac_sweep", "ac_factor_sweep", "SweepFactorization",
            "operating_transfer"]
 
-#: Systems at or below this dimension use the dense LU.
-_DENSE_CUTOFF = 150
+#: Noun used in singular-matrix diagnostics from MNA sweeps.
+_SINGULAR_LABEL = "MNA matrix"
 
 
 def _factor(matrix, method="auto"):
-    if method == "dense" or (method == "auto" and matrix.n_rows <= _DENSE_CUTOFF):
+    if method not in ("auto", "dense", "sparse"):
+        raise FormulationError(f"unknown factorization method {method!r}")
+    if use_dense(matrix.n_rows, method):
         return dense_lu(matrix)
-    if method in ("auto", "sparse"):
-        return sparse_lu(matrix)
-    raise FormulationError(f"unknown factorization method {method!r}")
+    return sparse_lu(matrix)
 
 
 def ac_solve(system: Union[MnaSystem, "object"], s, method="auto") -> np.ndarray:
@@ -52,7 +54,8 @@ def ac_sweep(system: Union[MnaSystem, "object"], s_values,
              method="auto") -> np.ndarray:
     """Solve the MNA system at every complex frequency of ``s_values``.
 
-    The system is built (at most) once and the sweep reuses everything that
+    The system is built (at most) once and the sweep runs through
+    :class:`~repro.engine.sweep.SweepEngine`, which reuses everything that
     does not depend on the frequency: the dense path stacks all matrices and
     factors them in one vectorized pass, the sparse path derives the pivot
     order at the first point and refactors numerically at the others (with a
@@ -65,7 +68,8 @@ def ac_sweep(system: Union[MnaSystem, "object"], s_values,
     s_values:
         Sequence of complex frequencies.
     method:
-        ``"auto"`` (dense at or below 150 unknowns), ``"dense"`` or
+        ``"auto"`` (dense at or below the configured
+        :func:`~repro.linalg.config.dense_cutoff`), ``"dense"`` or
         ``"sparse"``.
 
     Returns
@@ -77,58 +81,18 @@ def ac_sweep(system: Union[MnaSystem, "object"], s_values,
     if not isinstance(system, MnaSystem):
         system = build_mna_system(system)
     s = np.asarray(list(s_values), dtype=complex)
-    if s.size == 0:
-        return np.zeros((0, system.dimension), dtype=complex)
-    if method == "dense" or (method == "auto"
-                             and system.dimension <= _DENSE_CUTOFF):
-        chunk = sweep_chunk_size(system.dimension)
-        solutions = np.zeros((len(s), system.dimension), dtype=complex)
-        for start in range(0, len(s), chunk):
-            block = s[start:start + chunk]
-            factorization = batched_dense_lu(system.assemble_batch(block),
-                                             overwrite=True)
-            if factorization.singular.any():
-                index = int(np.argmax(factorization.singular))
-                raise SingularMatrixError(
-                    f"MNA matrix is singular at sweep point {start + index} "
-                    f"(s={complex(block[index])!r})"
-                )
-            solutions[start:start + chunk] = factorization.solve(system.rhs)
-        return solutions
-    if method not in ("auto", "sparse"):
-        raise FormulationError(f"unknown factorization method {method!r}")
-    # Collect the union sparsity structure once; per point only the values
-    # change (G + s_k C over the same keys), and the pivot order found at the
-    # first point is reused by numeric refactorization wherever possible.
-    keys, constant_values, dynamic_values = merged_structure(system.constant,
-                                                             system.dynamic)
-    pattern = None
-    solutions = np.zeros((len(s), system.dimension), dtype=complex)
-    for k, point in enumerate(s):
-        values = constant_values + complex(point) * dynamic_values
-        matrix = SparseMatrix.from_entries(
-            system.dimension, system.dimension, zip(keys, values.tolist())
-        )
-        factorization, pattern, __ = sparse_lu_reusing(matrix, pattern)
-        solutions[k] = factorization.solve(system.rhs)
-    return solutions
+    engine = SweepEngine(system, method=method,
+                         singular_label=_SINGULAR_LABEL)
+    return engine.solve_sweep(s, system.rhs)
 
 
-class SweepFactorization:
-    """Cached LU factors of ``A(s_k)`` across one whole frequency sweep.
+class SweepFactorization(SweepFactors):
+    """Cached LU factors of ``A(s_k)`` across one whole MNA frequency sweep.
 
-    Where :func:`ac_sweep` factors, solves once and discards, this object
-    *keeps* the factors — the dense path as chunked
-    :class:`~repro.linalg.dense.BatchedDenseLU` stacks (same chunking as
-    :func:`ac_sweep`, so solutions are bit-identical to it), the sparse path
-    as one :class:`~repro.linalg.lu.LUFactorization` per point sharing the
-    first point's pivot order via
-    :func:`~repro.linalg.lu.sparse_lu_reusing`.  Repeated solves against the
-    same sweep — the baseline plus one solve per screened element in the
-    rank-1 sensitivity engine — then cost O(n²) per right-hand side instead
-    of an O(n³) refactorization.
-
-    Build via :func:`ac_factor_sweep`.
+    The MNA-flavoured :class:`~repro.engine.sweep.SweepFactors`: constructing
+    it factors the system at every sweep point through the shared engine and
+    keeps the factors for O(n²)-per-right-hand-side reuse (the rank-1
+    sensitivity screening's baseline).  Build via :func:`ac_factor_sweep`.
 
     Raises
     ------
@@ -138,86 +102,17 @@ class SweepFactorization:
     """
 
     def __init__(self, system, s_values, method="auto"):
-        self.system = system
-        self.s_values = np.asarray(list(s_values), dtype=complex)
-        dense = (method == "dense"
-                 or (method == "auto" and system.dimension <= _DENSE_CUTOFF))
-        if not dense and method not in ("auto", "sparse"):
-            raise FormulationError(f"unknown factorization method {method!r}")
-        self.is_dense = dense
-        #: Dense path: list of ``(start_index, BatchedDenseLU)`` chunks;
-        #: sparse path: one LUFactorization per sweep point.
-        self.factors = []
-        s = self.s_values
-        if dense:
-            chunk = sweep_chunk_size(system.dimension)
-            for start in range(0, len(s), chunk):
-                block = s[start:start + chunk]
-                factorization = batched_dense_lu(system.assemble_batch(block),
-                                                 overwrite=True)
-                if factorization.singular.any():
-                    index = int(np.argmax(factorization.singular))
-                    raise SingularMatrixError(
-                        f"MNA matrix is singular at sweep point "
-                        f"{start + index} (s={complex(block[index])!r})"
-                    )
-                self.factors.append((start, factorization))
-        else:
-            keys, constant_values, dynamic_values = merged_structure(
-                system.constant, system.dynamic)
-            pattern = None
-            for point in s:
-                values = constant_values + complex(point) * dynamic_values
-                matrix = SparseMatrix.from_entries(
-                    system.dimension, system.dimension,
-                    zip(keys, values.tolist())
-                )
-                factorization, pattern, __ = sparse_lu_reusing(matrix, pattern)
-                self.factors.append(factorization)
+        engine = SweepEngine(system, method=method,
+                             singular_label=_SINGULAR_LABEL)
+        factors = engine.factor_sweep(np.asarray(list(s_values),
+                                                 dtype=complex))
+        super().__init__(system, factors.s_values, factors.is_dense,
+                         factors.factors)
 
     @property
-    def num_points(self):
-        """Number of sweep points covered by the cached factors."""
-        return len(self.s_values)
-
-    def solve(self, rhs) -> np.ndarray:
-        """Solve ``A(s_k) x_k = rhs`` at every point; returns ``(K, n)``."""
-        rhs = np.asarray(rhs, dtype=complex)
-        solutions = np.zeros((len(self.s_values), self.system.dimension),
-                             dtype=complex)
-        if self.is_dense:
-            for start, factorization in self.factors:
-                solutions[start:start + factorization.batch] = (
-                    factorization.solve(rhs))
-        else:
-            for k, factorization in enumerate(self.factors):
-                solutions[k] = factorization.solve(rhs)
-        return solutions
-
-    def solve_columns(self, columns) -> np.ndarray:
-        """Solve ``A(s_k) W = U`` for an ``(n, m)`` column stack at every point.
-
-        Returns ``(K, n, m)`` — one solved column per right-hand-side column
-        per sweep point.  The rank-1 screening pushes every element's
-        incidence vector through the cached factors with a single call.
-        """
-        columns = np.asarray(columns, dtype=complex)
-        if columns.ndim != 2 or columns.shape[0] != self.system.dimension:
-            raise FormulationError(
-                f"columns must be ({self.system.dimension}, m), "
-                f"got {columns.shape}"
-            )
-        solutions = np.zeros(
-            (len(self.s_values), self.system.dimension, columns.shape[1]),
-            dtype=complex)
-        if self.is_dense:
-            for start, factorization in self.factors:
-                solutions[start:start + factorization.batch] = (
-                    factorization.solve_matrix(columns))
-        else:
-            for k, factorization in enumerate(self.factors):
-                solutions[k] = factorization.solve_many(columns)
-        return solutions
+    def system(self):
+        """The underlying :class:`MnaSystem` (alias of ``formulation``)."""
+        return self.formulation
 
 
 def ac_factor_sweep(system: Union[MnaSystem, "object"], s_values,

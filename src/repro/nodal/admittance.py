@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..engine.formulation import FormulationBase
 from ..errors import FormulationError
 from ..linalg.rank1 import Rank1Stamp
 from ..linalg.sparse import SparseMatrix
@@ -38,10 +39,13 @@ from .reduce import TransferSpec
 __all__ = ["NodalFormulation", "build_nodal_formulation"]
 
 
-class NodalFormulation:
+class NodalFormulation(FormulationBase):
     """Assembled nodal matrices for one circuit + transfer specification.
 
     Do not construct directly; use :func:`build_nodal_formulation`.
+    Implements the :class:`~repro.engine.formulation.Formulation` protocol —
+    assembly (single-point, batched, merged sparse structure) is inherited
+    from :class:`~repro.engine.formulation.FormulationBase`.
 
     Attributes
     ----------
@@ -77,7 +81,6 @@ class NodalFormulation:
         self._output_neg = output_neg
         self._index = {node: i for i, node in enumerate(unknown_nodes)}
         self._forced_index = {node: i for i, node in enumerate(forced)}
-        self._dense_parts = None
         self._forced_couplings = None
 
     # ------------------------------------------------------------------ #
@@ -122,39 +125,9 @@ class NodalFormulation:
     # evaluation
     # ------------------------------------------------------------------ #
 
-    def assemble(self, s, conductance_scale=1.0, frequency_scale=1.0):
-        """Return ``g·G + s·f·C`` as a :class:`SparseMatrix`."""
-        matrix = self.conductance.scaled(conductance_scale)
-        factor = complex(s) * frequency_scale
-        for row, col, value in self.capacitance.entries():
-            matrix.add(row, col, factor * value)
-        return matrix
-
-    def dense_parts(self):
-        """Cached dense ``(G, C)`` arrays for the batched evaluation path.
-
-        The sparse stamping matrices are converted exactly once; every batched
-        sweep then assembles ``g·G + s_k·f·C`` with plain numpy arithmetic
-        instead of per-point dictionary iteration.
-        """
-        if self._dense_parts is None:
-            self._dense_parts = (self.conductance.to_dense(),
-                                 self.capacitance.to_dense())
-        return self._dense_parts
-
-    def assemble_batch(self, s_values, conductance_scale=1.0,
-                       frequency_scale=1.0):
-        """``g·G + s_k·f·C`` for every ``s_k`` as one ``(K, M, M)`` stack.
-
-        Entry-for-entry this evaluates the same products as
-        :meth:`assemble`, so the batched sweep reproduces the per-point
-        matrices to the last bit.
-        """
-        s = np.asarray(s_values, dtype=complex)
-        conductance, capacitance = self.dense_parts()
-        factors = s * frequency_scale
-        return (conductance_scale * conductance[None, :, :]
-                + factors[:, None, None] * capacitance[None, :, :])
+    def sparse_parts(self):
+        """``(G, C)`` over the unknown nodes (the Formulation protocol)."""
+        return self.conductance, self.capacitance
 
     def forced_couplings(self):
         """Cached ``(G_f · v_f, C_f · v_f)`` coupling vectors (length ``M``).

@@ -3,39 +3,41 @@
 The per-point path (:meth:`~repro.nodal.sampler.NetworkFunctionSampler.sample`)
 rebuilds the scaled nodal matrix and re-derives a factorization from scratch
 at every complex frequency ``s_k``.  Across a sweep all those matrices share
-one structure — ``g·G + s_k·f·C`` with fixed ``G`` and ``C`` — so almost all
-of that work can be hoisted out of the loop:
+one structure — ``g·G + s_k·f·C`` with fixed ``G`` and ``C`` — so the
+:class:`BatchSampler` delegates the whole factor-hoisting strategy to the
+shared sweep engine (:class:`~repro.engine.sweep.SweepEngine`):
 
 * the frequency-independent (``G``) and frequency-proportional (``C``) parts
-  are assembled **once** (dense arrays below the dense cutoff, a cached
-  sparsity structure above it),
+  are assembled **once** (dense arrays at or below the configured cutoff, a
+  cached sparsity structure above it),
 * dense systems are factored with :func:`~repro.linalg.dense.batched_dense_lu`
   — one elimination loop vectorized over the whole stack of sweep points,
 * sparse systems run the Markowitz pivot search once and replay the pivot
-  order at every other point via
-  :func:`~repro.linalg.lu.sparse_lu_refactor`, falling back to a fresh
-  factorization only when a reused pivot becomes numerically unacceptable,
+  order at every other point via numeric refactorization, falling back to a
+  fresh factorization only when a reused pivot becomes numerically
+  unacceptable,
 * right-hand sides and output voltages are evaluated as numpy batches.
 
-The result is bit-compatible (dense path) or rounding-compatible (sparse
-path) with the per-point sampler, which the equivalence tests in
-``tests/test_batch_sweep.py`` and ``benchmarks/bench_batch_sweep.py`` assert.
+What stays here is the *sampling* semantics of Eqs. (7)–(10): determinant
+mantissa/exponent extraction, forced-output short-circuits and the
+``N(s_k) = H(s_k)·D(s_k)`` bookkeeping.  The result is bit-compatible (dense
+path) or rounding-compatible (sparse path) with the per-point sampler, which
+the equivalence tests in ``tests/test_batch_sweep.py`` and
+``benchmarks/bench_batch_sweep.py`` assert.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Sequence
+from typing import List
 
 import numpy as np
 
-from ..errors import InterpolationError, SingularMatrixError
-from ..linalg.dense import batched_dense_lu, sweep_chunk_size
-from ..linalg.lu import sparse_lu_reusing
-from ..linalg.sparse import SparseMatrix, merged_structure
+from ..engine.sweep import SweepEngine
+from ..errors import InterpolationError
 from .admittance import NodalFormulation, build_nodal_formulation
 from .reduce import TransferSpec
-from .sampler import SampleValue, _DENSE_CUTOFF, _scaled_value
+from .sampler import SampleValue, _scaled_value
 
 __all__ = ["BatchSampler"]
 
@@ -54,7 +56,8 @@ class BatchSampler:
         a :class:`NodalFormulation` (mirroring
         :class:`~repro.nodal.sampler.NetworkFunctionSampler`).
     method:
-        ``"auto"`` (dense at or below 150 unknowns), ``"dense"`` or
+        ``"auto"`` (dense at or below the configured
+        :func:`~repro.linalg.config.dense_cutoff`), ``"dense"`` or
         ``"sparse"``.
 
     Attributes
@@ -79,10 +82,9 @@ class BatchSampler:
         if method not in ("auto", "dense", "sparse"):
             raise InterpolationError(f"unknown factorization method {method!r}")
         self.method = method
-        self.factorization_count = 0
-        self.refactorization_count = 0
-        self._sparse_pattern = None
-        self._sparse_structure = None
+        #: The engine persists across calls, so the sparse pivot pattern (and
+        #: the cached matrix structure) carries from one sweep to the next.
+        self._engine = SweepEngine(self.formulation, method=method)
 
     # ------------------------------------------------------------------ #
 
@@ -91,12 +93,15 @@ class BatchSampler:
         """Number of unknown node voltages."""
         return self.formulation.dimension
 
-    def _use_dense(self):
-        if self.method == "dense":
-            return True
-        if self.method == "sparse":
-            return False
-        return self.formulation.dimension <= _DENSE_CUTOFF
+    @property
+    def factorization_count(self):
+        """Full (pivot-searching) factorizations performed by the engine."""
+        return self._engine.factorization_count
+
+    @property
+    def refactorization_count(self):
+        """Structure-reusing refactorizations performed (sparse path only)."""
+        return self._engine.refactorization_count
 
     # ------------------------------------------------------------------ #
 
@@ -117,7 +122,7 @@ class BatchSampler:
         s = np.asarray(list(points), dtype=complex)
         if s.size == 0:
             return []
-        if self._use_dense():
+        if self._engine.is_dense:
             return self._sample_batch_dense(s, conductance_scale,
                                             frequency_scale)
         return self._sample_batch_sparse(s, conductance_scale, frequency_scale)
@@ -134,124 +139,89 @@ class BatchSampler:
         return self.transfer_values(2j * math.pi * frequencies)
 
     # ------------------------------------------------------------------ #
-    # dense path: one vectorized LU over the whole stack
+    # dense path: the engine's vectorized chunk LU, scalar member views
     # ------------------------------------------------------------------ #
 
     def _sample_batch_dense(self, s, conductance_scale, frequency_scale):
-        # Long sweeps are processed in chunks so the assembled (K, M, M)
-        # stack never outgrows a fixed memory budget.
-        chunk = sweep_chunk_size(self.formulation.dimension)
+        formulation = self.formulation
+        forced = self._forced_transfer()
         samples = []
-        for start in range(0, len(s), chunk):
-            samples.extend(self._sample_chunk_dense(
-                s[start:start + chunk], conductance_scale, frequency_scale,
-                offset=start,
-            ))
+        for start, factorization in self._engine.dense_chunks(
+                s, conductance_scale, frequency_scale):
+            block = s[start:start + factorization.batch]
+            # The O(M^3) elimination ran once, vectorized over the chunk;
+            # determinant accumulation and substitution (O(M) / O(M^2) per
+            # point) go through scalar DenseLU views so every sample is
+            # bit-for-bit the one the per-point path produces.
+            for k, point in enumerate(block):
+                member = factorization.member(k)
+                det = member.determinant_mantissa_exponent()
+                if forced is None:
+                    samples.append(self._make_sample(
+                        point, det, solve=member.solve,
+                        conductance_scale=conductance_scale,
+                        frequency_scale=frequency_scale))
+                else:
+                    samples.append(self._make_sample(point, det,
+                                                     transfer=forced))
         return samples
 
-    def _sample_chunk_dense(self, s, conductance_scale, frequency_scale,
-                            offset=0):
-        formulation = self.formulation
-        stack = formulation.assemble_batch(s, conductance_scale,
-                                           frequency_scale)
-        # The O(M^3) elimination runs once, vectorized over the whole chunk;
-        # determinant accumulation and substitution (O(M) / O(M^2) per point)
-        # go through scalar DenseLU views so every sample is bit-for-bit the
-        # one the per-point path produces.
-        factorization = batched_dense_lu(stack, overwrite=True)
-        self.factorization_count += len(s)
-        if factorization.singular.any():
-            index = int(np.argmax(factorization.singular))
-            raise SingularMatrixError(
-                f"matrix is singular at sweep point {offset + index} "
-                f"(s={complex(s[index])!r})"
-            )
-        forced_output = formulation.output_is_forced()
-        if forced_output:
-            constant = formulation.output_voltage(
-                np.zeros(formulation.dimension, dtype=complex)
-            )
-        samples = []
-        for k, point in enumerate(s):
-            member = factorization.member(k)
-            det_mantissa, det_exponent = member.determinant_mantissa_exponent()
-            if det_mantissa == 0:
-                samples.append(SampleValue(s=complex(point),
-                                           numerator=(0.0 + 0.0j, 0),
-                                           denominator=(0.0 + 0.0j, 0)))
-                continue
-            if forced_output:
-                transfer = constant
-            else:
-                rhs = formulation.rhs(point, conductance_scale,
-                                      frequency_scale)
-                transfer = formulation.output_voltage(member.solve(rhs))
-            samples.append(SampleValue(
-                s=complex(point),
-                numerator=_scaled_value(transfer * det_mantissa, det_exponent),
-                denominator=(det_mantissa, det_exponent),
-            ))
-        return samples
+    def _forced_transfer(self):
+        """The constant output voltage when it is forced, else ``None``."""
+        if not self.formulation.output_is_forced():
+            return None
+        return self.formulation.output_voltage(
+            np.zeros(self.formulation.dimension, dtype=complex))
 
     # ------------------------------------------------------------------ #
     # sparse path: factor once, refactor everywhere else
     # ------------------------------------------------------------------ #
 
-    def _structure(self):
-        """Cached union sparsity structure: keys plus G / C value arrays."""
-        if self._sparse_structure is None:
-            self._sparse_structure = merged_structure(
-                self.formulation.conductance, self.formulation.capacitance
-            )
-        return self._sparse_structure
-
-    def _factor_sparse(self, matrix):
-        factorization, self._sparse_pattern, refactored = sparse_lu_reusing(
-            matrix, self._sparse_pattern
-        )
-        if refactored:
-            self.refactorization_count += 1
-        else:
-            self.factorization_count += 1
-        return factorization
-
     def _sample_batch_sparse(self, s, conductance_scale, frequency_scale):
         formulation = self.formulation
-        m = formulation.dimension
-        keys, g_values, c_values = self._structure()
-        forced_output = formulation.output_is_forced()
-        if forced_output:
-            constant = formulation.output_voltage(np.zeros(m, dtype=complex))
+        forced = self._forced_transfer()
         rhs_stack = None
-        if not forced_output:
+        if forced is None:
             rhs_stack = formulation.rhs_batch(s, conductance_scale,
                                               frequency_scale)
         samples = []
-        for k, point in enumerate(s):
-            values = (conductance_scale * g_values
-                      + (complex(point) * frequency_scale) * c_values)
-            matrix = SparseMatrix.from_entries(m, m, zip(keys,
-                                                         values.tolist()))
-            factorization = self._factor_sparse(matrix)
-            det_mantissa, det_exponent = (
-                factorization.determinant_mantissa_exponent()
-            )
-            if det_mantissa == 0:
-                samples.append(SampleValue(s=complex(point),
-                                           numerator=(0.0 + 0.0j, 0),
-                                           denominator=(0.0 + 0.0j, 0)))
-                continue
-            if forced_output:
-                transfer = constant
+        for k, factorization in self._engine.sparse_factors(
+                s, conductance_scale, frequency_scale):
+            det = factorization.determinant_mantissa_exponent()
+            if forced is None:
+                samples.append(self._make_sample(s[k], det,
+                                                 solve=factorization.solve,
+                                                 rhs=rhs_stack[k]))
             else:
-                solution = factorization.solve(rhs_stack[k])
-                transfer = formulation.output_voltage(solution)
-            samples.append(SampleValue(
-                s=complex(point),
-                numerator=_scaled_value(transfer * det_mantissa, det_exponent),
-                denominator=(det_mantissa, det_exponent),
-            ))
+                samples.append(self._make_sample(s[k], det, transfer=forced))
         return samples
+
+    # ------------------------------------------------------------------ #
+
+    def _make_sample(self, point, det, transfer=None, solve=None, rhs=None,
+                     conductance_scale=1.0, frequency_scale=1.0):
+        """One :class:`SampleValue` from a determinant plus transfer source.
+
+        Either ``transfer`` is the (forced) output voltage directly, or
+        ``solve`` is a per-point solver applied to ``rhs`` (assembled on
+        demand from the scales when not supplied) — the right-hand side is
+        only built once the determinant is known to be non-zero, matching
+        the per-point sampler's short-circuit.
+        """
+        det_mantissa, det_exponent = det
+        if det_mantissa == 0:
+            return SampleValue(s=complex(point), numerator=(0.0 + 0.0j, 0),
+                               denominator=(0.0 + 0.0j, 0))
+        if transfer is None:
+            if rhs is None:
+                rhs = self.formulation.rhs(point, conductance_scale,
+                                           frequency_scale)
+            transfer = self.formulation.output_voltage(solve(rhs))
+        return SampleValue(
+            s=complex(point),
+            numerator=_scaled_value(transfer * det_mantissa, det_exponent),
+            denominator=(det_mantissa, det_exponent),
+        )
 
     # ------------------------------------------------------------------ #
 

@@ -27,15 +27,13 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import InterpolationError
+from ..linalg.config import use_dense
 from ..linalg.dense import dense_lu
 from ..linalg.lu import sparse_lu
 from .admittance import NodalFormulation, build_nodal_formulation
 from .reduce import TransferSpec
 
 __all__ = ["SampleValue", "NetworkFunctionSampler"]
-
-#: Systems at or below this dimension use the dense LU (numpy) by default.
-_DENSE_CUTOFF = 150
 
 
 @dataclasses.dataclass
@@ -84,7 +82,9 @@ class NetworkFunctionSampler:
     spec:
         :class:`~repro.nodal.reduce.TransferSpec` naming drive and output.
     method:
-        ``"auto"`` (dense below 150 unknowns), ``"dense"`` or ``"sparse"``.
+        ``"auto"`` (dense at or below the configured
+        :func:`~repro.linalg.config.dense_cutoff`), ``"dense"`` or
+        ``"sparse"``.
     """
 
     def __init__(self, circuit, spec, method="auto"):
@@ -118,11 +118,7 @@ class NetworkFunctionSampler:
 
     def _factor(self, matrix):
         self.factorization_count += 1
-        if self.method == "dense":
-            return dense_lu(matrix)
-        if self.method == "sparse":
-            return sparse_lu(matrix)
-        if matrix.n_rows <= _DENSE_CUTOFF:
+        if use_dense(matrix.n_rows, self.method):
             return dense_lu(matrix)
         return sparse_lu(matrix)
 

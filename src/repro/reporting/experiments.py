@@ -30,7 +30,9 @@ from ..interpolation.adaptive import (
 from ..interpolation.basic import InterpolationResult, interpolate_network_function
 from ..interpolation.reference import NumericalReference, generate_reference
 from ..interpolation.scaling import ScaleFactors, initial_scale_factors
-from ..mna.builder import build_mna_system
+from ..engine.session import AnalysisSession
+from ..mna.builder import system_dimension
+from ..symbolic.sbg import simplification_before_generation
 from ..netlist.transform import to_admittance_form
 from ..nodal.sampler import NetworkFunctionSampler
 from ..symbolic.sdg import SDGResult, simplification_during_generation
@@ -43,6 +45,7 @@ __all__ = [
     "ScalingAblationResult",
     "BatchSweepResult",
     "SensitivityScreeningResult",
+    "SessionWorkloadResult",
     "run_table1",
     "run_table2_table3",
     "run_fig2",
@@ -51,6 +54,7 @@ __all__ = [
     "run_sdg_experiment",
     "run_batch_sweep",
     "run_sensitivity_screening",
+    "run_session_workload",
 ]
 
 
@@ -524,7 +528,9 @@ def run_sensitivity_screening(num_frequencies=25, circuits=None,
                               num_frequencies)
     results = []
     for name, (circuit, spec) in circuits:
-        dimension = build_mna_system(circuit).dimension
+        # The unknown count follows from the element list alone — no need to
+        # assemble a full MNA system just to report it.
+        dimension = system_dimension(circuit)
         rank1_seconds = rebuild_seconds = float("inf")
         rank1 = rebuild = None
         for __ in range(repeats):
@@ -555,5 +561,199 @@ def run_sensitivity_screening(num_frequencies=25, circuits=None,
             max_relative_deviation=_screening_deviation(rank1, rebuild),
             ranking_identical=ranking,
             singular_sets_identical=singular,
+        ))
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# Chained analysis workloads — the AnalysisSession cache
+# --------------------------------------------------------------------------- #
+
+
+@dataclasses.dataclass
+class SessionWorkloadResult:
+    """Chained multi-stage workload with and without an AnalysisSession."""
+
+    circuit_name: str
+    dimension: int
+    num_verify_points: int
+    num_screen_points: int
+    num_candidates: int
+    cold_seconds: float
+    session_seconds: float
+    #: Worst relative deviation between any cold-run and session-run output
+    #: array; ``inf`` when a ranking or removal list differs at all.  The
+    #: session must be a pure cache, so the acceptance bar is exactly 0.0.
+    max_relative_deviation: float
+    cache_hits: int
+    cache_misses: int
+
+    @property
+    def speedup(self) -> float:
+        """Wall-clock ratio cold / session-backed."""
+        if self.session_seconds == 0.0:
+            return float("inf")
+        return self.cold_seconds / self.session_seconds
+
+    def describe(self) -> str:
+        """One line for the experiment table."""
+        return (
+            f"{self.circuit_name:>12} (n={self.dimension:>3}, "
+            f"verify={self.num_verify_points:>3}, "
+            f"screen={self.num_screen_points:>3}): "
+            f"cold {self.cold_seconds * 1e3:8.1f} ms, "
+            f"session {self.session_seconds * 1e3:8.1f} ms, "
+            f"speedup {self.speedup:4.1f}x, "
+            f"max rel dev {self.max_relative_deviation:.2e}, "
+            f"cache {self.cache_hits}h/{self.cache_misses}m"
+        )
+
+
+def _chained_workload(circuit, spec, verify_frequencies, screen_frequencies,
+                      epsilon, max_candidates, session=None):
+    """One chained pass: Bode → screening → SBG → interpolation → report.
+
+    Every stage is written as a standalone consumer taking only the circuit
+    and the spec — exactly how separate tools (a Bode plotter, a screening
+    dashboard, the SBG reducer, the reference generator, a report renderer)
+    would call the library.  Without a session each stage rebuilds its
+    formulation, refactors its sweep and regenerates the reference; with one
+    they share everything cacheable.  Returns a dict of stage outputs for
+    the zero-deviation comparison.
+    """
+    outputs = {}
+
+    # 1. AC verification: the simulator-style Bode curve on the dense grid.
+    outputs["bode"] = ACAnalysis(circuit, spec, session=session) \
+        .frequency_response(verify_frequencies)
+
+    # 2. Stability check: unity-gain crossing from the same curve — a second
+    #    consumer of the verification grid (thinks in magnitudes, not nodes).
+    response = ACAnalysis(circuit, spec, session=session) \
+        .frequency_response(verify_frequencies)
+    crossing = int(np.argmin(np.abs(np.abs(response) - 1.0)))
+    outputs["unity_crossing"] = np.asarray(
+        [verify_frequencies[crossing], np.angle(response[crossing])])
+
+    # 3. Element influence screening (the SBG ranking input).
+    screening = screen_elements(circuit, spec, screen_frequencies,
+                                session=session)
+    influences = screening.influences()
+    outputs["ranking"] = [influence.name for influence in influences]
+    outputs["screen_baseline"] = screening.baseline
+
+    # 4. SBG reduction of the provably weak tail of the ranking.
+    candidates = [influence.name for influence in influences
+                  if influence.removal_error < epsilon][:max_candidates]
+    reference = generate_reference(circuit, spec, session=session)
+    sbg = simplification_before_generation(
+        circuit, spec, reference, epsilon=epsilon,
+        frequencies=screen_frequencies, candidates=candidates,
+        session=session)
+    outputs["removed"] = list(sbg.removed_names)
+    outputs["final_error"] = np.asarray([sbg.final_error])
+
+    # 5. Interpolation deliverable: the reference response on the dense grid.
+    reference = generate_reference(circuit, spec, session=session)
+    outputs["reference_response"] = reference.frequency_response(
+        verify_frequencies)
+
+    # 6. Fig. 2 overlay: interpolated reference vs the simulator curve — the
+    #    paper's verification figure as yet another standalone consumer.
+    reference = generate_reference(circuit, spec, session=session)
+    interpolated = reference.frequency_response(verify_frequencies)
+    simulated = ACAnalysis(circuit, spec, session=session) \
+        .frequency_response(verify_frequencies)
+    scale = np.maximum(np.abs(simulated), np.finfo(float).tiny)
+    outputs["fig2_deviation"] = np.abs(interpolated - simulated) / scale
+
+    # 7. Report pass: re-query curve, ranking and reference for rendering.
+    outputs["report_bode"] = ACAnalysis(circuit, spec, session=session) \
+        .frequency_response(verify_frequencies)
+    report_screening = screen_elements(circuit, spec, screen_frequencies,
+                                       session=session)
+    outputs["report_ranking"] = [influence.name for influence
+                                 in report_screening.influences()]
+    reference = generate_reference(circuit, spec, session=session)
+    outputs["report_reference"] = reference.frequency_response(
+        verify_frequencies)
+    return outputs
+
+
+def _workload_deviation(cold, warm) -> float:
+    """Worst relative output deviation between two workload passes."""
+    worst = 0.0
+    tiny = np.finfo(float).tiny
+    for key, reference in cold.items():
+        candidate = warm[key]
+        if isinstance(reference, list):
+            if candidate != reference:
+                return float("inf")
+            continue
+        reference = np.asarray(reference)
+        candidate = np.asarray(candidate)
+        scale = np.maximum(np.abs(reference), tiny)
+        worst = max(worst, float(np.max(np.abs(candidate - reference)
+                                        / scale)))
+    return worst
+
+
+def run_session_workload(num_verify_points=300, num_screen_points=25,
+                         epsilon=0.05, max_candidates=8, repeats=3,
+                         f_min=1.0, f_max=1e8,
+                         circuits=None) -> List[SessionWorkloadResult]:
+    """Chained Bode → screening → SBG → interpolation → report comparison.
+
+    Runs the workload of :func:`_chained_workload` twice per circuit — once
+    with every stage standalone ("cold", rebuilding everything) and once
+    sharing one :class:`~repro.engine.session.AnalysisSession` — taking the
+    best wall-clock of ``repeats`` runs for each.  A *fresh* session is used
+    per session-mode repeat, so the measured time is one honest session
+    lifetime, not a pre-warmed cache.
+
+    Parameters
+    ----------
+    circuits:
+        Optional list of ``(name, (circuit, spec))`` pairs; defaults to the
+        µA741 macro.
+    """
+    if circuits is None:
+        circuits = [("ua741", build_ua741())]
+    verify_frequencies = np.logspace(np.log10(f_min), np.log10(f_max),
+                                     num_verify_points)
+    screen_frequencies = np.logspace(np.log10(f_min), np.log10(f_max),
+                                     num_screen_points)
+    results = []
+    for name, (circuit, spec) in circuits:
+        cold_seconds = session_seconds = float("inf")
+        cold_outputs = session_outputs = None
+        last_session = None
+        for __ in range(repeats):
+            start = time.perf_counter()
+            cold_outputs = _chained_workload(
+                circuit, spec, verify_frequencies, screen_frequencies,
+                epsilon, max_candidates, session=None)
+            cold_seconds = min(cold_seconds, time.perf_counter() - start)
+
+            session = AnalysisSession()
+            start = time.perf_counter()
+            session_outputs = _chained_workload(
+                circuit, spec, verify_frequencies, screen_frequencies,
+                epsilon, max_candidates, session=session)
+            session_seconds = min(session_seconds,
+                                  time.perf_counter() - start)
+            last_session = session
+        results.append(SessionWorkloadResult(
+            circuit_name=name,
+            dimension=system_dimension(circuit),
+            num_verify_points=num_verify_points,
+            num_screen_points=num_screen_points,
+            num_candidates=max_candidates,
+            cold_seconds=cold_seconds,
+            session_seconds=session_seconds,
+            max_relative_deviation=_workload_deviation(cold_outputs,
+                                                       session_outputs),
+            cache_hits=last_session.hits,
+            cache_misses=last_session.misses,
         ))
     return results

@@ -22,7 +22,8 @@ import numpy as np
 
 from ..analysis.ac import ACAnalysis
 from ..analysis.sensitivity import element_sensitivities
-from ..errors import SimplificationError
+from ..errors import (FormulationError, SimplificationError,
+                      SingularMatrixError)
 from ..netlist.circuit import Circuit
 from ..netlist.elements import Capacitor, Conductor, Resistor, VCCS
 
@@ -82,8 +83,8 @@ def _relative_deviation(reference_response, candidate_response) -> float:
 
 
 def simplification_before_generation(circuit, spec, reference, epsilon=0.05,
-                                     frequencies=None,
-                                     candidates=None) -> SBGResult:
+                                     frequencies=None, candidates=None,
+                                     session=None) -> SBGResult:
     """Reduce ``circuit`` against its numerical reference.
 
     Parameters
@@ -102,6 +103,13 @@ def simplification_before_generation(circuit, spec, reference, epsilon=0.05,
     candidates:
         Element names eligible for removal (default: all passive admittances
         and VCCS elements that are not input sources).
+    session:
+        Optional :class:`~repro.engine.session.AnalysisSession`.  The
+        element screening and the full-circuit baseline then reuse whatever
+        an earlier stage (Bode, sensitivity) already built — in a chained
+        workload the expensive baseline factorization happens exactly once.
+        Candidate (reduced) circuits are evaluated outside the session: each
+        is visited once, so caching them would only grow memory.
 
     Returns
     -------
@@ -118,13 +126,14 @@ def simplification_before_generation(circuit, spec, reference, epsilon=0.05,
     reference_response = _reference_response(reference, frequencies)
 
     influences = element_sensitivities(circuit, output, frequencies,
-                                       elements=candidates)
+                                       elements=candidates, session=session)
     current = circuit.copy(f"{circuit.name}-sbg")
     removals: List[SBGRemoval] = []
     rejected: List[str] = []
     final_error = _relative_deviation(
         reference_response,
-        ACAnalysis(current, output).frequency_response(frequencies),
+        ACAnalysis(current, output,
+                   session=session).frequency_response(frequencies),
     )
 
     for influence in influences:
@@ -135,7 +144,10 @@ def simplification_before_generation(circuit, spec, reference, epsilon=0.05,
         try:
             candidate_response = ACAnalysis(candidate, output).frequency_response(
                 frequencies)
-        except Exception:
+        except (FormulationError, SingularMatrixError):
+            # Only "this reduced circuit cannot be solved" disqualifies the
+            # removal; anything else (bad element names, plain bugs) must
+            # propagate instead of silently shrinking the search space.
             rejected.append(influence.name)
             continue
         deviation = _relative_deviation(reference_response, candidate_response)
