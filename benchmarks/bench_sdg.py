@@ -1,20 +1,48 @@
-"""E8 — SDG error control (Eq. 3) enabled by the numerical reference.
+"""E8 — SDG error control (Eq. 3) and the symbolic-kernel speedup.
 
-Context benchmark: the whole point of the reference is to let SDG stop
-accumulating terms once the generated sum represents the required fraction of
-each coefficient.  The bench measures the SDG pass on the two-stage Miller OTA
-and asserts that (a) the Eq. 3 budget is met for every coefficient and (b) the
-term count collapses by a large factor — the compression that makes symbolic
-expressions of medium circuits interpretable.
+Two claims are benchmarked here:
+
+* **Error control** (the paper's point): the numerical reference lets SDG
+  stop accumulating terms once the generated sum represents the required
+  fraction of each coefficient.  Measured on the two-stage Miller OTA — the
+  Eq. 3 budget must hold for every coefficient and the term count must
+  collapse.
+
+* **Kernel speedup** (PR 4): the µA741-macro symbolic generation + SDG
+  epsilon sweep runs ≥ 5x faster on the interned minor-memoized kernel than
+  on the pre-kernel path (``kernel="legacy"``: flat cofactor re-expansion and
+  scalar per-term valuation), with identical term multisets and coefficient
+  values within 1e-9 relative.
+
+Set ``REPRO_BENCH_REDUCED=1`` (the CI smoke mode) to run the kernel A/B on
+the Miller OTA instead: wall-clock shrinks to milliseconds, the equivalence
+assertions stay, the 5x floor (a large-workload property) is waived.
+
+Run standalone for the experiment table::
+
+    PYTHONPATH=src python benchmarks/bench_sdg.py
 """
 
 import math
+import os
 
 import pytest
 
 from repro.interpolation.reference import generate_reference
+from repro.reporting.experiments import run_symbolic_kernel
 from repro.symbolic.generation import symbolic_network_function
 from repro.symbolic.sdg import simplification_during_generation
+
+
+def _reduced():
+    return os.environ.get("REPRO_BENCH_REDUCED", "") not in ("", "0")
+
+
+def _check_kernel(result, reduced):
+    assert result.multisets_identical, result.describe()
+    assert result.max_coefficient_deviation <= 1e-9, result.describe()
+    if not reduced:
+        assert result.speedup >= 5.0, result.describe()
 
 
 @pytest.fixture(scope="module")
@@ -62,3 +90,26 @@ def test_sdg_epsilon_sweep_monotone(benchmark, miller, miller_reference,
 
     kept_counts = benchmark(sweep)
     assert kept_counts[0] <= kept_counts[1] <= kept_counts[2]
+
+
+@pytest.mark.benchmark(group="sdg")
+def test_symbolic_kernel_speedup(benchmark):
+    """µA741-macro generation + SDG sweep: ≥ 5x, byte-identical results."""
+    reduced = _reduced()
+    result = benchmark.pedantic(
+        lambda: run_symbolic_kernel(reduced=reduced), rounds=1, iterations=1)
+    _check_kernel(result, reduced)
+
+
+def main():
+    reduced = _reduced()
+    print("symbolic generation + SDG epsilon sweep, "
+          "interned kernel vs legacy path"
+          + (" [reduced]" if reduced else ""))
+    result = run_symbolic_kernel(reduced=reduced)
+    print(result.describe())
+    _check_kernel(result, reduced)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,171 @@
+"""Run every benchmark and append a perf-trajectory snapshot to BENCH.json.
+
+Two layers:
+
+* **Quantitative workloads** — the four engine A/B experiments
+  (batched sweep, rank-1 screening, analysis session, symbolic kernel) run
+  through their :mod:`repro.reporting.experiments` runners and land in the
+  snapshot as ``{workload, circuit, speedup, max_relative_deviation,
+  seconds}`` records.  These are the library's perf trajectory: each PR's
+  snapshot shows whether the speedups its benches assert still hold.
+* **Scripted benches** — every other ``bench_*.py`` with a ``main()`` runs as
+  a smoke check (pass/fail + wall time), so a regression in a
+  paper-reproduction bench shows up here even between full pytest runs.
+
+Modes::
+
+    PYTHONPATH=src python benchmarks/run_all.py            # full trajectory
+    PYTHONPATH=src python benchmarks/run_all.py --smoke    # CI: symbolic
+                                                           # kernel reduced
+
+``--smoke`` sets ``REPRO_BENCH_REDUCED=1`` and runs only the symbolic-kernel
+workload — seconds instead of minutes, equivalence still asserted — so CI
+keeps the trajectory file fresh without paying for the full suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+BENCH_JSON = BENCH_DIR.parent / "BENCH.json"
+
+
+def _record(workload, circuit, workload_seconds, speedup, deviation,
+            extra=None):
+    record = {
+        "workload": workload,
+        "circuit": circuit,
+        # Wall time of the whole workload run (shared by its circuits) —
+        # per-circuit timings live in the speedup's underlying experiment.
+        "workload_seconds": round(workload_seconds, 4),
+        "speedup": round(speedup, 2),
+        "max_relative_deviation": deviation,
+    }
+    if extra:
+        record.update(extra)
+    return record
+
+
+def run_quantitative(smoke=False):
+    """The engine A/B experiments; returns snapshot records."""
+    from repro.reporting.experiments import (
+        run_batch_sweep,
+        run_sensitivity_screening,
+        run_session_workload,
+        run_symbolic_kernel,
+    )
+
+    records = []
+
+    start = time.perf_counter()
+    kernel = run_symbolic_kernel(reduced=smoke)
+    records.append(_record(
+        "symbolic_kernel", kernel.circuit_name,
+        time.perf_counter() - start, kernel.speedup,
+        kernel.max_coefficient_deviation,
+        {"multisets_identical": kernel.multisets_identical,
+         "minor_hit_rate": round(kernel.minor_hit_rate, 3),
+         "terms": kernel.numerator_terms + kernel.denominator_terms}))
+    print(kernel.describe())
+    # The smoke run doubles as the CI equivalence gate (the bench's own
+    # assertions, minus the full-size 5x floor), so CI runs the workload once.
+    assert kernel.multisets_identical, kernel.describe()
+    assert kernel.max_coefficient_deviation <= 1e-9, kernel.describe()
+    if smoke:
+        return records
+
+    for workload, runner in (("batch_sweep", run_batch_sweep),
+                             ("sensitivity_screening",
+                              run_sensitivity_screening),
+                             ("session_workload", run_session_workload)):
+        start = time.perf_counter()
+        results = runner()
+        elapsed = time.perf_counter() - start  # whole-workload wall time
+        for result in results:
+            records.append(_record(
+                workload, result.circuit_name, elapsed, result.speedup,
+                result.max_relative_deviation))
+            print(result.describe())
+
+    return records
+
+
+def run_scripted():
+    """Smoke-run every other bench with a main(); returns snapshot records."""
+    import importlib
+
+    records = []
+    sys.path.insert(0, str(BENCH_DIR))
+    skip = {"run_all", "conftest"}
+    quantitative = {"bench_batch_sweep", "bench_sensitivity", "bench_session",
+                    "bench_sdg"}
+    for path in sorted(BENCH_DIR.glob("bench_*.py")):
+        module_name = path.stem
+        if module_name in skip or module_name in quantitative:
+            continue
+        print(f"== {module_name}")
+        start = time.perf_counter()
+        try:  # import AND run recorded, not fatal to the trajectory
+            module = importlib.import_module(module_name)
+            main = getattr(module, "main", None)
+            if main is None:
+                continue
+            main()
+            status = "ok"
+        except Exception as exc:
+            status = f"failed: {type(exc).__name__}: {exc}"
+        records.append({
+            "workload": module_name,
+            "workload_seconds": round(time.perf_counter() - start, 4),
+            "status": status,
+        })
+    return records
+
+
+def append_snapshot(records, mode):
+    """Append one snapshot to BENCH.json (creating it when absent)."""
+    trajectory = {"snapshots": []}
+    if BENCH_JSON.exists():
+        try:
+            trajectory = json.loads(BENCH_JSON.read_text())
+        except json.JSONDecodeError:
+            # Never overwrite an unreadable trajectory: set it aside so the
+            # accumulated history stays recoverable.
+            backup = BENCH_JSON.with_suffix(".json.corrupt")
+            BENCH_JSON.rename(backup)
+            print(f"warning: {BENCH_JSON} was unreadable; moved to {backup}")
+    trajectory.setdefault("snapshots", []).append({
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"),
+        "mode": mode,
+        "results": records,
+    })
+    BENCH_JSON.write_text(json.dumps(trajectory, indent=2) + "\n")
+    print(f"wrote {BENCH_JSON} ({len(trajectory['snapshots'])} snapshots)")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: reduced symbolic-kernel workload only")
+    parser.add_argument("--no-scripted", action="store_true",
+                        help="skip the scripted paper-reproduction benches")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        os.environ["REPRO_BENCH_REDUCED"] = "1"
+    records = run_quantitative(smoke=args.smoke)
+    if not args.smoke and not args.no_scripted:
+        records.extend(run_scripted())
+    append_snapshot(records, "smoke" if args.smoke else "full")
+
+
+if __name__ == "__main__":
+    main()

@@ -55,6 +55,7 @@ from .circuits import (
     build_rc_ladder,
     build_positive_feedback_ota,
     build_ua741,
+    build_ua741_macro,
     build_miller_ota,
     build_cascode_amplifier,
 )
@@ -85,6 +86,7 @@ __all__ = [
     "build_rc_ladder",
     "build_positive_feedback_ota",
     "build_ua741",
+    "build_ua741_macro",
     "build_miller_ota",
     "build_cascode_amplifier",
     "__version__",

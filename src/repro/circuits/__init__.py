@@ -11,6 +11,8 @@ the corresponding experiment:
   positive-feedback OTA (Table 1 experiments),
 * :func:`~repro.circuits.ua741.build_ua741` — the µA741 operational amplifier
   small-signal macro (Tables 2–3 and Fig. 2),
+* :func:`~repro.circuits.ua741.build_ua741_macro` — the behavioral µA741
+  macromodel at symbolic-analysis scale (the symbolic-kernel benchmark),
 * :func:`~repro.circuits.miller_ota.build_miller_ota` — a two-stage Miller
   OTA (SDG / SBG examples),
 * :func:`~repro.circuits.cascode.build_cascode_amplifier` — a telescopic
@@ -22,7 +24,7 @@ the corresponding experiment:
 
 from .rc_ladder import build_rc_ladder, rc_ladder_denominator_coefficients
 from .ota import build_positive_feedback_ota
-from .ua741 import build_ua741
+from .ua741 import build_ua741, build_ua741_macro
 from .miller_ota import build_miller_ota
 from .cascode import build_cascode_amplifier
 from .filters import build_sallen_key_lowpass, build_tow_thomas_biquad
@@ -32,6 +34,7 @@ __all__ = [
     "rc_ladder_denominator_coefficients",
     "build_positive_feedback_ota",
     "build_ua741",
+    "build_ua741_macro",
     "build_miller_ota",
     "build_cascode_amplifier",
     "build_sallen_key_lowpass",

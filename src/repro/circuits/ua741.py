@@ -33,7 +33,7 @@ from ..netlist.circuit import Circuit
 from ..netlist.parser import parse_netlist
 from ..nodal.reduce import TransferSpec
 
-__all__ = ["build_ua741", "UA741_NETLIST"]
+__all__ = ["build_ua741", "build_ua741_macro", "UA741_NETLIST"]
 
 
 #: SPICE-like source of the µA741 small-signal macro.  Node 0 is AC ground
@@ -121,5 +121,82 @@ def build_ua741(load_resistance=2e3,
         circuit.replace(type(circuit["RL"])("RL", "out", "0", load_resistance))
     if load_capacitance != 100e-12:
         circuit.replace(type(circuit["CL"])("CL", "out", "0", load_capacitance))
+    spec = TransferSpec(inputs=["Vip", "Vim"], output="out")
+    return circuit, spec
+
+
+def build_ua741_macro() -> Tuple[Circuit, TransferSpec]:
+    """Behavioral µA741 macromodel: the symbolic-analysis-scale twin.
+
+    The transistor-level macro of :func:`build_ua741` has a 39-unknown nodal
+    matrix whose *flat* determinant is astronomically large — exactly the
+    situation the paper's SDG/SBG error control exists for, and far beyond any
+    exact sum-of-products expansion.  This builder provides the classic
+    three-stage behavioral macromodel of the same amplifier (Boyle-style:
+    differential input stage with mirror pole and common-mode tail, emitter
+    follower interstage, Miller-compensated second stage with nulling
+    resistor, resistive output stage into the datasheet load) at the size
+    symbolic network functions are actually generated at — ten unknown
+    nodes, every element value distinct so term magnitudes never tie exactly.
+
+    It is the workload of the symbolic-kernel benchmark: large enough that
+    the legacy flat expansion takes seconds, small enough that it completes,
+    so the interned/legacy A/B is measurable.
+
+    Returns
+    -------
+    (Circuit, TransferSpec)
+        Differential voltage gain ``V(out) / (V(inp) - V(inm))`` with the
+        antisymmetric ±0.5 V drive, like :func:`build_ua741`.
+    """
+    circuit = Circuit("ua741-macro", "uA741 behavioral macromodel")
+    circuit.add_voltage_source("Vip", "inp", "0", +0.5)
+    circuit.add_voltage_source("Vim", "inm", "0", -0.5)
+
+    # Input stage: base spreading resistances, input capacitances, the
+    # differential capacitance, and the common-mode tail node.
+    circuit.add_resistor("Rb1", "inp", "b1", 200.0)
+    circuit.add_resistor("Rb2", "inm", "b2", 205.0)
+    circuit.add_capacitor("Cb1", "b1", "0", 1.4e-12)
+    circuit.add_capacitor("Cb2", "b2", "0", 1.5e-12)
+    circuit.add_capacitor("Cdm", "b1", "b2", 0.7e-12)
+    circuit.add_capacitor("Ce1", "b1", "t", 0.9e-12)
+    circuit.add_capacitor("Ce2", "b2", "t", 1.0e-12)
+    circuit.add_resistor("Rt", "t", "0", 1.8e6)
+    circuit.add_capacitor("Ct", "t", "0", 2.3e-12)
+
+    # Differential transconductance into the first-stage output d1, with the
+    # current-mirror pole modelled on its own node dm.
+    circuit.add_vccs("G1", "d1", "0", "b1", "b2", 190e-6)
+    circuit.add_vccs("Gmir", "dm", "0", "b2", "b1", 92e-6)
+    circuit.add_resistor("Rdm", "dm", "0", 2.4e4)
+    circuit.add_capacitor("Cdm2", "dm", "0", 4.3e-12)
+    circuit.add_vccs("Gm2", "d1", "0", "dm", "0", 96e-6)
+    circuit.add_resistor("Rd1", "d1", "0", 6.7e6)
+    circuit.add_capacitor("Cd1", "d1", "0", 1.8e-12)
+
+    # Emitter-follower interstage into the second-stage input m1.
+    circuit.add_resistor("Rf", "d1", "m1", 2.6e4)
+    circuit.add_resistor("Rm1", "m1", "0", 4.9e6)
+    circuit.add_capacitor("Cm1", "m1", "0", 2.6e-12)
+
+    # Second stage with the 30 pF Miller compensation through the nulling
+    # resistor node x.
+    circuit.add_vccs("G2", "c2", "0", "m1", "0", 6.5e-3)
+    circuit.add_resistor("Rc2", "c2", "0", 4.8e5)
+    circuit.add_capacitor("Cc2", "c2", "0", 5.1e-12)
+    circuit.add_capacitor("Cc", "m1", "x", 30e-12)
+    circuit.add_resistor("Rz", "x", "c2", 60.0)
+
+    # Class-AB output stage: follower drive node e, current-sharing
+    # resistance into the datasheet test load.
+    circuit.add_vccs("Go", "e", "0", "c2", "e", 38e-3)
+    circuit.add_resistor("Ro", "e", "0", 3.3e4)
+    circuit.add_capacitor("Co", "c2", "e", 10.5e-12)
+    circuit.add_resistor("Rout", "e", "out", 47.0)
+    circuit.add_capacitor("Cf2", "c2", "out", 3.2e-12)
+    circuit.add_resistor("RL", "out", "0", 2e3)
+    circuit.add_capacitor("CL", "out", "0", 100e-12)
+
     spec = TransferSpec(inputs=["Vip", "Vim"], output="out")
     return circuit, spec

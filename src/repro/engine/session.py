@@ -14,7 +14,11 @@ stage already built gets the cached object back:
   the expensive part of every AC / screening pass,
 * :class:`~repro.nodal.sampler.NetworkFunctionSampler` instances (which carry
   their own batch engine and pivot pattern),
-* full :class:`~repro.interpolation.reference.NumericalReference` results.
+* full :class:`~repro.interpolation.reference.NumericalReference` results,
+* symbolic artifacts: :class:`~repro.symbolic.matrix.SymbolicNodal`
+  matrices, :class:`~repro.symbolic.kernel.DeterminantEngine` instances
+  (with their minor memos) and finished
+  :class:`~repro.symbolic.generation.SymbolicTransferFunction` results.
 
 Keying by content rather than identity means a circuit rebuilt from the same
 netlist, or a ``circuit.copy()``, still hits the cache — and any mutation
@@ -72,6 +76,9 @@ class AnalysisSession:
         self._references: Dict[Tuple, object] = {}
         self._admittance: Dict[Tuple, object] = {}
         self._screenings: Dict[Tuple, object] = {}
+        self._symbolic_nodal: Dict[Tuple, object] = {}
+        self._symbolic_engines: Dict[Tuple, object] = {}
+        self._symbolic_transfers: Dict[Tuple, object] = {}
         self.hits = 0
         self.misses = 0
 
@@ -268,6 +275,106 @@ class AnalysisSession:
                             fingerprint=fingerprint))
 
     # ------------------------------------------------------------------ #
+    # symbolic artifacts
+    # ------------------------------------------------------------------ #
+
+    def symbolic_nodal(self, circuit, spec, admittance_transform=True):
+        """The circuit's :class:`~repro.symbolic.matrix.SymbolicNodal`.
+
+        Built over the cached admittance-form circuit (shared with
+        :meth:`reference`), keyed by the *original* circuit's fingerprint.
+        """
+        from ..symbolic.matrix import build_symbolic_nodal
+
+        key = (self.fingerprint(circuit), self._spec_key(spec),
+               admittance_transform)
+
+        def build():
+            target = (self.admittance_circuit(circuit)
+                      if admittance_transform else circuit)
+            return build_symbolic_nodal(target, spec)
+
+        return self._get(self._symbolic_nodal, key, build)
+
+    def symbolic_engine(self, circuit, spec, max_terms=None,
+                        admittance_transform=True):
+        """The circuit's :class:`~repro.symbolic.kernel.DeterminantEngine`
+        (plus its excitation-column id) over the cached symbolic nodal matrix.
+
+        The engine carries the minor memo, so a determinant request and a
+        later transfer-function request — or repeated requests from SDG/SAG
+        stages — expand each structural minor exactly once per session.
+        """
+        from ..symbolic.determinant import DEFAULT_MAX_TERMS
+
+        if max_terms is None:
+            max_terms = DEFAULT_MAX_TERMS
+        nodal = self.symbolic_nodal(circuit, spec,
+                                    admittance_transform=admittance_transform)
+        key = (self.fingerprint(circuit), self._spec_key(spec),
+               admittance_transform, int(max_terms))
+        return self._get(self._symbolic_engines, key,
+                         lambda: nodal.determinant_engine(max_terms=max_terms))
+
+    def symbolic_determinant(self, circuit, spec, max_terms=None,
+                             admittance_transform=True):
+        """The symbolic nodal determinant ``D(s, x)`` of the circuit.
+
+        Expanded on the cached engine — a later
+        :meth:`symbolic_transfer` call reuses every minor this expansion
+        memoized.
+        """
+        from ..symbolic.determinant import DEFAULT_MAX_TERMS
+
+        if max_terms is None:
+            max_terms = DEFAULT_MAX_TERMS
+        # Lives in the transfer cache with a reserved kernel-slot marker
+        # (fingerprint stays key[0] so invalidate() matches it).
+        key = (self.fingerprint(circuit), self._spec_key(spec),
+               admittance_transform, int(max_terms), "determinant-only")
+
+        def build():
+            engine, __ = self.symbolic_engine(
+                circuit, spec, max_terms=max_terms,
+                admittance_transform=admittance_transform)
+            indices = tuple(range(self.symbolic_nodal(
+                circuit, spec,
+                admittance_transform=admittance_transform).dimension))
+            return engine.to_expression(
+                engine.determinant_terms(indices, indices))
+
+        return self._get(self._symbolic_transfers, key, build)
+
+    def symbolic_transfer(self, circuit, spec, max_terms=None,
+                          kernel="interned", admittance_transform=True):
+        """The circuit's full
+        :class:`~repro.symbolic.generation.SymbolicTransferFunction`, cached
+        by content (``symbolic_network_function(..., session=...)`` lands
+        here)."""
+        from ..symbolic.determinant import DEFAULT_MAX_TERMS
+        from ..symbolic.generation import _transfer_from_nodal
+
+        if max_terms is None:
+            max_terms = DEFAULT_MAX_TERMS
+        key = (self.fingerprint(circuit), self._spec_key(spec),
+               admittance_transform, int(max_terms), kernel)
+
+        def build():
+            nodal = self.symbolic_nodal(
+                circuit, spec, admittance_transform=admittance_transform)
+            if kernel == "legacy":
+                return _transfer_from_nodal(nodal, spec, max_terms=max_terms,
+                                            kernel="legacy")
+            engine, excitation = self.symbolic_engine(
+                circuit, spec, max_terms=max_terms,
+                admittance_transform=admittance_transform)
+            return _transfer_from_nodal(nodal, spec, max_terms=max_terms,
+                                        kernel=kernel, engine=engine,
+                                        excitation=excitation)
+
+        return self._get(self._symbolic_transfers, key, build)
+
+    # ------------------------------------------------------------------ #
     # session-backed analyses
     # ------------------------------------------------------------------ #
 
@@ -297,7 +404,9 @@ class AnalysisSession:
 
     def _caches(self):
         return (self._mna, self._nodal, self._samplers, self._sweeps,
-                self._references, self._admittance, self._screenings)
+                self._references, self._admittance, self._screenings,
+                self._symbolic_nodal, self._symbolic_engines,
+                self._symbolic_transfers)
 
     def invalidate(self, circuit=None):
         """Drop cached artifacts — of one circuit, or everything.

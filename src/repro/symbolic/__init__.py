@@ -23,6 +23,8 @@ from .symbols import CircuitSymbol, build_symbol_table
 from .terms import Term, SymbolicExpression
 from .matrix import SymbolicNodal, build_symbolic_nodal
 from .determinant import symbolic_determinant
+from .kernel import (DeterminantEngine, EngineStats, SymbolInterner,
+                     TermValuation, sum_term_values)
 from .generation import SymbolicTransferFunction, symbolic_network_function, simplify_after_generation
 from .sdg import SDGResult, simplification_during_generation
 from .sbg import SBGResult, simplification_before_generation
@@ -35,6 +37,11 @@ __all__ = [
     "SymbolicNodal",
     "build_symbolic_nodal",
     "symbolic_determinant",
+    "DeterminantEngine",
+    "EngineStats",
+    "SymbolInterner",
+    "TermValuation",
+    "sum_term_values",
     "SymbolicTransferFunction",
     "symbolic_network_function",
     "simplify_after_generation",

@@ -6,7 +6,20 @@ keeps the intermediate term count close to the final one for circuit
 matrices).  The result is a flat sum-of-products
 :class:`~repro.symbolic.terms.SymbolicExpression`.
 
-The expansion is exact and therefore exponential in the worst case; a
+Two kernels implement the expansion:
+
+* ``kernel="interned"`` (the default) runs on
+  :class:`~repro.symbolic.kernel.DeterminantEngine`: monomials are hash-consed
+  integer tuples, every structural minor ``expand(active_rows, active_cols)``
+  is memoized and combined once, and the ``max_terms`` budget is charged on
+  *distinct* work — a minor reused from the memo costs nothing, so circuits
+  whose cofactor tree repeats minors fit budgets their flat expansion would
+  blow.
+* ``kernel="legacy"`` is the original per-cofactor re-expansion, kept for A/B
+  benchmarking (and for ``combine=False``, whose uncombined flat output only
+  the legacy path produces).
+
+The expansion is exact and therefore exponential in the worst case; the
 ``max_terms`` guard raises :class:`~repro.errors.SymbolicError` before memory
 is exhausted, directing users of larger circuits towards SBG reduction first
 (which is precisely the paper's motivation).
@@ -17,16 +30,18 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import SymbolicError
+from .kernel import DEFAULT_MAX_TERMS
 from .terms import SymbolicExpression, Term
 
-__all__ = ["symbolic_determinant"]
+__all__ = ["symbolic_determinant", "DEFAULT_MAX_TERMS"]
 
-#: Default cap on the number of generated terms.
-DEFAULT_MAX_TERMS = 500_000
+#: The default ``max_terms`` (one source: :data:`repro.symbolic.kernel.DEFAULT_MAX_TERMS`)
+#: is charged on distinct (memoized) work by the interned kernel and on flat
+#: expanded terms by the legacy kernel.
 
 
 def symbolic_determinant(entries, size, max_terms=DEFAULT_MAX_TERMS,
-                         combine=True) -> SymbolicExpression:
+                         combine=True, kernel="interned") -> SymbolicExpression:
     """Determinant of a ``size``×``size`` symbolic matrix.
 
     Parameters
@@ -37,20 +52,42 @@ def symbolic_determinant(entries, size, max_terms=DEFAULT_MAX_TERMS,
     size:
         Matrix dimension.
     max_terms:
-        Upper bound on the number of terms produced (raises above it).
+        Upper bound on the number of terms produced (raises above it).  With
+        the interned kernel the bound applies to *distinct* terms retained
+        across memoized minors; the overflow error reports both the distinct
+        and the expanded counts.
     combine:
         Combine like terms in the final expression (recommended — determinant
-        terms of nodal matrices frequently cancel pairwise).
+        terms of nodal matrices frequently cancel pairwise).  The interned
+        kernel combines inherently; ``combine=False`` therefore always runs
+        the legacy expansion.
+    kernel:
+        ``"interned"`` (minor-memoized engine, default) or ``"legacy"``.
     """
+    if kernel not in ("interned", "legacy"):
+        raise SymbolicError(f"unknown symbolic kernel {kernel!r}")
     if size == 0:
         return SymbolicExpression.one()
+    if kernel == "interned" and combine:
+        from .kernel import DeterminantEngine
 
+        engine = DeterminantEngine.from_entries(entries, size,
+                                                max_terms=max_terms)
+        indices = tuple(range(size))
+        return engine.to_expression(engine.determinant_terms(indices, indices))
+    expression = SymbolicExpression(
+        _legacy_expand_determinant(entries, size, max_terms))
+    if combine:
+        expression = expression.combined()
+    return expression
+
+
+def _legacy_expand_determinant(entries, size, max_terms) -> List[Term]:
+    """The pre-kernel flat cofactor expansion (every subtree re-expanded)."""
     # Row-wise structural view for fast column counting.
-    columns_of_row: List[List[int]] = [[] for __ in range(size)]
     rows_of_column: List[List[int]] = [[] for __ in range(size)]
     for (row, col), expression in entries.items():
         if expression.terms:
-            columns_of_row[row].append(col)
             rows_of_column[col].append(row)
 
     term_budget = [max_terms]
@@ -90,13 +127,9 @@ def symbolic_determinant(entries, size, max_terms=DEFAULT_MAX_TERMS,
                     if len(result) > term_budget[0]:
                         raise SymbolicError(
                             "symbolic determinant exceeded the term budget "
-                            f"({max_terms}); reduce the circuit (SBG) first"
+                            f"({max_terms} expanded terms, legacy kernel); "
+                            "reduce the circuit (SBG) first"
                         )
         return result
 
-    all_rows = tuple(range(size))
-    all_cols = tuple(range(size))
-    expression = SymbolicExpression(expand(all_rows, all_cols))
-    if combine:
-        expression = expression.combined()
-    return expression
+    return expand(tuple(range(size)), tuple(range(size)))

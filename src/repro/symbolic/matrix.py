@@ -81,6 +81,28 @@ class SymbolicNodal:
         """Number of structurally non-zero entries."""
         return len(self.entries)
 
+    def determinant_engine(self, max_terms=None):
+        """A :class:`~repro.symbolic.kernel.DeterminantEngine` over this
+        matrix, plus the registered excitation-column id.
+
+        The engine's columns ``0..dimension-1`` mirror :attr:`entries` and the
+        extra column carries :attr:`rhs`, so the denominator and every Cramer
+        numerator expand against one shared minor memo.
+        """
+        from .kernel import (DEFAULT_MAX_TERMS, DeterminantEngine,
+                             SymbolInterner)
+
+        if max_terms is None:
+            max_terms = DEFAULT_MAX_TERMS
+        engine = DeterminantEngine.from_entries(
+            self.entries, self.dimension,
+            interner=SymbolInterner(self.table.keys()),
+            max_terms=max_terms)
+        excitation = engine.add_column(
+            {row: expression for row, expression in self.rhs.items()
+             if expression.terms})
+        return engine, excitation
+
 
 def build_symbolic_nodal(circuit, spec) -> SymbolicNodal:
     """Build the symbolic nodal matrix for an admittance-form circuit."""

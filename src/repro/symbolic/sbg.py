@@ -72,6 +72,25 @@ class SBGResult:
             f"{self.final_error:.3g})"
         )
 
+    def generate_symbolic(self, spec, max_terms=None, kernel="interned",
+                          session=None):
+        """Symbolic network function of the *reduced* circuit.
+
+        This is the second half of the paper's SBG workflow: reduce first,
+        then generate — the reduced circuit's determinant fits term budgets
+        the full circuit would blow.  Runs on the interned minor-memoized
+        kernel by default; pass ``session`` to cache the result (and its
+        determinant engine) under the reduced circuit's fingerprint.
+        """
+        from .determinant import DEFAULT_MAX_TERMS
+        from .generation import symbolic_network_function
+
+        if max_terms is None:
+            max_terms = DEFAULT_MAX_TERMS
+        return symbolic_network_function(self.reduced, spec,
+                                         max_terms=max_terms, kernel=kernel,
+                                         session=session)
+
 
 def _reference_response(reference, frequencies):
     return reference.frequency_response(frequencies)

@@ -81,18 +81,32 @@ class SDGResult:
                 f"({100.0 * self.compression():.1f}% discarded)")
 
 
-def _coefficient_error(kept_terms, table, reference_value) -> float:
-    total = XFloat.zero()
-    for term in kept_terms:
-        total = total + term.value(table)
+def _coefficient_error(kept_terms, table, reference_value,
+                       method="vectorized", valuation=None) -> float:
+    if method == "scalar":
+        total = XFloat.zero()
+        for term in kept_terms:
+            total = total + term.value(table)
+    elif valuation is not None:
+        # The kept terms are exactly the selection-order prefix, so their
+        # values are already cached on the coefficient's valuation.
+        total = XFloat.zero()
+        for index in valuation.order()[:len(kept_terms)]:
+            total = total + valuation.value(index)
+    else:
+        from .kernel import sum_term_values
+
+        total = sum_term_values(kept_terms, table)
     if reference_value.is_zero():
         return 0.0 if total.is_zero() else float("inf")
     return float(abs(reference_value - total) / abs(reference_value))
 
 
 def simplification_during_generation(circuit, spec, reference, epsilon=0.01,
-                                     max_terms=500_000,
-                                     transfer_function=None) -> SDGResult:
+                                     max_terms=None,
+                                     transfer_function=None,
+                                     kernel="interned",
+                                     session=None) -> SDGResult:
     """Run SDG for a circuit against a previously generated numerical reference.
 
     Parameters
@@ -107,6 +121,16 @@ def simplification_during_generation(circuit, spec, reference, epsilon=0.01,
     transfer_function:
         Optionally reuse an already generated
         :class:`~repro.symbolic.generation.SymbolicTransferFunction`.
+    kernel:
+        ``"interned"`` (default) runs the minor-memoized expansion and the
+        vectorized term valuation; ``"legacy"`` reproduces the complete
+        pre-kernel path — flat cofactor expansion (skipped when
+        ``transfer_function`` is given) *and* scalar per-term valuation — as
+        the benchmark's A/B arm.
+    session:
+        Optional :class:`~repro.engine.session.AnalysisSession` — the
+        generated transfer function (and its determinant engine) is then
+        cached under the circuit fingerprint.
 
     Returns
     -------
@@ -114,24 +138,36 @@ def simplification_during_generation(circuit, spec, reference, epsilon=0.01,
     """
     if epsilon < 0.0:
         raise SimplificationError("epsilon must be non-negative")
-    if transfer_function is None:
-        transfer_function = symbolic_network_function(circuit, spec,
-                                                      max_terms=max_terms)
+    if max_terms is None:
+        from .determinant import DEFAULT_MAX_TERMS
 
+        max_terms = DEFAULT_MAX_TERMS
+    if transfer_function is None:
+        transfer_function = symbolic_network_function(
+            circuit, spec, max_terms=max_terms, kernel=kernel, session=session)
+
+    method = "scalar" if kernel == "legacy" else "vectorized"
     reports: List[SDGCoefficientReport] = []
     simplified_expressions: Dict[str, SymbolicExpression] = {}
     for kind, expression in (("numerator", transfer_function.numerator),
                              ("denominator", transfer_function.denominator)):
         kept_all = []
         for power in range(expression.max_s_power() + 1):
-            terms = expression.coefficient_terms(power)
+            if method == "scalar":
+                valuation = None
+                terms = expression.coefficient_terms(power)
+            else:
+                valuation = transfer_function.coefficient_valuation(kind, power)
+                terms = valuation.terms
             if not terms:
                 continue
             reference_value = reference.coefficient(kind, power)
             kept, total = select_significant_terms(
-                terms, transfer_function.table, reference_value, epsilon)
+                terms, transfer_function.table, reference_value, epsilon,
+                valuation=valuation, method=method)
             achieved = _coefficient_error(kept, transfer_function.table,
-                                          reference_value)
+                                          reference_value, method=method,
+                                          valuation=valuation)
             reports.append(SDGCoefficientReport(
                 kind=kind,
                 power=power,

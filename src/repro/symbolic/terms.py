@@ -22,7 +22,45 @@ from ..errors import SymbolicError
 from ..xfloat import XFloat
 from .symbols import CircuitSymbol
 
-__all__ = ["Term", "SymbolicExpression"]
+__all__ = ["Term", "SymbolicExpression", "evaluate_polynomial"]
+
+
+def evaluate_polynomial(coefficient_of, max_power, s) -> complex:
+    """``Σ_k coefficient_of(k) · s**k`` with XFloat coefficients.
+
+    Evaluated per coefficient to limit cancellation noise across powers;
+    zero coefficients are skipped.  Shared by
+    :meth:`SymbolicExpression.evaluate` and the valuation-cached
+    :meth:`~repro.symbolic.generation.SymbolicTransferFunction.evaluate`.
+    """
+    total = 0.0 + 0.0j
+    for power in range(max_power + 1):
+        coefficient = coefficient_of(power)
+        if coefficient.is_zero():
+            continue
+        total += float(coefficient) * complex(s)**power
+    return total
+
+
+def _merge_sorted(a: Tuple[str, ...], b: Tuple[str, ...]) -> Tuple[str, ...]:
+    """Merge two sorted tuples into one sorted tuple (with repetition)."""
+    if not a:
+        return b
+    if not b:
+        return a
+    out = []
+    i = j = 0
+    len_a, len_b = len(a), len(b)
+    while i < len_a and j < len_b:
+        x, y = a[i], b[j]
+        if x <= y:
+            out.append(x)
+            i += 1
+        else:
+            out.append(y)
+            j += 1
+    out.extend(a[i:] if i < len_a else b[j:])
+    return tuple(out)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -44,16 +82,39 @@ class Term:
     coefficient: float = 1.0
 
     def __post_init__(self):
-        object.__setattr__(self, "symbols", tuple(sorted(self.symbols)))
+        # Establish the sorted-tuple invariant, but only pay for a sort when
+        # the input actually violates it — terms produced by multiply() (an
+        # O(k) merge of two canonical terms) arrive already sorted.
+        symbols = self.symbols
+        if isinstance(symbols, tuple):
+            for i in range(len(symbols) - 1):
+                if symbols[i] > symbols[i + 1]:
+                    object.__setattr__(self, "symbols", tuple(sorted(symbols)))
+                    return
+        else:
+            object.__setattr__(self, "symbols", tuple(sorted(symbols)))
+
+    @classmethod
+    def from_sorted(cls, symbols, s_power, coefficient=1.0):
+        """Construct from an already *sorted* symbol tuple.
+
+        Skips the dataclass invariant scan — the bulk-construction fast path
+        used by the kernel boundary, where monomials decode sorted by design.
+        """
+        term = object.__new__(cls)
+        object.__setattr__(term, "symbols", symbols)
+        object.__setattr__(term, "s_power", s_power)
+        object.__setattr__(term, "coefficient", coefficient)
+        return term
 
     def degree(self):
         """Number of symbol factors."""
         return len(self.symbols)
 
     def multiply(self, other: "Term") -> "Term":
-        """Product of two terms."""
+        """Product of two terms (sorted tuples merge in O(k), no re-sort)."""
         return Term(
-            symbols=self.symbols + other.symbols,
+            symbols=_merge_sorted(self.symbols, other.symbols),
             s_power=self.s_power + other.s_power,
             coefficient=self.coefficient * other.coefficient,
         )
@@ -170,24 +231,21 @@ class SymbolicExpression:
         return [term for term in self.terms if term.s_power == power]
 
     def coefficient_value(self, power, table) -> XFloat:
-        """Design-point value of the coefficient of ``s**power``."""
-        total = XFloat.zero()
-        for term in self.coefficient_terms(power):
-            total = total + term.value(table)
-        return total
+        """Design-point value of the coefficient of ``s**power``.
+
+        Runs on the kernel's vectorized log-space valuation; the accumulation
+        order matches the per-term loop, so results are bit-identical to
+        summing :meth:`Term.value` sequentially.
+        """
+        from .kernel import sum_term_values
+
+        return sum_term_values(self.coefficient_terms(power), table)
 
     def evaluate(self, table, s) -> complex:
         """Numeric value of the expression at complex frequency ``s``."""
-        import cmath
-
-        total = 0.0 + 0.0j
-        # Evaluate per coefficient to limit cancellation noise across powers.
-        for power in range(self.max_s_power() + 1):
-            coefficient = self.coefficient_value(power, table)
-            if coefficient.is_zero():
-                continue
-            total += float(coefficient) * complex(s)**power
-        return total
+        return evaluate_polynomial(
+            lambda power: self.coefficient_value(power, table),
+            self.max_s_power(), s)
 
     def term_count_by_power(self) -> Dict[int, int]:
         """Histogram of term counts per power of ``s``."""

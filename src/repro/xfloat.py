@@ -108,6 +108,17 @@ class XFloat:
         """The exact zero value."""
         return cls(0.0, 0)
 
+    @classmethod
+    def _raw(cls, mantissa, exponent):
+        """Construct without renormalizing — ``mantissa`` MUST already be
+        normalized to ``[1, 10)`` by magnitude (or exactly 0.0 with exponent
+        0).  Internal fast path for bulk construction in
+        :mod:`repro.symbolic.kernel`."""
+        value = object.__new__(cls)
+        value._m = mantissa
+        value._e = exponent
+        return value
+
     # -- accessors ---------------------------------------------------------
 
     @property
