@@ -57,6 +57,7 @@ def run_quantitative(smoke=False):
     """The engine A/B experiments; returns snapshot records."""
     from repro.reporting.experiments import (
         run_batch_sweep,
+        run_montecarlo_ensemble,
         run_sensitivity_screening,
         run_session_workload,
         run_symbolic_kernel,
@@ -78,6 +79,30 @@ def run_quantitative(smoke=False):
     # assertions, minus the full-size 5x floor), so CI runs the workload once.
     assert kernel.multisets_identical, kernel.describe()
     assert kernel.max_coefficient_deviation <= 1e-9, kernel.describe()
+
+    # Monte Carlo ensemble: reduced shape in smoke mode, with the exact-arm /
+    # batch-invariance equivalence gates asserted either way.
+    samples, points = (24, 40) if smoke else (256, 200)
+    start = time.perf_counter()
+    for ensemble in run_montecarlo_ensemble(num_samples=samples,
+                                            num_points=points,
+                                            repeats=1 if smoke else 3):
+        records.append(_record(
+            "montecarlo_ensemble", ensemble.circuit_name,
+            time.perf_counter() - start, ensemble.speedup,
+            ensemble.exact_deviation,
+            {"samples": ensemble.num_samples,
+             "points": ensemble.num_frequencies,
+             "tolerance_axes": ensemble.num_axes,
+             "exact_arm_speedup": round(ensemble.exact_arm_speedup, 2),
+             "lapack_relative_deviation":
+                 ensemble.lapack_relative_deviation,
+             "batch_invariant": ensemble.batch_invariant}))
+        print(ensemble.describe())
+        assert ensemble.exact_deviation == 0.0, ensemble.describe()
+        assert ensemble.batch_invariant, ensemble.describe()
+        if not smoke:
+            assert ensemble.speedup >= 5.0, ensemble.describe()
     if smoke:
         return records
 
@@ -105,7 +130,7 @@ def run_scripted():
     sys.path.insert(0, str(BENCH_DIR))
     skip = {"run_all", "conftest"}
     quantitative = {"bench_batch_sweep", "bench_sensitivity", "bench_session",
-                    "bench_sdg"}
+                    "bench_sdg", "bench_montecarlo"}
     for path in sorted(BENCH_DIR.glob("bench_*.py")):
         module_name = path.stem
         if module_name in skip or module_name in quantitative:

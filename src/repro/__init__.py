@@ -13,8 +13,9 @@ The package is organised in layers:
 * the paper's contribution — :mod:`repro.interpolation` (polynomial
   interpolation with adaptive frequency / conductance scaling),
 * consumers and evaluation — :mod:`repro.symbolic` (SAG / SDG / SBG),
-  :mod:`repro.analysis` (numeric AC simulator, Bode comparison),
-  :mod:`repro.circuits` (benchmark circuits), :mod:`repro.reporting`
+  :mod:`repro.analysis` (numeric AC simulator, Bode comparison, Monte Carlo
+  statistics), :mod:`repro.montecarlo` (tolerance ensembles over the sweep
+  core), :mod:`repro.circuits` (benchmark circuits), :mod:`repro.reporting`
   (experiment harness).
 
 Quickstart
@@ -39,6 +40,7 @@ from .netlist import (
     to_admittance_form,
 )
 from .engine import AnalysisSession
+from .montecarlo import ParameterSpace, Tolerance, ensemble_sweep
 from .nodal import TransferSpec, NetworkFunctionSampler, BatchSampler
 from .interpolation import (
     AdaptiveOptions,
@@ -71,6 +73,9 @@ __all__ = [
     "validate_circuit",
     "to_admittance_form",
     "AnalysisSession",
+    "Tolerance",
+    "ParameterSpace",
+    "ensemble_sweep",
     "TransferSpec",
     "NetworkFunctionSampler",
     "BatchSampler",

@@ -14,6 +14,10 @@ from .ac import ACAnalysis, ac_sweep
 from .bode import (BodeData, bode_from_response, bode_sweep, gain_margin_db,
                    phase_margin_deg)
 from .compare import BodeComparison, compare_responses
+from .montecarlo import (CornerResult, MonteCarloResult, ResponseEnvelope,
+                         YieldResult, YieldSpec, corner_analysis,
+                         monte_carlo_analysis, variance_attribution,
+                         yield_analysis)
 from .poles import polynomial_roots, reference_poles_zeros
 from .sensitivity import (ElementInfluence, ScreeningResult,
                           element_sensitivities, screen_elements)
@@ -28,6 +32,15 @@ __all__ = [
     "phase_margin_deg",
     "BodeComparison",
     "compare_responses",
+    "MonteCarloResult",
+    "ResponseEnvelope",
+    "CornerResult",
+    "YieldSpec",
+    "YieldResult",
+    "monte_carlo_analysis",
+    "corner_analysis",
+    "variance_attribution",
+    "yield_analysis",
     "polynomial_roots",
     "reference_poles_zeros",
     "ElementInfluence",

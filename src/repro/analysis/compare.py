@@ -65,7 +65,13 @@ def compare_responses(frequencies, reference_response,
     candidate_phase = np.degrees(np.unwrap(np.angle(candidate)))
     phase_error = np.abs(candidate_phase - reference_phase)
 
-    relative_error = np.abs(candidate - reference) / reference_magnitude
+    # Symmetric relative error with a floored denominator: a reference that
+    # passes exactly through zero (a deep notch sample, or a response that is
+    # identically zero at DC) must not blow the metric up to 1/tiny — the
+    # error is measured against whichever curve is larger at that point,
+    # matching the screening benchmark's max(|response|, |baseline|) scale.
+    scale = np.maximum(np.maximum(np.abs(reference), np.abs(candidate)), tiny)
+    relative_error = np.abs(candidate - reference) / scale
 
     return BodeComparison(
         frequencies=frequencies,

@@ -1,0 +1,374 @@
+"""Statistical tolerance analysis over Monte Carlo ensembles.
+
+The layer above :mod:`repro.montecarlo`: where the engine produces raw
+``(M, F)`` response stacks, this module turns them into the quantities a
+designer asks of a tolerance run —
+
+* **envelopes** — per-frequency magnitude percentiles / extremes / moments of
+  the ensemble Bode response (:meth:`MonteCarloResult.envelope`),
+* **variance attribution** — how much of the output variance each tolerance
+  axis explains, estimated by linear regression over the sampled values and
+  cross-checked against the rank-1 screening engine's first-order prediction
+  (:func:`variance_attribution`, :meth:`MonteCarloResult.attribution`),
+* **corner analysis** — deterministic tolerance-band corners through the same
+  vectorized engine (:func:`corner_analysis`),
+* **yield** — the fraction of samples meeting gain / phase-margin
+  specifications (:func:`yield_analysis`, :class:`YieldSpec`).
+
+Results are cacheable in an :class:`~repro.engine.session.AnalysisSession`
+under ``(circuit fingerprint, space, seed, grid, solver)`` — see
+:meth:`repro.engine.session.AnalysisSession.montecarlo`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..montecarlo.engine import EnsembleResult, ensemble_sweep
+from ..montecarlo.space import ParameterSpace
+from .ac import ACAnalysis
+from .bode import bode_from_response, gain_margin_db, phase_margin_deg
+from .sensitivity import screen_elements
+
+__all__ = [
+    "MonteCarloResult",
+    "ResponseEnvelope",
+    "AttributionEntry",
+    "CornerResult",
+    "YieldSpec",
+    "YieldResult",
+    "monte_carlo_analysis",
+    "corner_analysis",
+    "variance_attribution",
+    "yield_analysis",
+]
+
+
+@dataclasses.dataclass
+class ResponseEnvelope:
+    """Per-frequency magnitude statistics of an ensemble (all in dB)."""
+
+    frequencies: np.ndarray
+    minimum_db: np.ndarray
+    maximum_db: np.ndarray
+    mean_db: np.ndarray
+    std_db: np.ndarray
+    percentile_low_db: np.ndarray
+    percentile_high_db: np.ndarray
+    percentiles: Tuple[float, float]
+
+    def width_db(self) -> np.ndarray:
+        """Per-frequency spread ``max − min`` in dB."""
+        return self.maximum_db - self.minimum_db
+
+
+@dataclasses.dataclass
+class AttributionEntry:
+    """One tolerance axis' share of the ensemble output variance.
+
+    ``share`` is the fraction of the total (frequency-averaged) magnitude
+    variance the axis explains in the first-order regression model;
+    ``predicted_share`` is the same figure computed from the rank-1
+    screening engine's perturbation responses instead of the samples — the
+    two agree to first order when tolerances are small.
+    """
+
+    name: str
+    share: float
+    predicted_share: float
+
+
+@dataclasses.dataclass
+class CornerResult:
+    """Deterministic tolerance-corner responses."""
+
+    frequencies: np.ndarray
+    values: np.ndarray          # (C, E) corner element values
+    responses: np.ndarray       # (C, F) complex corner responses
+    worst_low_db: np.ndarray    # (F,) per-frequency lowest corner magnitude
+    worst_high_db: np.ndarray   # (F,) per-frequency highest corner magnitude
+
+
+@dataclasses.dataclass
+class YieldSpec:
+    """Pass/fail specification evaluated per ensemble member.
+
+    Attributes
+    ----------
+    name:
+        Label used in the yield report.
+    minimum_gain_db / maximum_gain_db:
+        Bounds on the magnitude at ``at_frequency`` (hertz, required for
+        gain bounds).
+    minimum_phase_margin_deg:
+        Lower bound on the phase margin of the member's response.
+    minimum_gain_margin_db:
+        Lower bound on the gain margin.
+    """
+
+    name: str = "spec"
+    minimum_gain_db: Optional[float] = None
+    maximum_gain_db: Optional[float] = None
+    at_frequency: Optional[float] = None
+    minimum_phase_margin_deg: Optional[float] = None
+    minimum_gain_margin_db: Optional[float] = None
+
+    def passes(self, bode) -> bool:
+        """Whether one member's :class:`~repro.analysis.bode.BodeData` passes."""
+        if self.minimum_gain_db is not None or self.maximum_gain_db is not None:
+            if self.at_frequency is None:
+                raise ValueError(
+                    f"yield spec {self.name!r}: gain bounds need at_frequency")
+            magnitude, __ = bode.at(self.at_frequency)
+            if self.minimum_gain_db is not None and magnitude < self.minimum_gain_db:
+                return False
+            if self.maximum_gain_db is not None and magnitude > self.maximum_gain_db:
+                return False
+        if self.minimum_phase_margin_deg is not None:
+            margin = phase_margin_deg(bode)
+            if margin is None or margin < self.minimum_phase_margin_deg:
+                return False
+        if self.minimum_gain_margin_db is not None:
+            margin = gain_margin_db(bode)
+            if margin is None or margin < self.minimum_gain_margin_db:
+                return False
+        return True
+
+
+@dataclasses.dataclass
+class YieldResult:
+    """Yield of an ensemble against a set of specifications."""
+
+    total: int
+    passed: int
+    per_spec: Dict[str, int]     # spec name → number of samples passing it
+    failures: List[int]          # sample indices failing at least one spec
+
+    @property
+    def fraction(self) -> float:
+        """Overall yield in ``[0, 1]``."""
+        return self.passed / self.total if self.total else 1.0
+
+
+@dataclasses.dataclass
+class MonteCarloResult:
+    """A Monte Carlo tolerance run: ensemble + nominal response + statistics."""
+
+    ensemble: EnsembleResult
+    nominal_response: np.ndarray
+    seed: int
+
+    @property
+    def frequencies(self) -> np.ndarray:
+        """The sweep grid in hertz."""
+        return self.ensemble.frequencies
+
+    @property
+    def responses(self) -> np.ndarray:
+        """``(M, F)`` complex ensemble responses."""
+        return self.ensemble.responses
+
+    def envelope(self, percentiles=(5.0, 95.0)) -> ResponseEnvelope:
+        """Magnitude envelope of the ensemble (see :class:`ResponseEnvelope`)."""
+        low, high = percentiles
+        magnitudes = self.ensemble.magnitudes_db()
+        return ResponseEnvelope(
+            frequencies=self.frequencies,
+            minimum_db=magnitudes.min(axis=0),
+            maximum_db=magnitudes.max(axis=0),
+            mean_db=magnitudes.mean(axis=0),
+            std_db=magnitudes.std(axis=0),
+            percentile_low_db=np.percentile(magnitudes, low, axis=0),
+            percentile_high_db=np.percentile(magnitudes, high, axis=0),
+            percentiles=(float(low), float(high)),
+        )
+
+    def attribution(self, session=None) -> List[AttributionEntry]:
+        """Per-axis variance attribution (see :func:`variance_attribution`)."""
+        return variance_attribution(self, session=session)
+
+    def yield_against(self, specs) -> YieldResult:
+        """Yield of this ensemble against ``specs`` (see :func:`yield_analysis`)."""
+        return yield_analysis(self, specs)
+
+
+def monte_carlo_analysis(circuit, output, frequencies, space=None, *,
+                         samples=128, seed=0, tolerances=None,
+                         solver="lapack", method="auto", workers=None,
+                         session=None) -> MonteCarloResult:
+    """Run a Monte Carlo tolerance analysis of ``circuit``.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit at its design point.  Tolerance axes come from element
+        ``tolerance`` metadata, an explicit ``space``, or the ``tolerances``
+        name → fraction mapping.
+    output:
+        Output node, pair or :class:`~repro.nodal.reduce.TransferSpec`.
+    frequencies:
+        Sweep grid in hertz.
+    samples, seed:
+        Ensemble size and RNG seed (deterministic per seed).
+    solver, method, workers:
+        Passed to :func:`repro.montecarlo.ensemble_sweep`.
+    session:
+        Optional :class:`~repro.engine.session.AnalysisSession`; the whole
+        result is then memoized under ``(circuit, space, grid, samples,
+        seed, solver)`` and the nominal response shares the session's cached
+        sweep factorizations.
+
+    Returns
+    -------
+    MonteCarloResult
+    """
+    if space is None:
+        space = ParameterSpace(circuit, tolerances)
+    if session is not None:
+        return session.montecarlo(circuit, output, frequencies, space,
+                                  samples=samples, seed=seed, solver=solver,
+                                  method=method, workers=workers)
+    return _monte_carlo(circuit, output, frequencies, space, samples, seed,
+                        solver, method, workers, session=None)
+
+
+def _monte_carlo(circuit, output, frequencies, space, samples, seed, solver,
+                 method, workers, session=None) -> MonteCarloResult:
+    """The analysis itself (no memoization) — session feeds the nominal sweep."""
+    frequencies = np.asarray(frequencies, dtype=float)
+    ensemble = ensemble_sweep(circuit, output, frequencies, space,
+                              samples=samples, seed=seed, solver=solver,
+                              method=method, workers=workers)
+    nominal = ACAnalysis(circuit, output, method=method,
+                         session=session).frequency_response(frequencies)
+    return MonteCarloResult(ensemble=ensemble, nominal_response=nominal,
+                            seed=seed)
+
+
+def corner_analysis(circuit, output, frequencies, space=None, *,
+                    tolerances=None, solver="lapack", method="auto",
+                    workers=None) -> CornerResult:
+    """Evaluate the deterministic tolerance-band corners of ``circuit``.
+
+    Small spaces run the full ``2^E`` factorial; larger ones the axis
+    extremes plus one-at-a-time corners (see
+    :meth:`~repro.montecarlo.space.ParameterSpace.corner_multipliers`).
+    """
+    if space is None:
+        space = ParameterSpace(circuit, tolerances)
+    frequencies = np.asarray(frequencies, dtype=float)
+    values = space.corner_values()
+    ensemble = ensemble_sweep(circuit, output, frequencies, space,
+                              values=values, solver=solver, method=method,
+                              workers=workers)
+    magnitudes = ensemble.magnitudes_db()
+    return CornerResult(
+        frequencies=frequencies,
+        values=values,
+        responses=ensemble.responses,
+        worst_low_db=magnitudes.min(axis=0),
+        worst_high_db=magnitudes.max(axis=0),
+    )
+
+
+def variance_attribution(result, session=None) -> List[AttributionEntry]:
+    """Attribute ensemble output variance to the tolerance axes.
+
+    A first-order model ``|H|_dB(m) ≈ β₀ + Σ_e β_e·δ_e(m)`` (``δ_e`` the
+    relative value deviation of axis ``e``) is fit per frequency by least
+    squares over the samples; with independent axes the explained variance
+    splits as ``β_e²·var(δ_e)``, and each entry reports its
+    frequency-averaged share of the total.  The same shares are predicted
+    without any sampling from the rank-1 screening engine
+    (:func:`~repro.analysis.sensitivity.screen_elements`): its perturbation
+    response linearizes ``∂|H|/∂δ_e`` around the design point, which is
+    exactly ``β_e`` to first order.  Comparing the two columns validates the
+    screening engine statistically — and flags axes whose influence is
+    dominated by higher-order effects when they disagree.
+
+    Entries are sorted by decreasing sampled share.
+    """
+    ensemble = (result.ensemble if isinstance(result, MonteCarloResult)
+                else result)
+    space = ensemble.space
+    deviations = ensemble.values / space.nominal_values[None, :] - 1.0
+    deviations = np.where(np.isfinite(deviations), deviations, 0.0)
+    magnitudes = ensemble.magnitudes_db()
+
+    # Least-squares fit per frequency: design matrix [1, δ_1 .. δ_E].
+    design = np.column_stack([np.ones(deviations.shape[0]), deviations])
+    coefficients, *__ = np.linalg.lstsq(design, magnitudes, rcond=None)
+    slopes = coefficients[1:, :]                      # (E, F)
+    axis_variance = deviations.var(axis=0)            # (E,)
+    explained = slopes**2 * axis_variance[:, None]    # (E, F)
+    total = magnitudes.var(axis=0)                    # (F,)
+    safe_total = np.maximum(total, np.finfo(float).tiny)
+    shares = (explained / safe_total[None, :]).mean(axis=1)
+
+    # First-order prediction from the rank-1 screening engine.
+    perturbation = 0.01
+    screening = screen_elements(space.circuit, ensemble.output,
+                                ensemble.frequencies, elements=space.names,
+                                perturbation=perturbation, session=session)
+    predicted = np.zeros(len(space))
+    baseline_db = 20.0 * np.log10(
+        np.maximum(np.abs(screening.baseline), np.finfo(float).tiny))
+    for index, screen in enumerate(screening.screenings):
+        if screen.perturbed_response is None:
+            predicted[index] = math.inf
+            continue
+        perturbed_db = 20.0 * np.log10(
+            np.maximum(np.abs(screen.perturbed_response),
+                       np.finfo(float).tiny))
+        slope = (perturbed_db - baseline_db) / perturbation   # (F,)
+        predicted[index] = float(
+            np.mean(slope**2 * axis_variance[index] / safe_total))
+    entries = [AttributionEntry(name=space.names[index],
+                                share=float(shares[index]),
+                                predicted_share=float(predicted[index]))
+               for index in range(len(space))]
+    entries.sort(key=lambda entry: entry.share, reverse=True)
+    return entries
+
+
+def yield_analysis(result, specs) -> YieldResult:
+    """Yield of a Monte Carlo ensemble against gain / margin specifications.
+
+    Parameters
+    ----------
+    result:
+        A :class:`MonteCarloResult` (or a raw
+        :class:`~repro.montecarlo.engine.EnsembleResult`).
+    specs:
+        One :class:`YieldSpec` or a sequence of them; a sample passes when
+        it meets *every* spec.
+    """
+    ensemble = result.ensemble if isinstance(result, MonteCarloResult) else result
+    if isinstance(specs, YieldSpec):
+        specs = [specs]
+    specs = list(specs)
+    names = [spec.name for spec in specs]
+    if len(set(names)) != len(names):
+        raise ValueError(
+            f"yield specs must have distinct names, got {names} "
+            "(per-spec pass counts are keyed by name)")
+    per_spec = {spec.name: 0 for spec in specs}
+    failures: List[int] = []
+    for sample in range(ensemble.responses.shape[0]):
+        bode = bode_from_response(ensemble.frequencies,
+                                  ensemble.responses[sample])
+        sample_passes = True
+        for spec in specs:
+            if spec.passes(bode):
+                per_spec[spec.name] += 1
+            else:
+                sample_passes = False
+        if not sample_passes:
+            failures.append(sample)
+    total = ensemble.responses.shape[0]
+    return YieldResult(total=total, passed=total - len(failures),
+                       per_spec=per_spec, failures=failures)

@@ -175,6 +175,113 @@ class SweepEngine:
                 solutions[k] = factorization.solve(rhs)
         return solutions
 
+    # ------------------------------------------------------------------ #
+    # the parameter axis
+    # ------------------------------------------------------------------ #
+
+    def solve_param_sweep(self, s, names, admittance_scales, rhs,
+                          conductance_scale=1.0,
+                          frequency_scale=1.0) -> np.ndarray:
+        """Solve ``A_m(s_k) x = rhs`` over samples × frequencies.
+
+        The parameter-space companion of :meth:`solve_sweep`: sample ``m``
+        scales the admittances of ``names`` by ``admittance_scales[m]``
+        (see :meth:`~repro.engine.formulation.FormulationBase.assemble_param_batch`).
+        Dense systems assemble the ``(M·K, n, n)`` stack chunk by chunk and
+        factor through :func:`~repro.linalg.dense.batched_dense_lu`; sparse
+        systems update the merged-structure values per sample and reuse the
+        engine's pivot pattern across every sample and frequency.
+
+        Returns ``(M, K, n)`` complex solutions.  Accurate to rounding
+        relative to rebuilding each perturbed system (the bit-exact ensemble
+        engine is :func:`repro.montecarlo.ensemble_sweep`).
+        """
+        s = np.asarray(s, dtype=complex)
+        scales = np.asarray(admittance_scales)
+        rhs = np.asarray(rhs, dtype=complex)
+        # Materialize once: the name tuple is consumed per chunk below (and
+        # twice on the sparse path), so a generator must not drain early.
+        names = tuple(names)
+        num_samples = scales.shape[0]
+        n = self.formulation.dimension
+        solutions = np.zeros((num_samples, len(s), n), dtype=complex)
+        if num_samples == 0 or len(s) == 0:
+            return solutions
+        if self.is_dense:
+            chunk = max(1, sweep_chunk_size(n) // max(1, len(s)))
+            for start in range(0, num_samples, chunk):
+                block = scales[start:start + chunk]
+                stack = self.formulation.assemble_param_batch(
+                    s, names, block, conductance_scale, frequency_scale)
+                flat = stack.reshape(len(block) * len(s), n, n)
+                factorization = batched_dense_lu(flat, overwrite=True)
+                self.factorization_count += flat.shape[0]
+                if factorization.singular.any():
+                    index = int(np.argmax(factorization.singular))
+                    raise SingularMatrixError(
+                        f"{self.singular_label} is singular for sample "
+                        f"{start + index // len(s)} at sweep point "
+                        f"{index % len(s)}")
+                solutions[start:start + len(block)] = (
+                    factorization.solve(rhs).reshape(len(block), len(s), n))
+            return solutions
+
+        # Sparse path: affine update of the merged-structure values, pivot
+        # pattern shared across the whole ensemble.
+        keys, constant_values, dynamic_values = (
+            self.formulation.merged_sparse_structure())
+        position = {key: index for index, key in enumerate(keys)}
+        incidence_u, incidence_v, conductances, capacitances = (
+            self.formulation.stamp_columns(names))
+        entry_positions: list = []
+        entry_weights: list = []
+        entry_elements: list = []
+        for column in range(incidence_u.shape[1]):
+            rows = np.flatnonzero(incidence_u[:, column])
+            cols = np.flatnonzero(incidence_v[:, column])
+            for row in rows:
+                for col in cols:
+                    key = (int(row), int(col))
+                    if key not in position:
+                        raise FormulationError(
+                            f"stamp entry {key} of element "
+                            f"{names[column]!r} is outside the "
+                            "assembled structure")
+                    entry_positions.append(position[key])
+                    entry_weights.append(incidence_u[row, column]
+                                         * incidence_v[col, column])
+                    entry_elements.append(column)
+        entry_positions = np.array(entry_positions, dtype=np.intp)
+        entry_weights = np.array(entry_weights)
+        entry_elements = np.array(entry_elements, dtype=np.intp)
+        delta = scales - 1.0
+        for sample in range(num_samples):
+            constant_sample = constant_values.astype(complex).copy()
+            dynamic_sample = dynamic_values.astype(complex).copy()
+            np.add.at(constant_sample, entry_positions,
+                      delta[sample, entry_elements]
+                      * conductances[entry_elements] * entry_weights)
+            np.add.at(dynamic_sample, entry_positions,
+                      delta[sample, entry_elements]
+                      * capacitances[entry_elements] * entry_weights)
+            if conductance_scale != 1.0:
+                constant_sample = conductance_scale * constant_sample
+            for k, point in enumerate(s):
+                factor = complex(point)
+                if frequency_scale != 1.0:
+                    factor = factor * frequency_scale
+                values = constant_sample + factor * dynamic_sample
+                matrix = SparseMatrix.from_entries(
+                    n, n, zip(keys, values.tolist()))
+                factorization, self._sparse_pattern, refactored = (
+                    sparse_lu_reusing(matrix, self._sparse_pattern))
+                if refactored:
+                    self.refactorization_count += 1
+                else:
+                    self.factorization_count += 1
+                solutions[sample, k] = factorization.solve(rhs)
+        return solutions
+
     def factor_sweep(self, s, conductance_scale=1.0,
                      frequency_scale=1.0) -> "SweepFactors":
         """Factor at every point and *keep* the factors (see :class:`SweepFactors`)."""

@@ -24,7 +24,7 @@ from ..errors import LinAlgError, SingularMatrixError
 from ..xfloat import XFloat
 
 __all__ = ["dense_lu", "DenseLU", "batched_dense_lu", "BatchedDenseLU",
-           "sweep_chunk_size"]
+           "batched_solve", "sweep_chunk_size"]
 
 #: Complex entries per assembled dense sweep chunk (~64 MB): sweeps longer
 #: than this per-matrix budget are factored chunk by chunk so memory stays
@@ -318,6 +318,74 @@ class BatchedDenseLU:
         if self.singular.any():
             work[self.singular] = 0.0
         return work
+
+
+def batched_solve(stack, rhs) -> np.ndarray:
+    """Solve ``A_b x_b = b_b`` for a ``(B, n, n)`` stack via LAPACK (``zgesv``).
+
+    This is the high-throughput solver of the Monte Carlo ensemble engine:
+    several times faster than :func:`batched_dense_lu` + ``solve`` at typical
+    circuit sizes, at the price of not exposing factors, determinants or
+    member views.  LAPACK factors every matrix of the stack independently,
+    so the result for a given matrix is **bit-for-bit independent of the
+    batch it is solved in** — solving one matrix alone, or inside a stack of
+    thousands, returns identical bits (asserted by the ensemble test suite).
+    Use it when only solutions are needed; sweeps that extract determinants
+    (the interpolation sampler) or bit-parity member views stay on
+    :func:`batched_dense_lu`.
+
+    Parameters
+    ----------
+    stack:
+        ``(B, n, n)`` complex matrices.
+    rhs:
+        One shared right-hand side of length ``n`` (broadcast over the
+        batch) or a ``(B, n)`` stack.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(B, n)`` complex solutions.
+
+    Raises
+    ------
+    SingularMatrixError
+        When any matrix of the stack is exactly singular.  The exception's
+        ``batch_index`` attribute carries the index of the first offender
+        (``None`` when LAPACK flagged the stack but no exactly-zero pivot
+        was found), so callers can name the failing member without
+        re-factoring the stack.
+    """
+    stack = np.asarray(stack, dtype=complex)
+    if stack.ndim != 3 or stack.shape[1] != stack.shape[2]:
+        raise LinAlgError("batched_solve expects a (B, n, n) stack")
+    batch, n = stack.shape[0], stack.shape[1]
+    rhs = np.asarray(rhs, dtype=complex)
+    if rhs.ndim == 1:
+        if rhs.shape[0] != n:
+            raise LinAlgError(f"rhs has {rhs.shape[0]} entries, expected {n}")
+        columns = np.broadcast_to(rhs[None, :, None], (batch, n, 1))
+    elif rhs.shape == (batch, n):
+        columns = rhs[:, :, None]
+    else:
+        raise LinAlgError(
+            f"rhs stack has shape {rhs.shape}, expected ({batch}, {n})")
+    try:
+        return np.linalg.solve(stack, columns)[:, :, 0]
+    except np.linalg.LinAlgError:
+        # Locate the offending matrix for a precise diagnostic (the gufunc
+        # reports only that *some* member is singular).
+        factorization = batched_dense_lu(stack)
+        if factorization.singular.any():
+            index = int(np.argmax(factorization.singular))
+            error = SingularMatrixError(
+                f"matrix {index} of the batch is singular")
+            error.batch_index = index
+        else:
+            error = SingularMatrixError(
+                "a matrix of the batch is numerically singular")
+            error.batch_index = None
+        raise error from None
 
 
 def batched_dense_lu(stack, overwrite=False) -> BatchedDenseLU:

@@ -36,7 +36,8 @@ from ..netlist.elements import (
     VoltageSource,
 )
 
-__all__ = ["MnaSystem", "build_mna_system", "system_dimension"]
+__all__ = ["MnaSystem", "build_mna_system", "system_dimension",
+           "stamp_element"]
 
 #: Element types that require an auxiliary branch-current unknown.
 _BRANCH_TYPES = (VoltageSource, VCVS, CCVS, Inductor)
@@ -174,13 +175,137 @@ def system_dimension(circuit) -> int:
     return len(circuit.non_ground_nodes) + branch_count
 
 
-def build_mna_system(circuit) -> MnaSystem:
-    """Assemble the MNA matrices of ``circuit``.
+def stamp_element(element, constant, dynamic, rhs_add, node, branch_index):
+    """Stamp one element into the MNA matrices / right-hand side.
+
+    This is the single source of truth for the MNA stamps:
+    :func:`build_mna_system` drives it with real matrices, and the Monte
+    Carlo value program (:mod:`repro.montecarlo.program`) drives it with
+    recording matrices to learn, per element, exactly which entries it
+    touches and in which order — so a vectorized re-stamping reproduces the
+    builder's accumulation arithmetic to the last bit.
+
+    Parameters
+    ----------
+    element:
+        The circuit element to stamp.
+    constant, dynamic:
+        Objects with ``add(row, col, value)`` (the ``G`` and ``C`` targets).
+    rhs_add:
+        Callable ``rhs_add(index, value)`` accumulating the excitation.
+    node:
+        Callable mapping a node name to its unknown index (``None`` for
+        ground).
+    branch_index:
+        Mapping of lowercase element name to branch-current unknown index.
+    """
+
+    def stamp_pair(matrix, a, b, value):
+        """Standard two-terminal admittance stamp between nodes a and b."""
+        ia, ib = node(a), node(b)
+        if ia is not None:
+            matrix.add(ia, ia, value)
+        if ib is not None:
+            matrix.add(ib, ib, value)
+        if ia is not None and ib is not None:
+            matrix.add(ia, ib, -value)
+            matrix.add(ib, ia, -value)
+
+    if isinstance(element, (Resistor, Conductor)):
+        stamp_pair(constant, element.node_pos, element.node_neg,
+                   element.conductance)
+    elif isinstance(element, Capacitor):
+        stamp_pair(dynamic, element.node_pos, element.node_neg,
+                   element.capacitance)
+    elif isinstance(element, VCCS):
+        out_pos, out_neg = node(element.node_pos), node(element.node_neg)
+        ctrl_pos, ctrl_neg = node(element.ctrl_pos), node(element.ctrl_neg)
+        for row, row_sign in ((out_pos, +1.0), (out_neg, -1.0)):
+            if row is None:
+                continue
+            if ctrl_pos is not None:
+                constant.add(row, ctrl_pos, row_sign * element.gm)
+            if ctrl_neg is not None:
+                constant.add(row, ctrl_neg, -row_sign * element.gm)
+    elif isinstance(element, CurrentSource):
+        pos, neg = node(element.node_pos), node(element.node_neg)
+        if pos is not None:
+            rhs_add(pos, -element.value)
+        if neg is not None:
+            rhs_add(neg, element.value)
+    elif isinstance(element, VoltageSource):
+        branch = branch_index[element.name.lower()]
+        pos, neg = node(element.node_pos), node(element.node_neg)
+        if pos is not None:
+            constant.add(pos, branch, 1.0)
+            constant.add(branch, pos, 1.0)
+        if neg is not None:
+            constant.add(neg, branch, -1.0)
+            constant.add(branch, neg, -1.0)
+        rhs_add(branch, element.value)
+    elif isinstance(element, VCVS):
+        branch = branch_index[element.name.lower()]
+        pos, neg = node(element.node_pos), node(element.node_neg)
+        ctrl_pos, ctrl_neg = node(element.ctrl_pos), node(element.ctrl_neg)
+        if pos is not None:
+            constant.add(pos, branch, 1.0)
+            constant.add(branch, pos, 1.0)
+        if neg is not None:
+            constant.add(neg, branch, -1.0)
+            constant.add(branch, neg, -1.0)
+        if ctrl_pos is not None:
+            constant.add(branch, ctrl_pos, -element.gain)
+        if ctrl_neg is not None:
+            constant.add(branch, ctrl_neg, element.gain)
+    elif isinstance(element, CCCS):
+        ctrl_branch = branch_index[element.ctrl_source.lower()]
+        pos, neg = node(element.node_pos), node(element.node_neg)
+        if pos is not None:
+            constant.add(pos, ctrl_branch, element.gain)
+        if neg is not None:
+            constant.add(neg, ctrl_branch, -element.gain)
+    elif isinstance(element, CCVS):
+        branch = branch_index[element.name.lower()]
+        ctrl_branch = branch_index[element.ctrl_source.lower()]
+        pos, neg = node(element.node_pos), node(element.node_neg)
+        if pos is not None:
+            constant.add(pos, branch, 1.0)
+            constant.add(branch, pos, 1.0)
+        if neg is not None:
+            constant.add(neg, branch, -1.0)
+            constant.add(branch, neg, -1.0)
+        constant.add(branch, ctrl_branch, -element.gain)
+    elif isinstance(element, Inductor):
+        branch = branch_index[element.name.lower()]
+        pos, neg = node(element.node_pos), node(element.node_neg)
+        if pos is not None:
+            constant.add(pos, branch, 1.0)
+            constant.add(branch, pos, 1.0)
+        if neg is not None:
+            constant.add(neg, branch, -1.0)
+            constant.add(branch, neg, -1.0)
+        dynamic.add(branch, branch, -element.inductance)
+    else:
+        raise FormulationError(
+            f"element {element.name!r} of type {type(element).__name__} is "
+            "not supported by the MNA builder"
+        )
+
+
+def system_structure(circuit):
+    """Unknown layout of the circuit's MNA system (no matrices assembled).
+
+    Returns
+    -------
+    (node_names, branch_names, node, branch_index)
+        ``node`` maps a node name to its unknown index (``None`` for ground);
+        ``branch_index`` maps lowercase element names to branch-current
+        indices.
 
     Raises
     ------
     FormulationError
-        For unsupported element types or dangling controlled-source references.
+        For dangling controlled-source references.
     """
     node_names: List[str] = list(circuit.non_ground_nodes)
     node_index = {name: i for i, name in enumerate(node_names)}
@@ -199,105 +324,33 @@ def build_mna_system(circuit) -> MnaSystem:
             )
 
     n_nodes = len(node_names)
-    dimension = n_nodes + len(branch_names)
-    constant = SparseMatrix(dimension, dimension)
-    dynamic = SparseMatrix(dimension, dimension)
-    rhs = np.zeros(dimension, dtype=complex)
-    branch_index = {name.lower(): n_nodes + i for i, name in enumerate(branch_names)}
+    branch_index = {name.lower(): n_nodes + i
+                    for i, name in enumerate(branch_names)}
 
     def node(n):
         return None if n == GROUND else node_index[n]
 
-    def stamp_pair(matrix, a, b, value):
-        """Standard two-terminal admittance stamp between nodes a and b."""
-        ia, ib = node(a), node(b)
-        if ia is not None:
-            matrix.add(ia, ia, value)
-        if ib is not None:
-            matrix.add(ib, ib, value)
-        if ia is not None and ib is not None:
-            matrix.add(ia, ib, -value)
-            matrix.add(ib, ia, -value)
+    return node_names, branch_names, node, branch_index
+
+
+def build_mna_system(circuit) -> MnaSystem:
+    """Assemble the MNA matrices of ``circuit``.
+
+    Raises
+    ------
+    FormulationError
+        For unsupported element types or dangling controlled-source references.
+    """
+    node_names, branch_names, node, branch_index = system_structure(circuit)
+    dimension = len(node_names) + len(branch_names)
+    constant = SparseMatrix(dimension, dimension)
+    dynamic = SparseMatrix(dimension, dimension)
+    rhs = np.zeros(dimension, dtype=complex)
+
+    def rhs_add(index, value):
+        rhs[index] += value
 
     for element in circuit:
-        if isinstance(element, (Resistor, Conductor)):
-            stamp_pair(constant, element.node_pos, element.node_neg,
-                       element.conductance)
-        elif isinstance(element, Capacitor):
-            stamp_pair(dynamic, element.node_pos, element.node_neg,
-                       element.capacitance)
-        elif isinstance(element, VCCS):
-            out_pos, out_neg = node(element.node_pos), node(element.node_neg)
-            ctrl_pos, ctrl_neg = node(element.ctrl_pos), node(element.ctrl_neg)
-            for row, row_sign in ((out_pos, +1.0), (out_neg, -1.0)):
-                if row is None:
-                    continue
-                if ctrl_pos is not None:
-                    constant.add(row, ctrl_pos, row_sign * element.gm)
-                if ctrl_neg is not None:
-                    constant.add(row, ctrl_neg, -row_sign * element.gm)
-        elif isinstance(element, CurrentSource):
-            pos, neg = node(element.node_pos), node(element.node_neg)
-            if pos is not None:
-                rhs[pos] -= element.value
-            if neg is not None:
-                rhs[neg] += element.value
-        elif isinstance(element, VoltageSource):
-            branch = branch_index[element.name.lower()]
-            pos, neg = node(element.node_pos), node(element.node_neg)
-            if pos is not None:
-                constant.add(pos, branch, 1.0)
-                constant.add(branch, pos, 1.0)
-            if neg is not None:
-                constant.add(neg, branch, -1.0)
-                constant.add(branch, neg, -1.0)
-            rhs[branch] += element.value
-        elif isinstance(element, VCVS):
-            branch = branch_index[element.name.lower()]
-            pos, neg = node(element.node_pos), node(element.node_neg)
-            ctrl_pos, ctrl_neg = node(element.ctrl_pos), node(element.ctrl_neg)
-            if pos is not None:
-                constant.add(pos, branch, 1.0)
-                constant.add(branch, pos, 1.0)
-            if neg is not None:
-                constant.add(neg, branch, -1.0)
-                constant.add(branch, neg, -1.0)
-            if ctrl_pos is not None:
-                constant.add(branch, ctrl_pos, -element.gain)
-            if ctrl_neg is not None:
-                constant.add(branch, ctrl_neg, element.gain)
-        elif isinstance(element, CCCS):
-            ctrl_branch = branch_index[element.ctrl_source.lower()]
-            pos, neg = node(element.node_pos), node(element.node_neg)
-            if pos is not None:
-                constant.add(pos, ctrl_branch, element.gain)
-            if neg is not None:
-                constant.add(neg, ctrl_branch, -element.gain)
-        elif isinstance(element, CCVS):
-            branch = branch_index[element.name.lower()]
-            ctrl_branch = branch_index[element.ctrl_source.lower()]
-            pos, neg = node(element.node_pos), node(element.node_neg)
-            if pos is not None:
-                constant.add(pos, branch, 1.0)
-                constant.add(branch, pos, 1.0)
-            if neg is not None:
-                constant.add(neg, branch, -1.0)
-                constant.add(branch, neg, -1.0)
-            constant.add(branch, ctrl_branch, -element.gain)
-        elif isinstance(element, Inductor):
-            branch = branch_index[element.name.lower()]
-            pos, neg = node(element.node_pos), node(element.node_neg)
-            if pos is not None:
-                constant.add(pos, branch, 1.0)
-                constant.add(branch, pos, 1.0)
-            if neg is not None:
-                constant.add(neg, branch, -1.0)
-                constant.add(branch, neg, -1.0)
-            dynamic.add(branch, branch, -element.inductance)
-        else:
-            raise FormulationError(
-                f"element {element.name!r} of type {type(element).__name__} is "
-                "not supported by the MNA builder"
-            )
+        stamp_element(element, constant, dynamic, rhs_add, node, branch_index)
 
     return MnaSystem(circuit, node_names, branch_names, constant, dynamic, rhs)

@@ -1,0 +1,38 @@
+"""Vectorized Monte Carlo / tolerance analysis over the sweep core.
+
+The paper's SDG/SBG approximations keep the symbolically *dominant* terms of
+a network function; whether they stay dominant when element values move is a
+tolerance question.  This package opens that parameter-space axis as a
+first-class workload on top of the :mod:`repro.engine` sweep machinery:
+
+* :mod:`repro.montecarlo.space` — :class:`ParameterSpace`: which element
+  values vary (via :class:`~repro.netlist.elements.Tolerance` metadata
+  attached with ``element.with_tolerance(...)``) and the seeded gaussian /
+  uniform / corner samplers that turn tolerances into value matrices,
+* :mod:`repro.montecarlo.program` — :class:`ValueProgram`: vectorized
+  re-stamping that reproduces the MNA builder's assembly arithmetic
+  bit-for-bit across a whole ensemble,
+* :mod:`repro.montecarlo.engine` — :func:`ensemble_sweep`: M perturbed
+  circuits × F frequencies in chunked stacked solves
+  (:func:`~repro.linalg.dense.batched_solve` LAPACK throughput arm, or the
+  ``solver="lu"`` arm that is bit-identical to the
+  :func:`rebuild_sweep` rebuild-per-sample reference), with the sparse
+  pivot-refactorization fallback above the dense cutoff.
+
+Statistical post-processing — envelopes, variance attribution, corners and
+yield — lives one layer up in :mod:`repro.analysis.montecarlo`.
+"""
+
+from ..netlist.elements import Tolerance
+from .engine import EnsembleResult, ensemble_sweep, rebuild_sweep
+from .program import ValueProgram
+from .space import ParameterSpace
+
+__all__ = [
+    "Tolerance",
+    "ParameterSpace",
+    "ValueProgram",
+    "EnsembleResult",
+    "ensemble_sweep",
+    "rebuild_sweep",
+]

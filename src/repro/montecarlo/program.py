@@ -1,0 +1,263 @@
+"""Vectorized re-stamping: the bit-exact assembly core of the ensemble engine.
+
+Rebuilding a perturbed circuit costs a circuit copy, an MNA re-stamp and a
+dense conversion per sample — pure Python work that dominates small-matrix
+Monte Carlo.  A :class:`ValueProgram` runs the stamping *once*, through the
+same :func:`repro.mna.builder.stamp_element` the real builder uses, with
+recording matrices instead of real ones, and learns
+
+* every ``add(row, col, value)`` the builder performs, in order,
+* which adds depend on a tolerance axis (classified by stamping each varying
+  element a second time at a probe value and diffing), and with which exact
+  coefficient (``±1`` by construction of the MNA stamps),
+* the per-entry accumulation order of the builder's dict-of-keys stamping.
+
+Evaluating the program for an ``(M, E)`` value matrix then replays exactly the
+builder's arithmetic, vectorized over the M samples: each contribution is
+``coefficient · parameter`` (the parameter computed from the element value the
+same way the element class computes it, e.g. ``1/R`` for resistors), and
+contributions fold into their entry in recorded order.  The resulting dense
+``(G_m, C_m)`` stacks are bit-for-bit the matrices
+``build_mna_system(space.apply(values[m])).dense_parts()`` would produce —
+without touching a circuit object.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import FormulationError
+from ..mna.builder import stamp_element, system_structure
+from ..netlist.elements import Resistor
+
+__all__ = ["ValueProgram"]
+
+
+class _RecordingMatrix:
+    """Stands in for a SparseMatrix, logging adds instead of performing them."""
+
+    def __init__(self):
+        self.adds: List[Tuple[int, int, complex]] = []
+
+    def add(self, row, col, value):
+        self.adds.append((row, col, value))
+
+
+@dataclasses.dataclass
+class _MatrixProgram:
+    """Replayable accumulation program of one matrix (``G`` or ``C``).
+
+    ``keys`` lists the distinct entries in first-stamp order; contribution
+    ``i`` adds ``const[i]`` (axis ``-1``) or ``coeff[i] · parameter[axis[i]]``
+    into entry ``entry[i]``.  ``levels`` partitions the contributions by
+    per-entry rank so a vectorized fold applies them in exactly the order the
+    builder's dict accumulation did.
+    """
+
+    keys: List[Tuple[int, int]]
+    entry: np.ndarray          # (n_contrib,) int — index into keys
+    axis: np.ndarray           # (n_contrib,) int — parameter axis, -1 = const
+    coeff: np.ndarray          # (n_contrib,) float — exact stamp coefficient
+    const: np.ndarray          # (n_contrib,) complex — value when axis == -1
+    levels: List[Tuple[np.ndarray, np.ndarray]]   # (entry ids, contrib ids)
+
+    def evaluate(self, parameters) -> np.ndarray:
+        """Entry values for an ``(M, E)`` parameter matrix → ``(M, len(keys))``."""
+        parameters = np.asarray(parameters, dtype=float)
+        count = parameters.shape[0]
+        contributions = np.empty((count, len(self.entry)), dtype=complex)
+        constant_mask = self.axis < 0
+        if constant_mask.any():
+            contributions[:, constant_mask] = self.const[constant_mask][None, :]
+        varying = np.flatnonzero(~constant_mask)
+        if varying.size:
+            contributions[:, varying] = (
+                self.coeff[varying][None, :]
+                * parameters[:, self.axis[varying]])
+        values = np.zeros((count, len(self.keys)), dtype=complex)
+        for entries, contribs in self.levels:
+            values[:, entries] = values[:, entries] + contributions[:, contribs]
+        return values
+
+
+def _levels(entry_ids) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Group contributions by per-entry rank (fold order of the dict adds)."""
+    seen: Dict[int, int] = {}
+    levels: List[List[Tuple[int, int]]] = []
+    for contrib, entry in enumerate(entry_ids):
+        rank = seen.get(entry, 0)
+        seen[entry] = rank + 1
+        if rank == len(levels):
+            levels.append([])
+        levels[rank].append((entry, contrib))
+    return [(np.array([e for e, __ in level], dtype=np.intp),
+             np.array([c for __, c in level], dtype=np.intp))
+            for level in levels]
+
+
+def _probe(element):
+    """A copy of ``element`` with its varied parameter moved off-nominal."""
+    if hasattr(element, "gm"):
+        if element.gm == 0.0:
+            return element
+        return dataclasses.replace(element, gm=element.gm * 2.0)
+    if element.value == 0.0:
+        return element
+    return dataclasses.replace(element, value=element.value * 2.0)
+
+
+class ValueProgram:
+    """Replayable stamping program of one circuit over a parameter space.
+
+    Build with :meth:`from_circuit`; evaluate with :meth:`dense_parts` (the
+    dense sweep path) or :meth:`sparse_values` (entry values on the two key
+    lists).  ``parameters`` / ``axis_parameters`` convert sampled element
+    *values* into the stamped quantities (``1/R`` for resistors).
+    """
+
+    def __init__(self, dimension, axes_names, resistor_mask, constant_program,
+                 dynamic_program, rhs):
+        self.dimension = dimension
+        self.axis_names = list(axes_names)
+        self._resistor_mask = resistor_mask
+        self.constant_program = constant_program
+        self.dynamic_program = dynamic_program
+        #: The (sample-invariant) excitation vector, identical to the
+        #: rebuilt systems' ``rhs``.
+        self.rhs = rhs
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_circuit(cls, circuit, space) -> "ValueProgram":
+        """Record the stamping program of ``circuit`` over ``space``'s axes.
+
+        Raises
+        ------
+        FormulationError
+            If the circuit contains elements the MNA builder rejects, or a
+            space axis stamps with a non-reconstructible coefficient.
+        """
+        node_names, branch_names, node, branch_index = system_structure(
+            circuit)
+        dimension = len(node_names) + len(branch_names)
+        axis_of = {name.lower(): position
+                   for position, name in enumerate(space.names)}
+        resistor_mask = np.array(
+            [isinstance(circuit[name], Resistor) for name in space.names])
+
+        records: List[List] = [[], []]   # [constant, dynamic] contribution rows
+        key_ids: List[Dict[Tuple[int, int], int]] = [{}, {}]
+        rhs = np.zeros(dimension, dtype=complex)
+
+        def rhs_add(index, value):
+            rhs[index] += value
+
+        nominal_parameters = cls._axis_parameters_static(
+            np.asarray(space.nominal_values, dtype=float)[None, :],
+            resistor_mask)[0]
+
+        for element in circuit:
+            recorders = (_RecordingMatrix(), _RecordingMatrix())
+            stamp_element(element, recorders[0], recorders[1], rhs_add, node,
+                          branch_index)
+            axis = axis_of.get(element.name.lower(), -1)
+            if axis >= 0:
+                probes = (_RecordingMatrix(), _RecordingMatrix())
+                stamp_element(_probe(element), probes[0], probes[1],
+                              lambda i, v: None, node, branch_index)
+            for kind in (0, 1):
+                adds = recorders[kind].adds
+                probe_adds = probes[kind].adds if axis >= 0 else adds
+                if len(probe_adds) != len(adds):
+                    raise FormulationError(
+                        f"element {element.name!r}: probe stamp changed the "
+                        "entry pattern; cannot build a value program")
+                for (row, col, value), (__, ___, probed) in zip(adds,
+                                                                probe_adds):
+                    key = (row, col)
+                    entry = key_ids[kind].setdefault(key, len(key_ids[kind]))
+                    if axis >= 0 and probed != value:
+                        parameter = nominal_parameters[axis]
+                        records[kind].append(
+                            (entry, axis, value / parameter, 0.0))
+                    else:
+                        records[kind].append((entry, -1, 0.0, value))
+
+        programs = []
+        for kind in (0, 1):
+            rows = records[kind]
+            entry = np.array([r[0] for r in rows], dtype=np.intp)
+            programs.append(_MatrixProgram(
+                keys=list(key_ids[kind]),
+                entry=entry,
+                axis=np.array([r[1] for r in rows], dtype=np.intp),
+                coeff=np.array([r[2] for r in rows]),
+                const=np.array([r[3] for r in rows], dtype=complex),
+                levels=_levels(entry),
+            ))
+        return cls(dimension, space.names, resistor_mask, programs[0],
+                   programs[1], rhs)
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _axis_parameters_static(values, resistor_mask):
+        parameters = np.array(values, dtype=float)
+        if resistor_mask.any():
+            parameters[:, resistor_mask] = 1.0 / parameters[:, resistor_mask]
+        return parameters
+
+    def axis_parameters(self, values) -> np.ndarray:
+        """Stamped parameters for an ``(M, E)`` element-value matrix.
+
+        Resistor axes become conductances through the same ``1.0 / value``
+        the :class:`~repro.netlist.elements.Resistor` class computes; every
+        other axis stamps its value directly.
+        """
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 2 or values.shape[1] != len(self.axis_names):
+            raise FormulationError(
+                f"expected (M, {len(self.axis_names)}) values, got shape "
+                f"{values.shape}")
+        return self._axis_parameters_static(values, self._resistor_mask)
+
+    def sparse_values(self, values):
+        """Per-sample entry values of both matrices.
+
+        Returns ``(constant_keys, constant_values, dynamic_keys,
+        dynamic_values)`` with value arrays of shape ``(M, nnz)`` aligned to
+        the key lists.
+        """
+        parameters = self.axis_parameters(values)
+        return (self.constant_program.keys,
+                self.constant_program.evaluate(parameters),
+                self.dynamic_program.keys,
+                self.dynamic_program.evaluate(parameters))
+
+    def dense_parts(self, values) -> Tuple[np.ndarray, np.ndarray]:
+        """Dense ``(M, n, n)`` stacks of the per-sample ``G`` and ``C`` parts.
+
+        Bit-for-bit what ``build_mna_system(space.apply(values[m]))``
+        followed by ``dense_parts()`` produces, for every sample at once.
+        """
+        parameters = self.axis_parameters(values)
+        count = parameters.shape[0]
+        stacks = []
+        for program in (self.constant_program, self.dynamic_program):
+            stack = np.zeros((count, self.dimension, self.dimension),
+                             dtype=complex)
+            if program.keys:
+                rows = np.array([row for row, __ in program.keys])
+                cols = np.array([col for __, col in program.keys])
+                stack[:, rows, cols] = program.evaluate(parameters)
+            stacks.append(stack)
+        return stacks[0], stacks[1]
+
+    def __repr__(self):
+        return (f"ValueProgram(n={self.dimension}, axes={len(self.axis_names)}, "
+                f"nnz=({len(self.constant_program.keys)}, "
+                f"{len(self.dynamic_program.keys)}))")

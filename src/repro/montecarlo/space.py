@@ -1,0 +1,244 @@
+"""Parameter space of a toleranced circuit.
+
+A :class:`ParameterSpace` fixes *which* element values vary and *how*: each
+axis is one element carrying a :class:`~repro.netlist.elements.Tolerance`
+(attached with ``element.with_tolerance(...)``), and the space maps tolerance
+metadata to concrete value vectors:
+
+* :meth:`ParameterSpace.sample_values` — Monte Carlo draws from a seeded
+  :class:`numpy.random.Generator` (deterministic per seed),
+* :meth:`ParameterSpace.corner_values` — the deterministic tolerance-band
+  corners (full factorial for small spaces, axis extremes plus the
+  one-at-a-time corners for large ones),
+* :meth:`ParameterSpace.apply` — one perturbed :class:`Circuit` per value
+  vector, the rebuild-per-sample reference the vectorized engine is checked
+  against.
+
+Every sampler returns actual element *values* (ohms, farads, siemens, …),
+not multipliers, so the vectorized engine and the rebuild path consume the
+same numbers to the last bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import NetlistError
+from ..netlist.elements import (
+    Capacitor,
+    Conductor,
+    Inductor,
+    Resistor,
+    Tolerance,
+    VCCS,
+)
+
+__all__ = ["ParameterSpace"]
+
+#: Element types whose value the space may vary (the admittance-stamp set the
+#: screening engine supports, plus inductors which stamp a branch equation).
+_VARIABLE_TYPES = (Resistor, Conductor, Capacitor, Inductor, VCCS)
+
+#: Full-factorial corner enumeration is capped at 2**12 = 4096 circuits;
+#: larger spaces fall back to axis extremes + one-at-a-time corners.
+_FULL_FACTORIAL_LIMIT = 12
+
+
+def _element_value(element) -> float:
+    """The varied parameter of one element (gm for VCCS, value otherwise)."""
+    return element.gm if isinstance(element, VCCS) else element.value
+
+
+@dataclasses.dataclass(frozen=True)
+class _Axis:
+    """One varying element: its name, nominal value and tolerance."""
+
+    name: str
+    nominal: float
+    tolerance: Tolerance
+
+
+class ParameterSpace:
+    """The tolerance axes of one circuit.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit at its design point.
+    tolerances:
+        Optional mapping of element name to :class:`Tolerance` (or plain
+        fraction) overriding / augmenting the tolerances carried by the
+        elements themselves.  With no mapping, the space consists of exactly
+        the elements whose ``tolerance`` attribute is set.
+
+    Raises
+    ------
+    NetlistError
+        When the space is empty, or an axis names an element whose type the
+        engines cannot vary (sources and non-VCCS controlled sources).
+    """
+
+    def __init__(self, circuit, tolerances=None):
+        self.circuit = circuit
+        axes: List[_Axis] = []
+        overrides: Dict[str, Tolerance] = {}
+        for name, tolerance in (tolerances or {}).items():
+            if not isinstance(tolerance, Tolerance):
+                tolerance = Tolerance(float(tolerance))
+            overrides[str(name).lower()] = tolerance
+        for element in circuit:
+            tolerance = overrides.pop(element.name.lower(),
+                                      element.tolerance)
+            if tolerance is None:
+                continue
+            if not isinstance(element, _VARIABLE_TYPES):
+                raise NetlistError(
+                    f"element {element.name!r} of type "
+                    f"{type(element).__name__} cannot carry a tolerance axis"
+                )
+            axes.append(_Axis(element.name, _element_value(element),
+                              tolerance))
+        if overrides:
+            missing = ", ".join(sorted(overrides))
+            raise NetlistError(f"tolerance on unknown element(s): {missing}")
+        if not axes:
+            raise NetlistError(
+                "parameter space is empty: no element carries a tolerance "
+                "(attach one with element.with_tolerance(...))"
+            )
+        self.axes: Tuple[_Axis, ...] = tuple(axes)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def names(self) -> List[str]:
+        """Names of the varying elements, in circuit order."""
+        return [axis.name for axis in self.axes]
+
+    @property
+    def nominal_values(self) -> np.ndarray:
+        """Nominal element values, one per axis."""
+        return np.array([axis.nominal for axis in self.axes])
+
+    def __len__(self):
+        return len(self.axes)
+
+    def key(self) -> Tuple:
+        """Hashable content key (for :class:`~repro.engine.session.AnalysisSession`)."""
+        return tuple((axis.name, axis.nominal, axis.tolerance.fraction,
+                      axis.tolerance.distribution) for axis in self.axes)
+
+    # ------------------------------------------------------------------ #
+    # samplers
+    # ------------------------------------------------------------------ #
+
+    def sample_multipliers(self, count, seed=0) -> np.ndarray:
+        """``(count, len(space))`` relative multipliers from a seeded RNG.
+
+        Gaussian axes draw ``1 + (fraction/3)·N(0,1)`` (the band is the
+        3-sigma point); uniform axes draw flat across ``1 ± fraction``;
+        corner axes draw the two band edges with equal probability.
+        Multipliers are floored at ``fraction/100`` above zero so a many-sigma
+        gaussian outlier can never flip an element value's sign.
+        """
+        rng = np.random.default_rng(seed)
+        count = int(count)
+        if count <= 0:
+            raise NetlistError("sample count must be positive")
+        columns = []
+        for axis in self.axes:
+            fraction = axis.tolerance.fraction
+            kind = axis.tolerance.distribution
+            if kind == "gaussian":
+                column = 1.0 + (fraction / 3.0) * rng.standard_normal(count)
+            elif kind == "uniform":
+                column = 1.0 + fraction * rng.uniform(-1.0, 1.0, count)
+            else:  # corner
+                column = 1.0 + fraction * rng.choice([-1.0, 1.0], count)
+            columns.append(np.maximum(column, fraction / 100.0))
+        return np.column_stack(columns)
+
+    def sample_values(self, count, seed=0) -> np.ndarray:
+        """``(count, len(space))`` sampled element values (seeded, deterministic)."""
+        return self.nominal_values[None, :] * self.sample_multipliers(count,
+                                                                      seed)
+
+    def corner_multipliers(self) -> np.ndarray:
+        """Deterministic tolerance-band corner multipliers.
+
+        Up to 12 axes: the full ``2**E`` factorial (low corner first).
+        Beyond that: the all-low / all-high extremes plus every one-at-a-time
+        corner — ``2·E + 2`` rows.
+        """
+        fractions = np.array([axis.tolerance.fraction for axis in self.axes])
+        count = len(self.axes)
+        if count <= _FULL_FACTORIAL_LIMIT:
+            signs = np.array(list(itertools.product((-1.0, 1.0),
+                                                    repeat=count)))
+        else:
+            rows = [-np.ones(count), np.ones(count)]
+            for position in range(count):
+                for sign in (-1.0, 1.0):
+                    row = np.zeros(count)
+                    row[position] = sign
+                    rows.append(row)
+            signs = np.array(rows)
+        return 1.0 + signs * fractions[None, :]
+
+    def corner_values(self) -> np.ndarray:
+        """Element values at the deterministic tolerance-band corners."""
+        return self.nominal_values[None, :] * self.corner_multipliers()
+
+    def admittance_scales(self, values) -> np.ndarray:
+        """``(M, E)`` relative *admittance* multipliers of sampled values.
+
+        The affine parameter-batch engine
+        (:meth:`~repro.engine.formulation.FormulationBase.assemble_param_batch`)
+        scales element admittances, and a resistor whose value scales by
+        ``p`` has its stamped conductance scaled by ``1/p``; this converts
+        element-value samples accordingly.  Axes with a zero nominal value
+        scale by exactly 1 (their samples are identically zero).
+        """
+        values = np.asarray(values, dtype=float)
+        nominal = self.nominal_values
+        resistor = np.array([isinstance(self.circuit[axis.name], Resistor)
+                             for axis in self.axes])
+        with np.errstate(divide="ignore", invalid="ignore"):
+            scales = np.where(resistor[None, :],
+                              nominal[None, :] / values,
+                              values / nominal[None, :])
+        return np.where(nominal[None, :] == 0.0, 1.0, scales)
+
+    # ------------------------------------------------------------------ #
+    # the rebuild reference
+    # ------------------------------------------------------------------ #
+
+    def apply(self, values, name=None):
+        """One perturbed circuit with the space's elements set to ``values``.
+
+        This is the rebuild-per-sample reference path: a single circuit copy
+        plus one element replacement per axis, exactly what a caller without
+        the vectorized engine would run per Monte Carlo sample.
+        """
+        values = np.asarray(values, dtype=float)
+        if values.shape != (len(self.axes),):
+            raise NetlistError(
+                f"expected {len(self.axes)} values, got shape {values.shape}"
+            )
+        perturbed = self.circuit.copy(name or f"{self.circuit.name}-sample")
+        for axis, value in zip(self.axes, values):
+            element = perturbed[axis.name]
+            if isinstance(element, VCCS):
+                replacement = dataclasses.replace(element, gm=float(value))
+            else:
+                replacement = dataclasses.replace(element, value=float(value))
+            perturbed.replace(replacement)
+        return perturbed
+
+    def __repr__(self):
+        return (f"ParameterSpace({self.circuit.name!r}, axes={len(self.axes)}, "
+                f"elements={self.names[:4]}{'...' if len(self.axes) > 4 else ''})")

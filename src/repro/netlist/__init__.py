@@ -17,6 +17,7 @@ used throughout the library:
 
 from .elements import (
     Element,
+    Tolerance,
     Resistor,
     Conductor,
     Capacitor,
@@ -42,6 +43,7 @@ from .transform import (
 
 __all__ = [
     "Element",
+    "Tolerance",
     "Resistor",
     "Conductor",
     "Capacitor",

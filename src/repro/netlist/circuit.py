@@ -21,6 +21,7 @@ The circuit does not interpret element semantics; the matrix builders in
 from __future__ import annotations
 
 import copy as _copy
+import dataclasses
 from typing import Dict, Iterable, Iterator, List, Optional
 
 from ..errors import NetlistError, UnknownElementError, UnknownNodeError
@@ -314,23 +315,12 @@ class Circuit:
         duplicate = self.copy(new_name)
         element = duplicate[name]
         if isinstance(element, VCCS):
-            duplicate.replace(
-                VCCS(
-                    element.name,
-                    element.node_pos,
-                    element.node_neg,
-                    element.ctrl_pos,
-                    element.ctrl_neg,
-                    element.gm * factor,
-                )
-            )
+            duplicate.replace(dataclasses.replace(element,
+                                                  gm=element.gm * factor))
         elif isinstance(element, (Resistor, Conductor, Capacitor, Inductor,
                                   VoltageSource, CurrentSource)):
             duplicate.replace(
-                type(element)(
-                    element.name, element.node_pos, element.node_neg,
-                    element.value * factor,
-                )
+                dataclasses.replace(element, value=element.value * factor)
             )
         else:
             raise NetlistError(f"cannot scale element of type {type(element).__name__}")

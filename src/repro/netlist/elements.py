@@ -27,12 +27,13 @@ interpolation engine can use them:
 from __future__ import annotations
 
 import dataclasses
-from typing import Tuple
+from typing import Optional, Tuple
 
 from ..errors import NetlistError
 
 __all__ = [
     "GROUND",
+    "Tolerance",
     "Element",
     "TwoTerminal",
     "Resistor",
@@ -49,6 +50,43 @@ __all__ = [
 
 #: Canonical name of the reference (ground) node.
 GROUND = "0"
+
+#: Distributions a :class:`Tolerance` can draw element values from.
+TOLERANCE_DISTRIBUTIONS = ("gaussian", "uniform", "corner")
+
+
+@dataclasses.dataclass(frozen=True)
+class Tolerance:
+    """Manufacturing tolerance of one element value.
+
+    Attributes
+    ----------
+    fraction:
+        Relative tolerance band, e.g. ``0.05`` for a ±5 % component.
+    distribution:
+        ``"gaussian"`` (the band is the 3-sigma point, the usual reading of a
+        component tolerance), ``"uniform"`` (flat across the band) or
+        ``"corner"`` (values only at the band edges).
+
+    The value samplers live in :class:`repro.montecarlo.ParameterSpace`;
+    this object is pure metadata carried by the element, so it participates
+    in the circuit fingerprint (a re-toleranced circuit is different content).
+    """
+
+    fraction: float
+    distribution: str = "gaussian"
+
+    def __post_init__(self):
+        object.__setattr__(self, "fraction", float(self.fraction))
+        if not 0.0 < self.fraction < 1.0:
+            raise NetlistError(
+                f"tolerance fraction must be in (0, 1), got {self.fraction!r}"
+            )
+        if self.distribution not in TOLERANCE_DISTRIBUTIONS:
+            raise NetlistError(
+                f"unknown tolerance distribution {self.distribution!r} "
+                f"(expected one of {TOLERANCE_DISTRIBUTIONS})"
+            )
 
 
 def _check_node(node):
@@ -72,6 +110,11 @@ class Element:
 
     name: str
 
+    #: Optional manufacturing tolerance on the element's value — consumed by
+    #: the Monte Carlo / tolerance-analysis engine (:mod:`repro.montecarlo`).
+    tolerance: Optional[Tolerance] = dataclasses.field(default=None,
+                                                       kw_only=True)
+
     #: Single-letter SPICE-style prefix used by the writer; subclasses override.
     prefix = "X"
 
@@ -87,6 +130,21 @@ class Element:
     def renamed(self, name):
         """Return a copy of the element with a different name."""
         return dataclasses.replace(self, name=name)
+
+    def with_tolerance(self, fraction, distribution="gaussian"):
+        """Copy of the element carrying a :class:`Tolerance`.
+
+        ``fraction`` may also be an already-built :class:`Tolerance` (the
+        ``distribution`` argument is then ignored), or ``None`` to strip an
+        existing tolerance.
+        """
+        if fraction is None:
+            tolerance = None
+        elif isinstance(fraction, Tolerance):
+            tolerance = fraction
+        else:
+            tolerance = Tolerance(fraction, distribution)
+        return dataclasses.replace(self, tolerance=tolerance)
 
     def with_nodes(self, mapping):
         """Return a copy with every node renamed through ``mapping``.

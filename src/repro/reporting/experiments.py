@@ -47,6 +47,7 @@ __all__ = [
     "SensitivityScreeningResult",
     "SessionWorkloadResult",
     "SymbolicKernelResult",
+    "MonteCarloEnsembleResult",
     "run_table1",
     "run_table2_table3",
     "run_fig2",
@@ -57,6 +58,8 @@ __all__ = [
     "run_sensitivity_screening",
     "run_session_workload",
     "run_symbolic_kernel",
+    "run_montecarlo_ensemble",
+    "ua741_tolerance_space",
 ]
 
 
@@ -757,6 +760,164 @@ def run_session_workload(num_verify_points=300, num_screen_points=25,
                                                        session_outputs),
             cache_hits=last_session.hits,
             cache_misses=last_session.misses,
+        ))
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# Monte Carlo ensembles — stacked parameter-batch solves vs per-sample rebuilds
+# --------------------------------------------------------------------------- #
+
+
+#: The µA741 macro's discrete passives — the realistic tolerance set of the
+#: ensemble benchmark (transistor small-signal parameters are bias-derived,
+#: not toleranced components).
+_UA741_PASSIVES = ("R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9",
+                   "RL", "Cc", "CL")
+
+
+def ua741_tolerance_space(tolerance=0.05):
+    """µA741 circuit, spec and the tolerance space over its discrete passives."""
+    from ..montecarlo import ParameterSpace
+
+    circuit, spec = build_ua741()
+    space = ParameterSpace(circuit,
+                           {name: tolerance for name in _UA741_PASSIVES})
+    return circuit, spec, space
+
+
+@dataclasses.dataclass
+class MonteCarloEnsembleResult:
+    """Vectorized ensemble engine vs the rebuild-per-sample baseline.
+
+    Three arms over the *same* sampled element values:
+
+    * the rebuild baseline — one circuit copy + MNA build + production
+      :class:`~repro.analysis.ac.ACAnalysis` sweep per sample,
+    * the vectorized engine with ``solver="lu"`` — same hand-rolled kernels,
+      assembly replayed by the value program; ``exact_deviation`` is its
+      worst absolute response difference against the baseline and the
+      acceptance bar is exactly 0.0 (the vectorization is a pure
+      reorganization of the rebuild path's arithmetic),
+    * the vectorized engine with ``solver="lapack"`` — the throughput
+      default; ``speedup`` is baseline time over this arm's time, and
+      ``batch_invariant`` asserts it returns bit-identical responses to the
+      same LAPACK solver applied one sample at a time.
+    """
+
+    circuit_name: str
+    dimension: int
+    num_samples: int
+    num_frequencies: int
+    num_axes: int
+    rebuild_seconds: float
+    vectorized_seconds: float
+    exact_arm_seconds: float
+    #: max |vectorized(lu) − rebuild| over every sample and frequency.
+    exact_deviation: float
+    #: Worst relative deviation of the LAPACK arm vs the rebuild baseline
+    #: (different factorization arithmetic, so ~1e-12, not 0).
+    lapack_relative_deviation: float
+    #: Vectorized LAPACK responses == one-sample-at-a-time LAPACK responses.
+    batch_invariant: bool
+
+    @property
+    def speedup(self) -> float:
+        """Wall-clock ratio rebuild / vectorized (LAPACK arm)."""
+        if self.vectorized_seconds == 0.0:
+            return float("inf")
+        return self.rebuild_seconds / self.vectorized_seconds
+
+    @property
+    def exact_arm_speedup(self) -> float:
+        """Wall-clock ratio rebuild / vectorized (bit-exact LU arm)."""
+        if self.exact_arm_seconds == 0.0:
+            return float("inf")
+        return self.rebuild_seconds / self.exact_arm_seconds
+
+    def describe(self) -> str:
+        """One line for the experiment table."""
+        return (
+            f"{self.circuit_name:>12} (n={self.dimension:>3}, "
+            f"M={self.num_samples:>4}, F={self.num_frequencies:>4}, "
+            f"E={self.num_axes:>3}): "
+            f"rebuild {self.rebuild_seconds:6.2f} s, "
+            f"vectorized {self.vectorized_seconds:6.2f} s "
+            f"(speedup {self.speedup:4.1f}x), "
+            f"exact arm {self.exact_arm_seconds:6.2f} s "
+            f"dev {self.exact_deviation!r}, "
+            f"lapack dev {self.lapack_relative_deviation:.2e}, "
+            f"batch-invariant {'ok' if self.batch_invariant else 'NO'}"
+        )
+
+
+def run_montecarlo_ensemble(num_samples=256, num_points=200, tolerance=0.05,
+                            seed=42, circuits=None,
+                            f_min=1.0, f_max=1e8,
+                            repeats=3) -> List[MonteCarloEnsembleResult]:
+    """Compare the vectorized ensemble engine against per-sample rebuilds.
+
+    Every circuit's tolerance ensemble is evaluated three ways over identical
+    sampled values (see :class:`MonteCarloEnsembleResult`).  The vectorized
+    LAPACK arm takes the best wall-clock of ``repeats`` runs; the two slow
+    arms run once (their several-second durations are stable).
+
+    Parameters
+    ----------
+    circuits:
+        Optional list of ``(name, (circuit, spec, space))`` triples;
+        defaults to the µA741 macro with ±5 % tolerances on its discrete
+        passives (:func:`ua741_tolerance_space`).
+    """
+    from ..montecarlo import ensemble_sweep, rebuild_sweep
+
+    if circuits is None:
+        circuits = [("ua741", ua741_tolerance_space(tolerance))]
+    frequencies = np.logspace(np.log10(f_min), np.log10(f_max), num_points)
+    results = []
+    for name, (circuit, spec, space) in circuits:
+        values = space.sample_values(num_samples, seed=seed)
+
+        vectorized_seconds = float("inf")
+        vectorized = None
+        for __ in range(repeats):
+            start = time.perf_counter()
+            vectorized = ensemble_sweep(circuit, spec, frequencies, space,
+                                        values=values, solver="lapack")
+            vectorized_seconds = min(vectorized_seconds,
+                                     time.perf_counter() - start)
+
+        start = time.perf_counter()
+        rebuild = rebuild_sweep(circuit, spec, frequencies, space,
+                                values=values, solver="lu")
+        rebuild_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        exact = ensemble_sweep(circuit, spec, frequencies, space,
+                               values=values, solver="lu")
+        exact_arm_seconds = time.perf_counter() - start
+
+        one_at_a_time = rebuild_sweep(circuit, spec, frequencies, space,
+                                      values=values, solver="lapack")
+
+        exact_deviation = float(np.max(np.abs(exact.responses
+                                              - rebuild.responses)))
+        scale = np.maximum(np.abs(rebuild.responses), np.finfo(float).tiny)
+        lapack_deviation = float(np.max(
+            np.abs(vectorized.responses - rebuild.responses) / scale))
+        results.append(MonteCarloEnsembleResult(
+            circuit_name=name,
+            dimension=system_dimension(circuit),
+            num_samples=num_samples,
+            num_frequencies=num_points,
+            num_axes=len(space),
+            rebuild_seconds=rebuild_seconds,
+            vectorized_seconds=vectorized_seconds,
+            exact_arm_seconds=exact_arm_seconds,
+            exact_deviation=exact_deviation,
+            lapack_relative_deviation=lapack_deviation,
+            batch_invariant=bool(np.array_equal(vectorized.responses,
+                                                one_at_a_time.responses)),
         ))
     return results
 

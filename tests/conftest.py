@@ -5,6 +5,14 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="regenerate the committed golden snapshots in tests/golden/ "
+             "instead of asserting against them",
+    )
+
 from repro.circuits.miller_ota import build_miller_ota
 from repro.circuits.ota import build_positive_feedback_ota
 from repro.circuits.rc_ladder import build_rc_ladder

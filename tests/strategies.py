@@ -1,0 +1,128 @@
+"""Seeded random-circuit generator for the property-test harness.
+
+:func:`random_circuit` draws small RC / RLC / active (VCCS) circuits from a
+seeded :class:`numpy.random.Generator`, with two structural guarantees:
+
+* **connected** — node ``k`` is always joined to an earlier node (or ground)
+  by a resistor, so the resistive skeleton is a spanning tree over every
+  node and nothing floats;
+* **known-solvable** — the spanning tree gives every node a DC path to
+  ground and transconductances are kept below the mean tree conductance, so
+  the nodal matrix stays non-singular on the positive-frequency axis.  The
+  generator verifies this by solving the MNA system at a probe frequency and
+  redraws (deterministically, from the same seeded stream) in the
+  vanishingly unlikely event of a singular draw.
+
+Every circuit is driven by a grounded unit voltage source ``Vin`` at node
+``in`` and observed at the topologically farthest node, so the returned
+``(circuit, spec)`` pair drops into any transfer-function API of the
+library.  Determinism: the same ``seed`` (and ``kind``) always yields the
+same circuit, element names and values — CI runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SingularMatrixError
+from repro.mna.solve import ac_solve
+from repro.netlist.circuit import Circuit
+from repro.nodal.reduce import TransferSpec
+
+__all__ = ["random_circuit", "CIRCUIT_KINDS"]
+
+#: Supported topology families.
+CIRCUIT_KINDS = ("rc", "rlc", "vccs")
+
+
+def _log_uniform(rng, low, high):
+    """One value log-uniform in ``[low, high]``."""
+    return float(10.0 ** rng.uniform(np.log10(low), np.log10(high)))
+
+
+def _draw(rng, kind, min_nodes, max_nodes):
+    """One candidate circuit from the stream (may be singular; caller checks)."""
+    num_nodes = int(rng.integers(min_nodes, max_nodes + 1))
+    nodes = ["in"] + [f"n{index}" for index in range(1, num_nodes)]
+    circuit = Circuit(f"random-{kind}")
+    circuit.add_voltage_source("Vin", "in", "0", 1.0)
+
+    # Resistive spanning tree: every node reaches ground through resistors.
+    conductances = []
+    circuit.add_resistor("Rt0", "in", "0", _log_uniform(rng, 1e2, 1e5))
+    conductances.append(1.0 / circuit["Rt0"].value)
+    for index in range(1, num_nodes):
+        anchor = nodes[int(rng.integers(0, index))] if rng.random() < 0.7 \
+            else "0"
+        resistance = _log_uniform(rng, 1e2, 1e5)
+        circuit.add_resistor(f"Rt{index}", nodes[index], anchor, resistance)
+        conductances.append(1.0 / resistance)
+
+    def random_pair():
+        """A random ordered pair of distinct terminals (node or ground)."""
+        while True:
+            a = nodes[int(rng.integers(0, num_nodes))]
+            b = "0" if rng.random() < 0.4 else nodes[int(
+                rng.integers(0, num_nodes))]
+            if a != b:
+                return a, b
+
+    # Capacitors: one per node on average, plus grounded load at the output.
+    for index in range(int(rng.integers(1, num_nodes + 1))):
+        a, b = random_pair()
+        circuit.add_capacitor(f"C{index}", a, b,
+                              _log_uniform(rng, 1e-12, 1e-7))
+
+    if kind == "rlc":
+        for index in range(int(rng.integers(1, max(2, num_nodes // 2) + 1))):
+            a, b = random_pair()
+            circuit.add_inductor(f"L{index}", a, b,
+                                 _log_uniform(rng, 1e-6, 1e-2))
+    elif kind == "vccs":
+        # Modest transconductances (below the mean tree conductance) keep
+        # the active circuit comfortably non-singular.
+        limit = float(np.mean(conductances))
+        for index in range(int(rng.integers(1, max(2, num_nodes // 2) + 1))):
+            out_pos, out_neg = random_pair()
+            ctrl_pos, ctrl_neg = random_pair()
+            gm = _log_uniform(rng, limit * 1e-3, limit * 0.5)
+            if rng.random() < 0.3:
+                gm = -gm
+            circuit.add_vccs(f"G{index}", out_pos, out_neg, ctrl_pos,
+                             ctrl_neg, gm)
+
+    output = nodes[-1] if nodes[-1] != "in" else "in"
+    return circuit, TransferSpec(inputs=["Vin"], output=output)
+
+
+def random_circuit(seed, kind=None, min_nodes=3, max_nodes=6):
+    """A random connected, solvable circuit plus its transfer spec.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the :class:`numpy.random.Generator` — same seed, same
+        circuit.
+    kind:
+        ``"rc"``, ``"rlc"`` or ``"vccs"``; default: derived from the seed.
+    min_nodes, max_nodes:
+        Bounds on the number of non-ground nodes (including the input).
+
+    Returns
+    -------
+    (Circuit, TransferSpec)
+    """
+    rng = np.random.default_rng(seed)
+    if kind is None:
+        kind = CIRCUIT_KINDS[int(seed) % len(CIRCUIT_KINDS)]
+    if kind not in CIRCUIT_KINDS:
+        raise ValueError(f"unknown circuit kind {kind!r}")
+    for __ in range(5):
+        circuit, spec = _draw(rng, kind, min_nodes, max_nodes)
+        try:
+            ac_solve(circuit, 2j * np.pi * 997.0)
+        except SingularMatrixError:   # pragma: no cover - vanishingly rare
+            continue
+        return circuit, spec
+    raise AssertionError(   # pragma: no cover
+        f"seed {seed} produced five singular circuits in a row")

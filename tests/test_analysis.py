@@ -113,6 +113,27 @@ class TestCompare:
         with pytest.raises(ValueError):
             compare_responses(frequencies_decade, np.ones(3), np.ones(4))
 
+    def test_zero_baseline_sample_stays_finite(self, frequencies_decade):
+        # Regression: the relative error used to divide by the (tiny-floored)
+        # reference alone, so a reference passing exactly through zero blew
+        # the metric up to ~1/tiny.  With the symmetric max(|a|, |b|, floor)
+        # denominator the worst sample-wise relative error is bounded by 1.
+        reference = np.ones(len(frequencies_decade), dtype=complex)
+        reference[3] = 0.0
+        candidate = reference.copy()
+        candidate[3] = 1e-3
+        comparison = compare_responses(frequencies_decade, reference,
+                                       candidate)
+        assert np.isfinite(comparison.max_relative_error)
+        assert comparison.max_relative_error == pytest.approx(1.0)
+
+    def test_both_zero_samples_count_as_equal(self, frequencies_decade):
+        reference = np.ones(len(frequencies_decade), dtype=complex)
+        reference[5] = 0.0
+        comparison = compare_responses(frequencies_decade, reference,
+                                       reference.copy())
+        assert comparison.max_relative_error == 0.0
+
 
 class TestPoles:
     def test_polynomial_roots_simple(self):

@@ -1,0 +1,143 @@
+"""Error-path coverage for the parser and the experiment runners (PR 5).
+
+The two thinnest-covered surfaces before this PR: malformed netlist input
+(duplicate names, dangling nodes, zero-value edge cases) and the failure /
+degenerate branches of :mod:`repro.reporting.experiments`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParseError
+from repro.netlist.parser import parse_netlist
+from repro.netlist.validate import validate_circuit
+from repro.reporting import experiments
+from repro.reporting.experiments import (
+    BatchSweepResult,
+    MonteCarloEnsembleResult,
+    SensitivityScreeningResult,
+    run_symbolic_kernel,
+    ua741_tolerance_space,
+)
+
+
+class TestParserMalformedInput:
+    def test_duplicate_element_names(self):
+        with pytest.raises(ParseError, match="duplicate element name"):
+            parse_netlist("R1 a 0 1k\nR1 b 0 2k\n")
+        # Element names are case-insensitive, like SPICE.
+        with pytest.raises(ParseError, match="duplicate element name"):
+            parse_netlist("R1 a 0 1k\nr1 b 0 2k\n")
+
+    def test_both_terminals_on_one_node(self):
+        with pytest.raises(ParseError, match="both terminals"):
+            parse_netlist("R1 a a 1k\n")
+
+    def test_zero_and_negative_values(self):
+        with pytest.raises(ParseError, match="non-positive resistance"):
+            parse_netlist("R1 a 0 0\n")
+        with pytest.raises(ParseError, match="non-positive resistance"):
+            parse_netlist("R1 a 0 -1k\n")
+        with pytest.raises(ParseError, match="negative capacitance"):
+            parse_netlist("C1 a 0 -1p\n")
+        with pytest.raises(ParseError, match="non-positive inductance"):
+            parse_netlist("L1 a 0 0\n")
+        # Zero-valued conductors and sources are legal (gds = 0, AC-off
+        # source) and must parse cleanly.
+        circuit = parse_netlist("V1 a 0 0\nR1 a 0 1k\n")
+        assert circuit["V1"].value == 0.0
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_netlist("* title\nR1 a 0 1k\nR2 b b 1k\n")
+        assert excinfo.value.line_number == 3
+        assert "line 3" in str(excinfo.value)
+
+    def test_model_card_needs_name_and_type(self):
+        with pytest.raises(ParseError, match=r"\.model needs"):
+            parse_netlist(".model onlyname\n")
+        with pytest.raises(ParseError, match=r"\.subckt needs"):
+            parse_netlist(".subckt\n.ends\n")
+
+    def test_dangling_node_reported_by_validation(self):
+        circuit = parse_netlist("V1 in 0 ac 1\nR1 in out 1k\nR2 out 0 1k\n"
+                                "C1 lonely 0 1p\n")
+        report = validate_circuit(circuit, raise_on_error=False)
+        assert not report.ok or report.warnings
+        joined = " ".join(report.errors + report.warnings)
+        assert "lonely" in joined
+
+    def test_ignored_dot_cards_are_collected_not_fatal(self):
+        circuit = parse_netlist(".options reltol=1e-4\nR1 a 0 1k\n.end\n")
+        assert "R1" in circuit
+
+
+class TestExperimentErrorPaths:
+    def test_symbolic_kernel_rejects_empty_epsilons(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            run_symbolic_kernel(epsilons=())
+
+    def test_zero_time_speedups_are_infinite(self):
+        batch = BatchSweepResult(
+            circuit_name="x", dimension=3, num_points=2,
+            pointwise_seconds=1.0, batched_seconds=0.0,
+            max_relative_deviation=0.0, bitwise_identical=True)
+        assert batch.speedup == float("inf")
+        screening = SensitivityScreeningResult(
+            circuit_name="x", dimension=3, num_elements=2,
+            num_frequencies=2, rank1_seconds=0.0, rebuild_seconds=1.0,
+            max_relative_deviation=0.0, ranking_identical=True,
+            singular_sets_identical=True)
+        assert screening.speedup == float("inf")
+        ensemble = MonteCarloEnsembleResult(
+            circuit_name="x", dimension=3, num_samples=4,
+            num_frequencies=2, num_axes=1, rebuild_seconds=1.0,
+            vectorized_seconds=0.0, exact_arm_seconds=0.0,
+            exact_deviation=0.0, lapack_relative_deviation=0.0,
+            batch_invariant=True)
+        assert ensemble.speedup == float("inf")
+        assert ensemble.exact_arm_speedup == float("inf")
+        assert "batch-invariant ok" in ensemble.describe()
+
+    def test_screening_deviation_flags_none_mismatch(self):
+        from repro.analysis.sensitivity import ElementScreening, ScreeningResult
+
+        frequencies = np.array([1.0, 10.0])
+        baseline = np.ones(2, dtype=complex)
+
+        def result(response):
+            return ScreeningResult(
+                frequencies=frequencies, baseline=baseline,
+                screenings=[ElementScreening("R1", response, response)],
+                perturbation=0.01, method="rank1")
+
+        mismatch = experiments._screening_deviation(
+            result(None), result(baseline.copy()))
+        assert mismatch == float("inf")
+        agree = experiments._screening_deviation(result(None), result(None))
+        assert agree == 0.0
+
+    def test_workload_deviation_flags_ranking_mismatch(self):
+        cold = {"ranking": ["a", "b"], "curve": np.ones(3)}
+        warm_ok = {"ranking": ["a", "b"], "curve": np.ones(3)}
+        warm_bad = {"ranking": ["b", "a"], "curve": np.ones(3)}
+        assert experiments._workload_deviation(cold, warm_ok) == 0.0
+        assert experiments._workload_deviation(cold, warm_bad) == float("inf")
+
+    def test_ua741_tolerance_space_covers_the_passives(self):
+        circuit, spec, space = ua741_tolerance_space(0.05)
+        assert len(space) == 12
+        assert set(space.names) == {"R1", "R2", "R3", "R4", "R5", "R6", "R7",
+                                    "R8", "R9", "RL", "Cc", "CL"}
+        assert all(axis.tolerance.fraction == 0.05 for axis in space.axes)
+
+    def test_montecarlo_runner_reduced_shape(self):
+        result = experiments.run_montecarlo_ensemble(
+            num_samples=6, num_points=5, repeats=1)[0]
+        assert result.num_samples == 6 and result.num_frequencies == 5
+        assert result.exact_deviation == 0.0
+        assert result.batch_invariant
+        assert result.lapack_relative_deviation <= 1e-9
+        assert "ua741" in result.describe()

@@ -1,0 +1,151 @@
+"""Randomized property tests over generated circuits (fixed seeds, CI-stable).
+
+Fifty-plus circuits from :mod:`tests.strategies` cross-check the library's
+independent computation paths against each other:
+
+* MNA vs nodal transfer functions (two formulations, one answer),
+* symbolic vs numeric determinants (the symbolic kernel against
+  ``repro.linalg``),
+* rank-1 vs rebuild sensitivity screening (Sherman–Morrison against the
+  brute-force oracle),
+* vectorized Monte Carlo ensembles vs per-sample rebuilds (bit-exact).
+
+Every seed is pinned, so a failure reproduces locally with the seed in the
+test id.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.ac import ACAnalysis
+from repro.analysis.sensitivity import screen_elements
+from repro.linalg.det import determinant
+from repro.montecarlo import ParameterSpace, ensemble_sweep, rebuild_sweep
+from repro.netlist.elements import Capacitor, Resistor, VCCS
+from repro.netlist.transform import to_admittance_form
+from repro.nodal.admittance import build_nodal_formulation
+from repro.nodal.sampler import NetworkFunctionSampler
+from repro.symbolic.determinant import symbolic_determinant
+from repro.symbolic.matrix import build_symbolic_nodal
+
+from strategies import random_circuit
+
+#: 20 + 12 + 12 + 8 = 52 generated circuits per run.
+MNA_VS_NODAL_SEEDS = list(range(100, 120))
+DETERMINANT_SEEDS = list(range(200, 212))
+SCREENING_SEEDS = list(range(300, 312))
+MONTECARLO_SEEDS = list(range(400, 408))
+
+_PROBE_FREQUENCIES = np.array([13.0, 997.0, 1.1e4, 2.3e5, 5.7e6])
+
+
+def _relative(reference, candidate):
+    scale = np.maximum(np.maximum(np.abs(reference), np.abs(candidate)),
+                       np.finfo(float).tiny)
+    return float(np.max(np.abs(candidate - reference) / scale))
+
+
+class TestMnaVsNodal:
+    """The MNA sweep and the nodal sampler agree on every generated circuit."""
+
+    @pytest.mark.parametrize("seed", MNA_VS_NODAL_SEEDS)
+    def test_transfer_equivalence(self, seed):
+        circuit, spec = random_circuit(seed)
+        mna_response = ACAnalysis(circuit, spec).frequency_response(
+            _PROBE_FREQUENCIES)
+
+        admittance = to_admittance_form(circuit)
+        sampler = NetworkFunctionSampler(admittance, spec)
+        points = (2j * math.pi * _PROBE_FREQUENCIES).tolist()
+        nodal_response = np.array([sample.transfer()
+                                   for sample in sampler.sample_many(points)])
+        # The OTA engine test compares differential cancellation noise
+        # absolutely; these single-ended outputs are well-conditioned, so a
+        # tight symmetric relative bound holds.
+        assert _relative(mna_response, nodal_response) <= 1e-8, seed
+
+
+class TestSymbolicVsNumericDeterminant:
+    """The symbolic determinant evaluates to the numeric one at random s."""
+
+    @pytest.mark.parametrize("seed", DETERMINANT_SEEDS)
+    def test_determinant_matches_linalg(self, seed):
+        # Small circuits only: exact expansion is exponential in size.
+        circuit, spec = random_circuit(seed, min_nodes=3, max_nodes=4)
+        admittance = to_admittance_form(circuit)
+        nodal = build_symbolic_nodal(admittance, spec)
+        formulation = build_nodal_formulation(admittance, spec)
+        symbolic = symbolic_determinant(nodal.entries, nodal.dimension,
+                                        max_terms=2_000_000)
+        rng = np.random.default_rng(seed)
+        for __ in range(3):
+            magnitude = 10.0 ** rng.uniform(3.0, 7.0)
+            angle = rng.uniform(0.2, math.pi - 0.2)
+            s = magnitude * complex(math.cos(angle), math.sin(angle))
+            mantissa, exponent = determinant(formulation.assemble(s))
+            expected = complex(mantissa) * 10.0 ** exponent
+            value = symbolic.evaluate(nodal.table, s)
+            assert value == pytest.approx(expected, rel=1e-6), (seed, s)
+
+
+class TestRank1VsRebuildScreening:
+    """Sherman–Morrison screening equals the rebuild oracle on random circuits."""
+
+    @pytest.mark.parametrize("seed", SCREENING_SEEDS)
+    def test_screening_equivalence(self, seed):
+        circuit, spec = random_circuit(seed)
+        frequencies = _PROBE_FREQUENCIES
+        rank1 = screen_elements(circuit, spec, frequencies, method="rank1")
+        rebuild = screen_elements(circuit, spec, frequencies,
+                                  method="rebuild")
+        assert len(rank1.screenings) == len(rebuild.screenings)
+        for ours, oracle in zip(rank1.screenings, rebuild.screenings):
+            assert ours.name == oracle.name
+            for candidate, reference in (
+                (ours.removal_response, oracle.removal_response),
+                (ours.perturbed_response, oracle.perturbed_response),
+            ):
+                assert (candidate is None) == (reference is None), (
+                    seed, ours.name)
+                if candidate is None:
+                    continue
+                scale = np.maximum(
+                    np.maximum(np.abs(reference), np.abs(rebuild.baseline)),
+                    np.finfo(float).tiny)
+                deviation = float(np.max(np.abs(candidate - reference)
+                                         / scale))
+                # Random circuits draw values across eight decades, so the
+                # Sherman–Morrison correction runs at harsher conditioning
+                # than the library circuits (whose 1e-9 bound lives in
+                # benchmarks/bench_sensitivity.py); observed worst cases sit
+                # around 1e-6 of the per-frequency response scale.
+                assert deviation <= 1e-5, (seed, ours.name, deviation)
+
+
+class TestMonteCarloVsRebuild:
+    """The vectorized ensemble engine is bit-exact on random circuits too."""
+
+    @pytest.mark.parametrize("seed", MONTECARLO_SEEDS)
+    def test_ensemble_bit_parity(self, seed):
+        circuit, spec = random_circuit(seed)
+        names = [element.name for element in circuit
+                 if isinstance(element, (Resistor, Capacitor, VCCS))][:6]
+        space = ParameterSpace(circuit, {name: 0.1 for name in names})
+        frequencies = _PROBE_FREQUENCIES
+        vectorized = ensemble_sweep(circuit, spec, frequencies, space,
+                                    samples=7, seed=seed, solver="lu")
+        reference = rebuild_sweep(circuit, spec, frequencies, space,
+                                  values=vectorized.values, solver="lu")
+        assert np.array_equal(vectorized.responses, reference.responses), seed
+
+        lapack = ensemble_sweep(circuit, spec, frequencies, space,
+                                values=vectorized.values, solver="lapack")
+        one_at_a_time = rebuild_sweep(circuit, spec, frequencies, space,
+                                      values=vectorized.values,
+                                      solver="lapack")
+        assert np.array_equal(lapack.responses, one_at_a_time.responses), seed
+        assert _relative(reference.responses, lapack.responses) <= 1e-9, seed
