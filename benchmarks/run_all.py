@@ -18,9 +18,10 @@ Modes::
     PYTHONPATH=src python benchmarks/run_all.py --smoke    # CI: symbolic
                                                            # kernel reduced
 
-``--smoke`` sets ``REPRO_BENCH_REDUCED=1`` and runs only the symbolic-kernel
-workload — seconds instead of minutes, equivalence still asserted — so CI
-keeps the trajectory file fresh without paying for the full suite.
+``--smoke`` sets ``REPRO_BENCH_REDUCED=1`` and runs only the reduced
+symbolic-kernel, Monte Carlo and sparse-scaling workloads — seconds instead
+of minutes, equivalence still asserted — so CI keeps the trajectory file
+fresh without paying for the full suite.
 """
 
 from __future__ import annotations
@@ -58,6 +59,7 @@ def run_quantitative(smoke=False):
     from repro.reporting.experiments import (
         run_batch_sweep,
         run_montecarlo_ensemble,
+        run_scaling_curve,
         run_sensitivity_screening,
         run_session_workload,
         run_symbolic_kernel,
@@ -103,6 +105,33 @@ def run_quantitative(smoke=False):
         assert ensemble.batch_invariant, ensemble.describe()
         if not smoke:
             assert ensemble.speedup >= 5.0, ensemble.describe()
+
+    # Generator-circuit scaling: dense vs ordered-sparse sweep timings with
+    # the per-family crossover dimension and fill-in ablation in the record.
+    start = time.perf_counter()
+    scaling = run_scaling_curve(reduced=smoke)
+    scaling_seconds = time.perf_counter() - start
+    print(scaling.describe())
+    assert scaling.max_deviation <= 1e-8, scaling.describe()
+    for family in sorted({point.family for point in scaling.points}):
+        curve = scaling.family_points(family)
+        largest = curve[-1]
+        records.append(_record(
+            "sparse_scaling", family, scaling_seconds, largest.speedup,
+            scaling.max_deviation,
+            {"crossover_dimension": scaling.crossover_dimension(family),
+             "curve": [{"dimension": point.dimension,
+                        "nnz": point.nnz,
+                        "dense_seconds": round(point.dense_seconds, 4),
+                        "sparse_seconds": round(point.sparse_seconds, 4),
+                        "natural_fill": point.natural_fill,
+                        "ordered_fill": point.ordered_fill}
+                       for point in curve]}))
+        assert all(point.ordered_fill <= point.natural_fill
+                   for point in curve), scaling.describe()
+        if not smoke and family == "mesh":
+            assert largest.dimension >= 1024 and largest.speedup >= 3.0, (
+                scaling.describe())
     if smoke:
         return records
 
@@ -130,7 +159,7 @@ def run_scripted():
     sys.path.insert(0, str(BENCH_DIR))
     skip = {"run_all", "conftest"}
     quantitative = {"bench_batch_sweep", "bench_sensitivity", "bench_session",
-                    "bench_sdg", "bench_montecarlo"}
+                    "bench_sdg", "bench_montecarlo", "bench_scaling"}
     for path in sorted(BENCH_DIR.glob("bench_*.py")):
         module_name = path.stem
         if module_name in skip or module_name in quantitative:

@@ -19,7 +19,13 @@ the corresponding experiment:
   cascode stage,
 * :func:`~repro.circuits.filters.build_sallen_key_lowpass` /
   :func:`~repro.circuits.filters.build_tow_thomas_biquad` — active RC filters
-  exercising VCCS-based macromodels.
+  exercising VCCS-based macromodels,
+* :func:`~repro.circuits.generators.build_rc_mesh` /
+  :func:`~repro.circuits.generators.build_clock_tree` /
+  :func:`~repro.circuits.generators.build_coupled_bus` — seeded post-layout
+  scale RC generators (10²–10⁴ unknowns) for the sparse-engine scaling and
+  parity harness, with :func:`~repro.circuits.generators.build_generator`
+  picking family shapes by target unknown count.
 """
 
 from .rc_ladder import build_rc_ladder, rc_ladder_denominator_coefficients
@@ -28,6 +34,8 @@ from .ua741 import build_ua741, build_ua741_macro
 from .miller_ota import build_miller_ota
 from .cascode import build_cascode_amplifier
 from .filters import build_sallen_key_lowpass, build_tow_thomas_biquad
+from .generators import (GENERATOR_FAMILIES, build_clock_tree,
+                         build_coupled_bus, build_generator, build_rc_mesh)
 
 __all__ = [
     "build_rc_ladder",
@@ -39,4 +47,9 @@ __all__ = [
     "build_cascode_amplifier",
     "build_sallen_key_lowpass",
     "build_tow_thomas_biquad",
+    "build_rc_mesh",
+    "build_clock_tree",
+    "build_coupled_bus",
+    "build_generator",
+    "GENERATOR_FAMILIES",
 ]

@@ -1,0 +1,279 @@
+"""Parameterized post-layout-scale circuit generators.
+
+The paper's workloads top out at the 43-unknown µA741; extracted post-layout
+parasitic networks run to 10³–10⁴ unknowns.  This module closes that gap with
+three families of deterministic, seeded RC networks shaped like the structures
+layout extractors actually emit:
+
+* :func:`build_rc_mesh` — a 2-D resistor grid with grounded node capacitors
+  (power-grid / substrate extraction shape; structurally a 5-point stencil),
+* :func:`build_clock_tree` — a balanced fanout tree of wire RC segments with
+  leaf load capacitors (clock-distribution shape; long sparse paths),
+* :func:`build_coupled_bus` — parallel RC lines with inter-line coupling
+  capacitors, one driven aggressor and terminated victims (bus / crosstalk
+  shape; banded with off-band coupling).
+
+Every builder returns the library's usual ``(circuit, spec)`` pair, drives the
+network from a grounded unit source ``Vin``, jitters element values from a
+seeded :class:`numpy.random.Generator` (same seed, same circuit — CI-stable),
+and attaches :class:`~repro.netlist.elements.Tolerance` metadata to every
+passive, so one generated circuit serves as benchmark input, property-test
+fixture and Monte Carlo workload alike.  :func:`build_generator` picks family
+shape parameters to hit a requested unknown count.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import NetlistError
+from ..netlist.circuit import Circuit
+from ..netlist.elements import Capacitor, Resistor
+from ..nodal.reduce import TransferSpec
+
+__all__ = ["build_rc_mesh", "build_clock_tree", "build_coupled_bus",
+           "build_generator", "GENERATOR_FAMILIES"]
+
+
+def _jittered(rng, nominal, jitter):
+    """One positive value, ``nominal`` scaled uniformly by ``1 ± jitter``."""
+    return float(nominal * (1.0 + jitter * rng.uniform(-1.0, 1.0)))
+
+
+def _add_resistor(circuit, rng, name, pos, neg, nominal, jitter, tolerance):
+    element = Resistor(name, pos, neg, _jittered(rng, nominal, jitter))
+    if tolerance:
+        element = element.with_tolerance(tolerance)
+    circuit.add(element)
+
+
+def _add_capacitor(circuit, rng, name, pos, neg, nominal, jitter, tolerance):
+    element = Capacitor(name, pos, neg, _jittered(rng, nominal, jitter))
+    if tolerance:
+        element = element.with_tolerance(tolerance)
+    circuit.add(element)
+
+
+def build_rc_mesh(rows, cols=None, *, seed=0, resistance=200.0,
+                  capacitance=1e-13, driver_resistance=50.0, jitter=0.2,
+                  tolerance=0.05,
+                  name=None) -> Tuple[Circuit, TransferSpec]:
+    """An ``rows × cols`` RC mesh — the power-grid extraction shape.
+
+    Grid nodes are joined to their horizontal and vertical neighbors by
+    resistors and to ground by capacitors; ``Vin`` drives corner ``(0, 0)``
+    through a driver resistance and the transfer function is observed at the
+    opposite corner.  The MNA dimension is ``rows·cols + 2`` (grid nodes, the
+    driven ``in`` node, one source branch current).
+
+    Parameters
+    ----------
+    rows, cols:
+        Grid shape (``cols`` defaults to ``rows``); both ≥ 1.
+    seed:
+        Seed of the value-jitter stream — same seed, same circuit.
+    resistance, capacitance:
+        Nominal segment resistance and node-to-ground capacitance.
+    driver_resistance:
+        Source driver resistance into the near corner.
+    jitter:
+        Half-width of the uniform per-element value spread (``0.2`` = ±20%).
+    tolerance:
+        :class:`~repro.netlist.elements.Tolerance` fraction attached to every
+        passive (``None`` / ``0`` disables).
+
+    Returns
+    -------
+    (Circuit, TransferSpec)
+    """
+    rows = int(rows)
+    cols = int(rows if cols is None else cols)
+    if rows < 1 or cols < 1:
+        raise NetlistError("an RC mesh needs at least a 1x1 grid")
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(name or f"rc-mesh-{rows}x{cols}-s{seed}")
+    circuit.add_voltage_source("Vin", "in", "0", 1.0)
+
+    def node(row, col):
+        return f"m{row}_{col}"
+
+    _add_resistor(circuit, rng, "Rdrv", "in", node(0, 0), driver_resistance,
+                  jitter, tolerance)
+    for row in range(rows):
+        for col in range(cols):
+            here = node(row, col)
+            if col + 1 < cols:
+                _add_resistor(circuit, rng, f"Rh{row}_{col}", here,
+                              node(row, col + 1), resistance, jitter,
+                              tolerance)
+            if row + 1 < rows:
+                _add_resistor(circuit, rng, f"Rv{row}_{col}", here,
+                              node(row + 1, col), resistance, jitter,
+                              tolerance)
+            _add_capacitor(circuit, rng, f"C{row}_{col}", here, "0",
+                           capacitance, jitter, tolerance)
+    output = node(rows - 1, cols - 1)
+    return circuit, TransferSpec(inputs=["Vin"], output=output)
+
+
+def build_clock_tree(levels, *, fanout=2, seed=0, resistance=150.0,
+                     capacitance=5e-14, leaf_capacitance=2e-13,
+                     driver_resistance=30.0, jitter=0.2, tolerance=0.05,
+                     name=None) -> Tuple[Circuit, TransferSpec]:
+    """A balanced ``fanout``-ary clock tree of RC wire segments.
+
+    Level-order node ``t<k>`` hangs off its parent through a wire resistor
+    and carries a grounded wire capacitor; leaves get an extra load
+    capacitor.  ``Vin`` drives the root through the driver resistance and
+    the transfer function is observed at the last (deepest) leaf.  With
+    ``fanout = f`` the tree has ``(f^(levels+1) − 1) / (f − 1)`` segments and
+    MNA dimension ``segments + 2``.
+
+    Parameters are as in :func:`build_rc_mesh`, plus ``levels`` (tree depth,
+    ≥ 0: a root-only tree) and ``fanout`` (≥ 2 children per internal node).
+    """
+    levels = int(levels)
+    fanout = int(fanout)
+    if levels < 0:
+        raise NetlistError("a clock tree needs a non-negative depth")
+    if fanout < 2:
+        raise NetlistError("a clock tree needs a fanout of at least 2")
+    total = (fanout ** (levels + 1) - 1) // (fanout - 1)
+    first_leaf = (fanout ** levels - 1) // (fanout - 1)
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(name or f"clock-tree-d{levels}f{fanout}-s{seed}")
+    circuit.add_voltage_source("Vin", "in", "0", 1.0)
+
+    _add_resistor(circuit, rng, "Rdrv", "in", "t0", driver_resistance,
+                  jitter, tolerance)
+    for index in range(total):
+        here = f"t{index}"
+        if index > 0:
+            parent = f"t{(index - 1) // fanout}"
+            _add_resistor(circuit, rng, f"Rw{index}", parent, here,
+                          resistance, jitter, tolerance)
+        _add_capacitor(circuit, rng, f"Cw{index}", here, "0", capacitance,
+                       jitter, tolerance)
+        if index >= first_leaf:
+            _add_capacitor(circuit, rng, f"Cl{index}", here, "0",
+                           leaf_capacitance, jitter, tolerance)
+    output = f"t{total - 1}"
+    return circuit, TransferSpec(inputs=["Vin"], output=output)
+
+
+def build_coupled_bus(lines, segments, *, seed=0, resistance=120.0,
+                      capacitance=8e-14, coupling=4e-14,
+                      termination=1e3, driver_resistance=40.0, jitter=0.2,
+                      tolerance=0.05,
+                      name=None) -> Tuple[Circuit, TransferSpec]:
+    """``lines`` parallel RC lines with inter-line coupling capacitors.
+
+    Line 0 is the aggressor, driven by ``Vin`` through the driver
+    resistance; every other line is a victim terminated to ground by
+    resistors at both ends.  Each line is a ``segments``-section RC chain
+    with grounded segment capacitors, and adjacent lines are coupled by a
+    capacitor at every segment — the far-end crosstalk transfer onto the
+    nearest victim line (line 1) is the observed output, the standard
+    near-victim coupling measurement.  MNA dimension: ``lines·segments + 2``.
+
+    Parameters are as in :func:`build_rc_mesh`, plus ``coupling`` (nominal
+    adjacent-line coupling capacitance) and ``termination`` (victim
+    termination resistance).
+    """
+    lines = int(lines)
+    segments = int(segments)
+    if lines < 2:
+        raise NetlistError("a coupled bus needs at least two lines")
+    if segments < 1:
+        raise NetlistError("a coupled bus needs at least one segment")
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(name or f"coupled-bus-{lines}x{segments}-s{seed}")
+    circuit.add_voltage_source("Vin", "in", "0", 1.0)
+
+    def node(line, segment):
+        return f"b{line}_{segment}"
+
+    for line in range(lines):
+        if line == 0:
+            _add_resistor(circuit, rng, "Rdrv", "in", node(0, 0),
+                          driver_resistance, jitter, tolerance)
+        else:
+            _add_resistor(circuit, rng, f"Rn{line}", node(line, 0), "0",
+                          termination, jitter, tolerance)
+            _add_resistor(circuit, rng, f"Rf{line}",
+                          node(line, segments - 1), "0", termination,
+                          jitter, tolerance)
+        for segment in range(segments):
+            here = node(line, segment)
+            if segment + 1 < segments:
+                _add_resistor(circuit, rng, f"R{line}_{segment}", here,
+                              node(line, segment + 1), resistance, jitter,
+                              tolerance)
+            _add_capacitor(circuit, rng, f"C{line}_{segment}", here, "0",
+                           capacitance, jitter, tolerance)
+            if line + 1 < lines:
+                _add_capacitor(circuit, rng, f"Cc{line}_{segment}", here,
+                               node(line + 1, segment), coupling, jitter,
+                               tolerance)
+    output = node(1, segments - 1)
+    return circuit, TransferSpec(inputs=["Vin"], output=output)
+
+
+#: Family name → builder, for table-driven tests and benchmarks.
+GENERATOR_FAMILIES = {
+    "mesh": build_rc_mesh,
+    "tree": build_clock_tree,
+    "bus": build_coupled_bus,
+}
+
+
+def build_generator(family, target_dimension, seed=0,
+                    **overrides) -> Tuple[Circuit, TransferSpec]:
+    """Build a ``family`` circuit whose MNA dimension approximates a target.
+
+    Parameters
+    ----------
+    family:
+        ``"mesh"``, ``"tree"`` or ``"bus"``.
+    target_dimension:
+        Requested unknown count (grid nodes + driven node + source branch);
+        the builder picks the closest shape its family supports, so the
+        actual dimension can differ by a few unknowns (trees quantize to
+        powers of the fanout).
+    seed:
+        Value-jitter seed, forwarded to the family builder.
+    overrides:
+        Extra keyword arguments forwarded to the family builder.
+
+    Returns
+    -------
+    (Circuit, TransferSpec)
+    """
+    if family not in GENERATOR_FAMILIES:
+        raise NetlistError(f"unknown generator family {family!r}")
+    target_nodes = max(1, int(target_dimension) - 2)
+    if family == "mesh":
+        side = max(1, int(round(math.sqrt(target_nodes))))
+        cols = max(1, int(round(target_nodes / side)))
+        return build_rc_mesh(side, cols, seed=seed, **overrides)
+    if family == "tree":
+        fanout = int(overrides.pop("fanout", 2))
+        best_levels = 0
+        best_error: Optional[int] = None
+        levels = 0
+        while True:
+            total = (fanout ** (levels + 1) - 1) // (fanout - 1)
+            error = abs(total - target_nodes)
+            if best_error is None or error < best_error:
+                best_error, best_levels = error, levels
+            if total >= target_nodes:
+                break
+            levels += 1
+        return build_clock_tree(best_levels, fanout=fanout, seed=seed,
+                                **overrides)
+    lines = max(2, min(16, int(round(math.sqrt(target_nodes / 8.0)))))
+    segments = max(1, int(round(target_nodes / lines)))
+    return build_coupled_bus(lines, segments, seed=seed, **overrides)

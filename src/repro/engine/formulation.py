@@ -185,9 +185,9 @@ class FormulationBase:
         Notes
         -----
         The returned stack is dense ``M·K·n²`` complex — callers sweeping
-        large ensembles should chunk the sample axis (as
-        :meth:`repro.engine.sweep.SweepEngine.solve_param_sweep` does)
-        rather than materialize the whole ensemble.
+        large ensembles should chunk the sample *and* frequency axes (as
+        :meth:`repro.engine.sweep.SweepEngine.iter_param_sweep` does) rather
+        than materialize the whole ensemble.
         """
         s = np.asarray(s_values, dtype=complex)
         scales = np.asarray(admittance_scales)

@@ -50,13 +50,22 @@ _MAX_SWEEP_ENTRIES = 16
 
 #: Estimated retained-factor budget across all cached sweeps (~256 MB).  A
 #: sweep's factors cost about ``num_points · n² · 16`` bytes on the dense
-#: path (an upper bound for the sparse path, whose factors are sparser).
+#: path; sparse sweeps are costed by their actual stored entries — pricing
+#: them at n² would evict every sweep of a post-layout-scale network even
+#: though ordered sparse factors stay near ``nnz + fill`` per point.
 _MAX_SWEEP_BYTES = 256 * 1024 * 1024
 
 
 def _sweep_cost_bytes(sweep) -> int:
     """Pessimistic estimate of one kept sweep's factor memory."""
-    return sweep.num_points * sweep.dimension * sweep.dimension * 16
+    if sweep.is_dense:
+        return sweep.num_points * sweep.dimension * sweep.dimension * 16
+    entries = 0
+    for factorization in sweep.factors:
+        entries += sum(len(row) for row in factorization.upper_rows)
+        entries += sum(len(step) for step in factorization.eliminations)
+    # Complex value plus dict/index bookkeeping per stored entry.
+    return entries * 24
 
 
 class AnalysisSession:

@@ -10,11 +10,12 @@ owns the whole strategy:
   stack never outgrows a fixed memory budget) and factored with
   :func:`~repro.linalg.dense.batched_dense_lu`, one vectorized elimination
   per chunk;
-* **sparse path** — the union sparsity structure is assembled once, the
-  Markowitz pivot search runs at the first point and every other point is
-  served by numeric refactorization
+* **sparse path** — the union sparsity structure is assembled once, a
+  fill-reducing elimination order (:mod:`repro.linalg.ordering`, AMD by
+  default) is computed from it, the ordered pivot search runs at the first
+  point and every other point is served by numeric refactorization
   (:func:`~repro.linalg.lu.sparse_lu_reusing`), falling back to a fresh
-  factorization only when a reused pivot degrades.
+  ordered factorization only when a reused pivot degrades.
 
 :class:`SweepEngine` streams factors (factor, use, discard — the memory-light
 shape of ``ac_sweep``); :class:`SweepFactors` keeps them (the shape of
@@ -30,9 +31,11 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import FormulationError, SingularMatrixError
-from ..linalg.config import use_dense
+from ..linalg.config import (SPARSE_ORDERINGS, dense_cutoff, sparse_ordering,
+                             use_dense)
 from ..linalg.dense import batched_dense_lu, sweep_chunk_size
 from ..linalg.lu import sparse_lu_reusing
+from ..linalg.ordering import fill_reducing_order
 from ..linalg.sparse import SparseMatrix
 
 __all__ = ["SweepEngine", "SweepFactors"]
@@ -56,6 +59,13 @@ class SweepEngine:
         Noun used in :class:`~repro.errors.SingularMatrixError` messages
         (``"matrix"``, ``"MNA matrix"``, …), so adapters keep their historic
         diagnostics.
+    ordering:
+        Sparse elimination-ordering strategy (see
+        :data:`~repro.linalg.config.SPARSE_ORDERINGS`): ``"auto"`` / ``"amd"``
+        / ``"rcm"`` / ``"natural"`` pre-order the merged structure once and
+        eliminate along that fixed order, ``"markowitz"`` keeps the dynamic
+        per-step pivot search.  Default: the
+        :func:`~repro.linalg.config.sparse_ordering` configuration.
 
     Attributes
     ----------
@@ -64,21 +74,34 @@ class SweepEngine:
         counts one per sweep point.
     refactorization_count:
         Structure-reusing numeric refactorizations (sparse path only).
+    dense_cutoff:
+        The dense/sparse dispatch cutoff, snapshotted at construction
+        (``REPRO_DENSE_CUTOFF`` is read once per engine, so one engine never
+        mixes backends when the environment changes mid-life).
 
     The engine instance carries the sparse pivot pattern across calls, so a
     long-lived engine (e.g. inside a :class:`~repro.nodal.batch.BatchSampler`)
     keeps refactoring cheaply from one sweep to the next.
     """
 
-    def __init__(self, formulation, method="auto", singular_label="matrix"):
+    def __init__(self, formulation, method="auto", singular_label="matrix",
+                 ordering=None):
         if method not in _METHODS:
             raise FormulationError(f"unknown factorization method {method!r}")
+        if ordering is None:
+            ordering = sparse_ordering()
+        elif ordering not in SPARSE_ORDERINGS:
+            raise FormulationError(
+                f"unknown sparse ordering {ordering!r}")
         self.formulation = formulation
         self.method = method
         self.singular_label = singular_label
+        self.ordering = ordering
+        self.dense_cutoff = dense_cutoff()
         self.factorization_count = 0
         self.refactorization_count = 0
         self._sparse_pattern = None
+        self._column_order = None
 
     @property
     def dimension(self):
@@ -88,7 +111,23 @@ class SweepEngine:
     @property
     def is_dense(self):
         """True when this engine factors through the dense (batched) LU."""
-        return use_dense(self.formulation.dimension, self.method)
+        return use_dense(self.formulation.dimension, self.method,
+                         cutoff=self.dense_cutoff)
+
+    def column_order(self):
+        """The engine's fill-reducing elimination order (``None`` = Markowitz).
+
+        Computed once per engine from the merged sparsity structure — purely
+        structural, so it is shared by every sweep point, every parameter
+        sample and every refactorization fallback this engine performs.
+        """
+        if self.ordering == "markowitz":
+            return None
+        if self._column_order is None:
+            keys, __, __ = self.formulation.merged_sparse_structure()
+            self._column_order = fill_reducing_order(
+                self.formulation.dimension, keys, method=self.ordering)
+        return self._column_order
 
     # ------------------------------------------------------------------ #
     # streaming factor production
@@ -125,12 +164,14 @@ class SweepEngine:
         """Yield ``(k, LUFactorization)`` per sweep point.
 
         The union sparsity structure comes from the formulation's cache; the
-        pivot order found at the first point is replayed everywhere else via
-        numeric refactorization, with a fresh Markowitz search as fallback.
+        pivot order found at the first point — along the engine's
+        fill-reducing :meth:`column_order` — is replayed everywhere else via
+        numeric refactorization, with a fresh ordered search as fallback.
         """
         keys, constant_values, dynamic_values = (
             self.formulation.merged_sparse_structure())
         n = self.formulation.dimension
+        order = self.column_order()
         base = (constant_values if conductance_scale == 1.0
                 else conductance_scale * constant_values)
         for k, point in enumerate(s):
@@ -141,7 +182,8 @@ class SweepEngine:
             matrix = SparseMatrix.from_entries(n, n,
                                                zip(keys, values.tolist()))
             factorization, self._sparse_pattern, refactored = (
-                sparse_lu_reusing(matrix, self._sparse_pattern))
+                sparse_lu_reusing(matrix, self._sparse_pattern,
+                                  column_order=order))
             if refactored:
                 self.refactorization_count += 1
             else:
@@ -179,22 +221,19 @@ class SweepEngine:
     # the parameter axis
     # ------------------------------------------------------------------ #
 
-    def solve_param_sweep(self, s, names, admittance_scales, rhs,
-                          conductance_scale=1.0,
-                          frequency_scale=1.0) -> np.ndarray:
-        """Solve ``A_m(s_k) x = rhs`` over samples × frequencies.
+    def iter_param_sweep(self, s, names, admittance_scales, rhs,
+                         conductance_scale=1.0, frequency_scale=1.0):
+        """Yield ``(sample, (K, n) solutions)`` one ensemble member at a time.
 
-        The parameter-space companion of :meth:`solve_sweep`: sample ``m``
-        scales the admittances of ``names`` by ``admittance_scales[m]``
-        (see :meth:`~repro.engine.formulation.FormulationBase.assemble_param_batch`).
-        Dense systems assemble the ``(M·K, n, n)`` stack chunk by chunk and
-        factor through :func:`~repro.linalg.dense.batched_dense_lu`; sparse
-        systems update the merged-structure values per sample and reuse the
-        engine's pivot pattern across every sample and frequency.
-
-        Returns ``(M, K, n)`` complex solutions.  Accurate to rounding
-        relative to rebuilding each perturbed system (the bit-exact ensemble
-        engine is :func:`repro.montecarlo.ensemble_sweep`).
+        The streaming core of :meth:`solve_param_sweep`: at no point does
+        more than one assembly chunk (bounded by
+        :func:`~repro.linalg.dense.sweep_chunk_size`) plus one sample's
+        ``(K, n)`` solution block live in memory, so a 10⁴-node ensemble
+        sweep never materializes the full ``M × K`` stack.  Dense systems
+        group as many whole samples per chunk as the budget allows and split
+        the *frequency* axis once a single sample's sweep exceeds it; sparse
+        systems stream per sample / per point through the engine's ordered
+        pivot pattern.
         """
         s = np.asarray(s, dtype=complex)
         scales = np.asarray(admittance_scales)
@@ -204,11 +243,35 @@ class SweepEngine:
         names = tuple(names)
         num_samples = scales.shape[0]
         n = self.formulation.dimension
-        solutions = np.zeros((num_samples, len(s), n), dtype=complex)
         if num_samples == 0 or len(s) == 0:
-            return solutions
+            return
         if self.is_dense:
-            chunk = max(1, sweep_chunk_size(n) // max(1, len(s)))
+            budget = sweep_chunk_size(n)
+            if len(s) > budget:
+                # One sample's sweep exceeds the chunk budget: keep samples
+                # whole and stream the frequency axis instead.
+                for sample in range(num_samples):
+                    block = scales[sample:sample + 1]
+                    solutions = np.empty((len(s), n), dtype=complex)
+                    for start in range(0, len(s), budget):
+                        points = s[start:start + budget]
+                        stack = self.formulation.assemble_param_batch(
+                            points, names, block, conductance_scale,
+                            frequency_scale)
+                        flat = stack.reshape(len(points), n, n)
+                        factorization = batched_dense_lu(flat, overwrite=True)
+                        self.factorization_count += flat.shape[0]
+                        if factorization.singular.any():
+                            index = int(np.argmax(factorization.singular))
+                            raise SingularMatrixError(
+                                f"{self.singular_label} is singular for "
+                                f"sample {sample} at sweep point "
+                                f"{start + index}")
+                        solutions[start:start + len(points)] = (
+                            factorization.solve(rhs))
+                    yield sample, solutions
+                return
+            chunk = max(1, budget // max(1, len(s)))
             for start in range(0, num_samples, chunk):
                 block = scales[start:start + chunk]
                 stack = self.formulation.assemble_param_batch(
@@ -222,9 +285,11 @@ class SweepEngine:
                         f"{self.singular_label} is singular for sample "
                         f"{start + index // len(s)} at sweep point "
                         f"{index % len(s)}")
-                solutions[start:start + len(block)] = (
-                    factorization.solve(rhs).reshape(len(block), len(s), n))
-            return solutions
+                solved = factorization.solve(rhs).reshape(len(block), len(s),
+                                                          n)
+                for offset in range(len(block)):
+                    yield start + offset, solved[offset]
+            return
 
         # Sparse path: affine update of the merged-structure values, pivot
         # pattern shared across the whole ensemble.
@@ -233,6 +298,7 @@ class SweepEngine:
         position = {key: index for index, key in enumerate(keys)}
         incidence_u, incidence_v, conductances, capacitances = (
             self.formulation.stamp_columns(names))
+        order = self.column_order()
         entry_positions: list = []
         entry_weights: list = []
         entry_elements: list = []
@@ -266,6 +332,7 @@ class SweepEngine:
                       * capacitances[entry_elements] * entry_weights)
             if conductance_scale != 1.0:
                 constant_sample = conductance_scale * constant_sample
+            solutions = np.empty((len(s), n), dtype=complex)
             for k, point in enumerate(s):
                 factor = complex(point)
                 if frequency_scale != 1.0:
@@ -274,12 +341,43 @@ class SweepEngine:
                 matrix = SparseMatrix.from_entries(
                     n, n, zip(keys, values.tolist()))
                 factorization, self._sparse_pattern, refactored = (
-                    sparse_lu_reusing(matrix, self._sparse_pattern))
+                    sparse_lu_reusing(matrix, self._sparse_pattern,
+                                      column_order=order))
                 if refactored:
                     self.refactorization_count += 1
                 else:
                     self.factorization_count += 1
-                solutions[sample, k] = factorization.solve(rhs)
+                solutions[k] = factorization.solve(rhs)
+            yield sample, solutions
+
+    def solve_param_sweep(self, s, names, admittance_scales, rhs,
+                          conductance_scale=1.0,
+                          frequency_scale=1.0) -> np.ndarray:
+        """Solve ``A_m(s_k) x = rhs`` over samples × frequencies.
+
+        The parameter-space companion of :meth:`solve_sweep`: sample ``m``
+        scales the admittances of ``names`` by ``admittance_scales[m]``
+        (see :meth:`~repro.engine.formulation.FormulationBase.assemble_param_batch`).
+        Dense systems assemble the ``(M·K, n, n)`` stack chunk by chunk
+        (chunking whichever of the sample / frequency axes keeps the stack
+        inside the memory budget) and factor through
+        :func:`~repro.linalg.dense.batched_dense_lu`; sparse systems update
+        the merged-structure values per sample and reuse the engine's ordered
+        pivot pattern across every sample and frequency.  Memory-bounded
+        consumers should iterate :meth:`iter_param_sweep` instead of
+        materializing the ``(M, K, n)`` result this convenience returns.
+
+        Returns ``(M, K, n)`` complex solutions.  Accurate to rounding
+        relative to rebuilding each perturbed system (the bit-exact ensemble
+        engine is :func:`repro.montecarlo.ensemble_sweep`).
+        """
+        s = np.asarray(s, dtype=complex)
+        scales = np.asarray(admittance_scales)
+        solutions = np.zeros((scales.shape[0], len(s),
+                              self.formulation.dimension), dtype=complex)
+        for sample, block in self.iter_param_sweep(
+                s, names, scales, rhs, conductance_scale, frequency_scale):
+            solutions[sample] = block
         return solutions
 
     def factor_sweep(self, s, conductance_scale=1.0,

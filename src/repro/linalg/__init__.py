@@ -25,9 +25,11 @@ substrate from scratch:
 * :mod:`~repro.linalg.det` — convenience determinant / solve wrappers.
 """
 
-from .config import DEFAULT_DENSE_CUTOFF, dense_cutoff
+from .config import DEFAULT_DENSE_CUTOFF, dense_cutoff, sparse_ordering
 from .sparse import SparseMatrix
 from .lu import sparse_lu, sparse_lu_refactor, LUFactorization
+from .ordering import (amd_order, rcm_order, fill_reducing_order,
+                       inverse_permutation, permute_symmetric)
 from .dense import dense_lu, DenseLU, batched_dense_lu, BatchedDenseLU
 from .rank1 import Rank1Stamp, rank1_update_solve
 from .det import determinant, solve_linear_system, log10_determinant
@@ -35,10 +37,16 @@ from .det import determinant, solve_linear_system, log10_determinant
 __all__ = [
     "DEFAULT_DENSE_CUTOFF",
     "dense_cutoff",
+    "sparse_ordering",
     "SparseMatrix",
     "sparse_lu",
     "sparse_lu_refactor",
     "LUFactorization",
+    "amd_order",
+    "rcm_order",
+    "fill_reducing_order",
+    "inverse_permutation",
+    "permute_symmetric",
     "dense_lu",
     "DenseLU",
     "batched_dense_lu",

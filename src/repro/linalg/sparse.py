@@ -103,6 +103,33 @@ class SparseMatrix:
         duplicate._data = dict(self._data)
         return duplicate
 
+    def permuted(self, row_order, col_order=None):
+        """Permuted copy ``B[i, j] = A[row_order[i], col_order[j]]``.
+
+        ``row_order`` / ``col_order`` are image lists (``order[k]`` is the
+        original index landing at position ``k``); ``col_order`` defaults to
+        ``row_order`` (symmetric permutation).  Entry *insertion order*
+        follows this matrix, so downstream dict iteration (notably the LU
+        elimination) visits corresponding entries in corresponding positions.
+        """
+        if col_order is None:
+            col_order = row_order
+        if (sorted(row_order) != list(range(self.n_rows))
+                or sorted(col_order) != list(range(self.n_cols))):
+            raise LinAlgError(
+                f"permutations must cover range({self.n_rows}) / "
+                f"range({self.n_cols})")
+        inverse_row = [0] * self.n_rows
+        for position, original in enumerate(row_order):
+            inverse_row[original] = position
+        inverse_col = [0] * self.n_cols
+        for position, original in enumerate(col_order):
+            inverse_col[original] = position
+        permuted = SparseMatrix(self.n_rows, self.n_cols)
+        for (row, col), value in self._data.items():
+            permuted._data[(inverse_row[row], inverse_col[col])] = value
+        return permuted
+
     # -- element access ------------------------------------------------------
 
     def _check_index(self, row, col):

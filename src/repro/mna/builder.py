@@ -13,6 +13,7 @@ paper's reference [6]).
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -37,7 +38,7 @@ from ..netlist.elements import (
 )
 
 __all__ = ["MnaSystem", "build_mna_system", "system_dimension",
-           "stamp_element"]
+           "stamp_element", "system_sparsity", "SparsitySummary"]
 
 #: Element types that require an auxiliary branch-current unknown.
 _BRANCH_TYPES = (VoltageSource, VCVS, CCVS, Inductor)
@@ -354,3 +355,44 @@ def build_mna_system(circuit) -> MnaSystem:
         stamp_element(element, constant, dynamic, rhs_add, node, branch_index)
 
     return MnaSystem(circuit, node_names, branch_names, constant, dynamic, rhs)
+
+
+def system_sparsity(system) -> "SparsitySummary":
+    """Structural summary of a circuit's MNA system — the big-net preflight.
+
+    ``system`` may be an :class:`MnaSystem` or a circuit (built on the fly).
+    The summary reads the cached union structure the sparse sweep path
+    iterates over, so calling it before a sweep costs nothing extra; the
+    generator benchmarks and the scaling tests use it to label workloads by
+    actual unknown count and density rather than nominal grid size.
+    """
+    if not isinstance(system, MnaSystem):
+        system = build_mna_system(system)
+    keys, __, ___ = system.merged_sparse_structure()
+    dimension = system.dimension
+    key_set = set(keys)
+    off_diagonal = sum(1 for row, col in keys if row != col)
+    return SparsitySummary(
+        dimension=dimension,
+        nnz=len(keys),
+        density=(len(keys) / (dimension * dimension) if dimension else 0.0),
+        off_diagonal=off_diagonal,
+        structurally_symmetric=all(
+            (col, row) in key_set for row, col in keys if row != col),
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class SparsitySummary:
+    """Structure statistics of one MNA system (see :func:`system_sparsity`)."""
+
+    dimension: int
+    nnz: int
+    density: float
+    off_diagonal: int
+    structurally_symmetric: bool
+
+    def __repr__(self):
+        return (f"SparsitySummary(n={self.dimension}, nnz={self.nnz}, "
+                f"density={self.density:.2e}, "
+                f"symmetric={self.structurally_symmetric})")

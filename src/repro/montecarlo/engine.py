@@ -251,8 +251,20 @@ def _dense_ensemble(system, program, s, values, terms, solver,
 
 
 def _sparse_ensemble(system, program, s, values, terms) -> np.ndarray:
-    """Sparse-path ensemble: per-sample value vectors, shared pivot pattern."""
+    """Sparse-path ensemble: per-sample value vectors, per-sample patterns.
+
+    Mirrors the rebuild path's factorization policy exactly: every sample
+    starts from a fresh ordered factorization (a rebuilt
+    :class:`~repro.engine.sweep.SweepEngine` would too) and refactors along
+    its own pivot order across the frequency axis.  Pivot choices are
+    value-dependent through the threshold test, so sharing one pattern across
+    samples — the pre-ordering behavior — broke bit-parity with
+    :func:`rebuild_sweep`; per-sample patterns restore it while keeping the
+    factor-once / refactor-many economy within each sample's sweep.
+    """
+    from ..linalg.config import sparse_ordering
     from ..linalg.lu import sparse_lu_reusing
+    from ..linalg.ordering import fill_reducing_order
     from ..linalg.sparse import SparseMatrix
 
     constant_keys, constant_values, dynamic_keys, dynamic_values = (
@@ -266,14 +278,18 @@ def _sparse_ensemble(system, program, s, values, terms) -> np.ndarray:
     dynamic[:, [position[key] for key in dynamic_keys]] = dynamic_values
 
     dimension = program.dimension
+    ordering = sparse_ordering()
+    order = (None if ordering == "markowitz"
+             else fill_reducing_order(dimension, merged, method=ordering))
     responses = np.zeros((num_samples, len(s)), dtype=complex)
-    pattern = None
     for sample in range(num_samples):
+        pattern = None
         for k, point in enumerate(s):
             entry_values = base[sample] + complex(point) * dynamic[sample]
             matrix = SparseMatrix.from_entries(
                 dimension, dimension, zip(merged, entry_values.tolist()))
-            factorization, pattern, __ = sparse_lu_reusing(matrix, pattern)
+            factorization, pattern, __ = sparse_lu_reusing(
+                matrix, pattern, column_order=order)
             solution = factorization.solve(system.rhs)
             responses[sample, k] = _project(terms, solution[None, :])[0]
     return responses

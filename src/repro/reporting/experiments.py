@@ -48,6 +48,8 @@ __all__ = [
     "SessionWorkloadResult",
     "SymbolicKernelResult",
     "MonteCarloEnsembleResult",
+    "ScalingPoint",
+    "ScalingCurveResult",
     "run_table1",
     "run_table2_table3",
     "run_fig2",
@@ -59,6 +61,7 @@ __all__ = [
     "run_session_workload",
     "run_symbolic_kernel",
     "run_montecarlo_ensemble",
+    "run_scaling_curve",
     "ua741_tolerance_space",
 ]
 
@@ -1064,3 +1067,166 @@ def run_symbolic_kernel(epsilons=(0.3, 0.1, 0.03, 0.01, 0.001),
         expanded_products=stats.expanded_products,
         minor_hit_rate=stats.hit_rate,
     )
+
+
+# --------------------------------------------------------------------------- #
+# Post-layout sparse-engine scaling (generator circuits, PR 6)
+# --------------------------------------------------------------------------- #
+
+
+@dataclasses.dataclass
+class ScalingPoint:
+    """One generator circuit's dense-vs-sparse sweep measurement."""
+
+    family: str
+    circuit_name: str
+    dimension: int
+    nnz: int
+    dense_seconds: float
+    sparse_seconds: float
+    natural_fill: int
+    ordered_fill: int
+    max_norm_deviation: float
+
+    @property
+    def speedup(self) -> float:
+        """Wall-clock ratio dense / sparse (>1: sparse wins)."""
+        if self.sparse_seconds == 0.0:
+            return float("inf")
+        return self.dense_seconds / self.sparse_seconds
+
+    def describe(self) -> str:
+        """One line for the scaling table."""
+        return (
+            f"{self.family:>4} n={self.dimension:>5} nnz={self.nnz:>6}: "
+            f"dense {self.dense_seconds * 1e3:8.1f} ms, "
+            f"sparse {self.sparse_seconds * 1e3:8.1f} ms "
+            f"({self.speedup:5.2f}x), fill {self.natural_fill:>6} natural "
+            f"/ {self.ordered_fill:>6} ordered, "
+            f"dev {self.max_norm_deviation:.2e}"
+        )
+
+
+@dataclasses.dataclass
+class ScalingCurveResult:
+    """Dense-vs-sparse sweep timings over the generator-circuit families.
+
+    The post-layout scaling experiment: per family and size, one frequency
+    sweep through the dense batched path and one through the ordered sparse
+    refactorization path, with solution agreement (per-frequency deviation
+    normalized by the dense solution norm) and symbolic fill-in under the
+    natural versus fill-reducing column order.
+    """
+
+    points: List["ScalingPoint"]
+    num_frequencies: int
+    reduced: bool
+
+    def family_points(self, family) -> List["ScalingPoint"]:
+        """The curve of one family, in increasing dimension."""
+        return sorted((p for p in self.points if p.family == family),
+                      key=lambda p: p.dimension)
+
+    def crossover_dimension(self, family="mesh") -> Optional[int]:
+        """Smallest measured dimension where the sparse path wins."""
+        for point in self.family_points(family):
+            if point.sparse_seconds < point.dense_seconds:
+                return point.dimension
+        return None
+
+    @property
+    def max_deviation(self) -> float:
+        """Worst dense/sparse deviation across every measured point."""
+        return max(point.max_norm_deviation for point in self.points)
+
+    def describe(self) -> str:
+        """The scaling table plus per-family crossover dimensions."""
+        lines = [point.describe() for point in self.points]
+        for family in sorted({point.family for point in self.points}):
+            crossover = self.crossover_dimension(family)
+            where = f"n={crossover}" if crossover else "not reached"
+            lines.append(f"{family:>4}: sparse crossover at {where}")
+        return "\n".join(lines)
+
+
+def _scaling_fill(system, s, column_order):
+    """Symbolic fill-in of one factorization under ``column_order``."""
+    from ..linalg.lu import sparse_lu
+
+    return sparse_lu(system.assemble(s), column_order=column_order).fill_in
+
+
+def run_scaling_curve(reduced=False, families=None, num_frequencies=8,
+                      f_min=1.0, f_max=1e8,
+                      targets=None) -> ScalingCurveResult:
+    """Time dense vs ordered-sparse sweeps over the generator families.
+
+    Every generator circuit is swept over ``num_frequencies`` log-spaced
+    points twice — once through the dense batched path, once through the
+    sparse refactorization path with the configured fill-reducing ordering —
+    and the solutions compared.  ``reduced=True`` (CI smoke, also forced by
+    ``REPRO_BENCH_REDUCED=1`` in :mod:`benchmarks.bench_scaling`) caps the
+    curve at ~256 unknowns; the full curve reaches past 10³ where the dense
+    stack's O(n³) factor cost dominates.
+
+    Parameters
+    ----------
+    families:
+        Optional iterable of family names (default: all of
+        :data:`repro.circuits.generators.GENERATOR_FAMILIES`).
+    targets:
+        Optional explicit target dimensions, overriding the
+        ``reduced``-selected curve (the tests use tiny targets).
+
+    Returns
+    -------
+    ScalingCurveResult
+    """
+    from ..circuits.generators import GENERATOR_FAMILIES, build_generator
+    from ..engine.sweep import SweepEngine
+    from ..linalg.ordering import fill_reducing_order
+    from ..mna.builder import build_mna_system
+
+    if families is None:
+        families = tuple(GENERATOR_FAMILIES)
+    if targets is None:
+        targets = (66, 130, 258) if reduced else (66, 130, 258, 514, 1026)
+    frequencies = np.logspace(np.log10(f_min), np.log10(f_max),
+                              num_frequencies)
+    s = 2j * np.pi * frequencies
+    points = []
+    for family in families:
+        for target in targets:
+            circuit, _spec = build_generator(family, target, seed=target)
+            system = build_mna_system(circuit)
+            keys, _constant, _dynamic = system.merged_sparse_structure()
+
+            start = time.perf_counter()
+            dense = SweepEngine(system, method="dense").solve_sweep(
+                s, system.rhs)
+            dense_seconds = time.perf_counter() - start
+
+            start = time.perf_counter()
+            sparse = SweepEngine(system, method="sparse").solve_sweep(
+                s, system.rhs)
+            sparse_seconds = time.perf_counter() - start
+
+            deviation = float(np.max(
+                np.abs(dense - sparse)
+                / np.linalg.norm(dense, axis=1, keepdims=True)))
+            order = fill_reducing_order(system.dimension, keys)
+            points.append(ScalingPoint(
+                family=family,
+                circuit_name=circuit.name,
+                dimension=system.dimension,
+                nnz=len(keys),
+                dense_seconds=dense_seconds,
+                sparse_seconds=sparse_seconds,
+                natural_fill=_scaling_fill(
+                    system, s[0], list(range(system.dimension))),
+                ordered_fill=_scaling_fill(system, s[0], order),
+                max_norm_deviation=deviation,
+            ))
+    return ScalingCurveResult(points=points,
+                              num_frequencies=num_frequencies,
+                              reduced=reduced)

@@ -29,10 +29,14 @@ from repro.mna.solve import ac_solve
 from repro.netlist.circuit import Circuit
 from repro.nodal.reduce import TransferSpec
 
-__all__ = ["random_circuit", "CIRCUIT_KINDS"]
+__all__ = ["random_circuit", "random_sparse_topology", "CIRCUIT_KINDS",
+           "SPARSE_TOPOLOGY_FAMILIES"]
 
 #: Supported topology families.
 CIRCUIT_KINDS = ("rc", "rlc", "vccs")
+
+#: Generator families drawn by :func:`random_sparse_topology`.
+SPARSE_TOPOLOGY_FAMILIES = ("mesh", "tree", "bus")
 
 
 def _log_uniform(rng, low, high):
@@ -126,3 +130,40 @@ def random_circuit(seed, kind=None, min_nodes=3, max_nodes=6):
         return circuit, spec
     raise AssertionError(   # pragma: no cover
         f"seed {seed} produced five singular circuits in a row")
+
+
+def random_sparse_topology(seed, family=None, min_dimension=100,
+                           max_dimension=300):
+    """A seeded post-layout-scale generator circuit plus its transfer spec.
+
+    The large-topology counterpart of :func:`random_circuit`: draws one of
+    the :mod:`repro.circuits.generators` families (RC mesh, clock tree,
+    coupled bus — cycled by seed unless ``family`` pins one) at a seeded
+    target dimension in ``[min_dimension, max_dimension]``, with the
+    family's own seeded value jitter.  Families quantize their shapes (a
+    binary tree only exists at 2^k − 1 segments), so the target is snapped
+    *up* until the built system reaches ``min_dimension`` — callers can rely
+    on the lower bound, e.g. to stay above the sparse dispatch cutoff.
+    Construction is deterministic — same seed, same circuit, element names
+    and values.
+
+    Returns
+    -------
+    (Circuit, TransferSpec)
+    """
+    from repro.circuits.generators import build_generator
+
+    rng = np.random.default_rng(seed)
+    if family is None:
+        family = SPARSE_TOPOLOGY_FAMILIES[
+            int(seed) % len(SPARSE_TOPOLOGY_FAMILIES)]
+    if family not in SPARSE_TOPOLOGY_FAMILIES:
+        raise ValueError(f"unknown sparse topology family {family!r}")
+    from repro.mna.builder import system_dimension
+
+    target = int(rng.integers(min_dimension, max_dimension + 1))
+    circuit, spec = build_generator(family, target, seed=int(seed))
+    while system_dimension(circuit) < min_dimension:
+        target *= 2
+        circuit, spec = build_generator(family, target, seed=int(seed))
+    return circuit, spec

@@ -36,9 +36,12 @@ import pytest
 from repro.analysis.ac import ACAnalysis
 from repro.circuits import (
     build_cascode_amplifier,
+    build_clock_tree,
+    build_coupled_bus,
     build_miller_ota,
     build_positive_feedback_ota,
     build_rc_ladder,
+    build_rc_mesh,
     build_sallen_key_lowpass,
     build_tow_thomas_biquad,
     build_ua741,
@@ -52,7 +55,10 @@ from repro.symbolic.sdg import simplification_during_generation
 
 GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
 
-#: The seven library circuits (the RC ladder represents its family).
+#: The library circuits (the RC ladder represents its family), plus one
+#: mid-size generator circuit per post-layout family — all three sit above
+#: the default dense cutoff, so their snapshots pin the ordered sparse
+#: dispatch path end to end.
 LIBRARY_CIRCUITS = [
     ("rc_ladder_5", lambda: build_rc_ladder(5)),
     ("positive_feedback_ota", build_positive_feedback_ota),
@@ -62,6 +68,9 @@ LIBRARY_CIRCUITS = [
     ("cascode", build_cascode_amplifier),
     ("sallen_key", build_sallen_key_lowpass),
     ("tow_thomas", build_tow_thomas_biquad),
+    ("gen_rc_mesh_14", lambda: build_rc_mesh(14)),           # n = 198
+    ("gen_clock_tree_7", lambda: build_clock_tree(7)),       # n = 257
+    ("gen_coupled_bus_10x20", lambda: build_coupled_bus(10, 20)),  # n = 202
 ]
 
 #: Circuits small enough for exact symbolic expansion + reference generation
@@ -184,14 +193,25 @@ def test_golden_snapshot(name, builder, request):
 @pytest.mark.parametrize("name,builder", LIBRARY_CIRCUITS)
 def test_batched_sampler_bit_parity(name, builder):
     """CHANGES.md parity claim, enforced: batch and per-point paths agree
-    bit-for-bit on every library circuit (no stored floats involved)."""
+    bit-for-bit on every dense-dispatch library circuit (no stored floats
+    involved).  Above the dense cutoff the batched sweep reuses the first
+    point's pivot pattern while the per-point path re-pivots freshly at
+    every frequency — deliberately different pivot sequences — so the
+    generator circuits assert a tight relative bound instead."""
     circuit, spec = builder()
     admittance = to_admittance_form(circuit)
+    sampler = NetworkFunctionSampler(admittance, spec)
     points = (2j * np.pi * np.logspace(1.0, 7.0, 7)).tolist()
-    batched = NetworkFunctionSampler(admittance, spec).sample_many(
-        points, batch=True)
+    batched = sampler.sample_many(points, batch=True)
     pointwise = NetworkFunctionSampler(admittance, spec).sample_many(
         points, batch=False)
+    from repro.linalg.config import dense_cutoff
+
+    exact = sampler.dimension <= dense_cutoff()
     for index, (fast, slow) in enumerate(zip(batched, pointwise)):
-        assert fast.numerator == slow.numerator, (name, index)
-        assert fast.denominator == slow.denominator, (name, index)
+        if exact:
+            assert fast.numerator == slow.numerator, (name, index)
+            assert fast.denominator == slow.denominator, (name, index)
+        else:
+            assert fast.transfer() == pytest.approx(
+                slow.transfer(), rel=1e-9), (name, index)

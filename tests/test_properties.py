@@ -8,7 +8,10 @@ independent computation paths against each other:
   ``repro.linalg``),
 * rank-1 vs rebuild sensitivity screening (Sherman–Morrison against the
   brute-force oracle),
-* vectorized Monte Carlo ensembles vs per-sample rebuilds (bit-exact).
+* vectorized Monte Carlo ensembles vs per-sample rebuilds (bit-exact),
+* dense vs ordered-sparse sweep dispatch on post-layout-scale generator
+  topologies (transfer parity, identical screening rankings, bit-identical
+  Monte Carlo above the dense cutoff).
 
 Every seed is pinned, so a failure reproduces locally with the seed in the
 test id.
@@ -32,13 +35,17 @@ from repro.nodal.sampler import NetworkFunctionSampler
 from repro.symbolic.determinant import symbolic_determinant
 from repro.symbolic.matrix import build_symbolic_nodal
 
-from strategies import random_circuit
+from strategies import random_circuit, random_sparse_topology
 
-#: 20 + 12 + 12 + 8 = 52 generated circuits per run.
+#: 20 + 12 + 12 + 8 = 52 small generated circuits per run, plus
+#: 20 + 3 + 3 = 26 post-layout-scale generator topologies.
 MNA_VS_NODAL_SEEDS = list(range(100, 120))
 DETERMINANT_SEEDS = list(range(200, 212))
 SCREENING_SEEDS = list(range(300, 312))
 MONTECARLO_SEEDS = list(range(400, 408))
+SPARSE_DISPATCH_SEEDS = list(range(500, 520))
+SPARSE_SCREENING_SEEDS = list(range(600, 603))
+SPARSE_MONTECARLO_SEEDS = list(range(700, 703))
 
 _PROBE_FREQUENCIES = np.array([13.0, 997.0, 1.1e4, 2.3e5, 5.7e6])
 
@@ -149,3 +156,101 @@ class TestMonteCarloVsRebuild:
                                       solver="lapack")
         assert np.array_equal(lapack.responses, one_at_a_time.responses), seed
         assert _relative(reference.responses, lapack.responses) <= 1e-9, seed
+
+
+#: Sweep grid for the post-layout-scale generator topologies (their poles
+#: live higher than the small random circuits').
+_SPARSE_PROBE_FREQUENCIES = np.logspace(2.0, 8.0, 5)
+
+
+class TestSparseVsDenseDispatch:
+    """Dense and ordered-sparse sweeps agree on every generator topology.
+
+    Twenty seeded mesh / tree / bus circuits at 100–300 unknowns — all above
+    the default dense cutoff — run through both dispatch paths of the same
+    :class:`~repro.engine.sweep.SweepEngine`.  The transfer function is
+    compared on the response scale and the full solution stack on the
+    per-frequency solution norm (component-wise relative error is
+    ill-defined at the crosstalk outputs' cancellation floors).
+    """
+
+    @pytest.mark.parametrize("seed", SPARSE_DISPATCH_SEEDS)
+    def test_transfer_parity(self, seed):
+        from repro.engine.sweep import SweepEngine
+        from repro.mna.builder import build_mna_system
+
+        circuit, spec = random_sparse_topology(seed, min_dimension=151)
+        system = build_mna_system(circuit)
+        assert system.dimension > 150, (seed, system.dimension)
+        s = 2j * np.pi * _SPARSE_PROBE_FREQUENCIES
+
+        dense_engine = SweepEngine(system, method="dense")
+        sparse_engine = SweepEngine(system, method="sparse")
+        assert dense_engine.is_dense and not sparse_engine.is_dense, seed
+        dense = dense_engine.solve_sweep(s, system.rhs)
+        sparse = sparse_engine.solve_sweep(s, system.rhs)
+
+        norms = np.linalg.norm(dense, axis=1, keepdims=True)
+        assert float(np.max(np.abs(dense - sparse) / norms)) <= 1e-8, seed
+
+        reference = np.array([system.node_voltage(row, spec.output)
+                              for row in dense])
+        candidate = np.array([system.node_voltage(row, spec.output)
+                              for row in sparse])
+        scale = max(float(np.max(np.abs(reference))), np.finfo(float).tiny)
+        assert float(np.max(np.abs(candidate - reference))) / scale <= 1e-8, (
+            seed)
+
+
+class TestSparseScreeningRanking:
+    """Rank-1 screening ranks identically on dense and sparse factors."""
+
+    @pytest.mark.parametrize("seed", SPARSE_SCREENING_SEEDS)
+    def test_ranking_identical(self, seed, monkeypatch):
+        circuit, spec = random_sparse_topology(seed, min_dimension=150,
+                                               max_dimension=200)
+        # A deterministic element subset keeps the Sherman–Morrison pass
+        # affordable at this scale.
+        names = [element.name for element in circuit
+                 if isinstance(element, (Resistor, Capacitor))][::17][:12]
+        frequencies = _SPARSE_PROBE_FREQUENCIES
+
+        monkeypatch.setenv("REPRO_DENSE_CUTOFF", "100000")
+        dense = screen_elements(circuit, spec, frequencies, elements=names)
+        monkeypatch.setenv("REPRO_DENSE_CUTOFF", "1")
+        sparse = screen_elements(circuit, spec, frequencies, elements=names)
+
+        dense_ranking = [item.name for item in dense.influences()]
+        sparse_ranking = [item.name for item in sparse.influences()]
+        assert dense_ranking == sparse_ranking, seed
+        for ours, oracle in zip(sparse.screenings, dense.screenings):
+            assert ours.name == oracle.name
+            for candidate, reference in (
+                (ours.removal_response, oracle.removal_response),
+                (ours.perturbed_response, oracle.perturbed_response),
+            ):
+                assert (candidate is None) == (reference is None), (
+                    seed, ours.name)
+                if candidate is not None:
+                    scale = np.maximum(np.abs(dense.baseline),
+                                       np.finfo(float).tiny)
+                    assert float(np.max(np.abs(candidate - reference)
+                                        / scale)) <= 1e-8, (seed, ours.name)
+
+
+class TestSparseMonteCarloParity:
+    """``solver="lu"`` ensembles stay bit-exact above the dense cutoff."""
+
+    @pytest.mark.parametrize("seed", SPARSE_MONTECARLO_SEEDS)
+    def test_ensemble_bit_parity(self, seed):
+        circuit, spec = random_sparse_topology(seed, min_dimension=160,
+                                               max_dimension=220)
+        names = [element.name for element in circuit
+                 if isinstance(element, (Resistor, Capacitor))][::11][:8]
+        space = ParameterSpace(circuit, {name: 0.05 for name in names})
+        frequencies = _SPARSE_PROBE_FREQUENCIES
+        vectorized = ensemble_sweep(circuit, spec, frequencies, space,
+                                    samples=4, seed=seed, solver="lu")
+        reference = rebuild_sweep(circuit, spec, frequencies, space,
+                                  values=vectorized.values, solver="lu")
+        assert np.array_equal(vectorized.responses, reference.responses), seed
