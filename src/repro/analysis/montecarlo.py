@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..errors import LinAlgError
 from ..montecarlo.engine import EnsembleResult, ensemble_sweep
 from ..montecarlo.space import ParameterSpace
 from .ac import ACAnalysis
@@ -141,17 +142,39 @@ class YieldSpec:
 
 @dataclasses.dataclass
 class YieldResult:
-    """Yield of an ensemble against a set of specifications."""
+    """Yield of an ensemble against a set of specifications.
+
+    ``total`` counts the samples actually evaluated: quarantined samples of
+    a resilient run (see :attr:`~repro.montecarlo.engine.EnsembleResult.report`)
+    are excluded from the yield fraction and listed in ``quarantined``
+    instead — a failed solve is a diagnostic, not a failed circuit.
+    """
 
     total: int
     passed: int
     per_spec: Dict[str, int]     # spec name → number of samples passing it
     failures: List[int]          # sample indices failing at least one spec
+    quarantined: List[int] = dataclasses.field(default_factory=list)
 
     @property
     def fraction(self) -> float:
-        """Overall yield in ``[0, 1]``."""
+        """Overall yield in ``[0, 1]`` (quarantined samples excluded)."""
         return self.passed / self.total if self.total else 1.0
+
+
+def _surviving_magnitudes(ensemble) -> np.ndarray:
+    """``(S, F)`` dB magnitudes of the samples that actually solved.
+
+    Non-resilient ensembles survive whole; a resilient run's quarantined
+    (NaN) rows are dropped so that extremes / moments / percentiles stay
+    finite.  An ensemble with no survivors has no statistics at all.
+    """
+    mask = ensemble.surviving_mask()
+    if not mask.any():
+        raise LinAlgError(
+            "every ensemble sample is quarantined; no surviving samples "
+            "to compute statistics over (see EnsembleResult.report)")
+    return ensemble.magnitudes_db()[mask]
 
 
 @dataclasses.dataclass
@@ -173,9 +196,13 @@ class MonteCarloResult:
         return self.ensemble.responses
 
     def envelope(self, percentiles=(5.0, 95.0)) -> ResponseEnvelope:
-        """Magnitude envelope of the ensemble (see :class:`ResponseEnvelope`)."""
+        """Magnitude envelope of the ensemble (see :class:`ResponseEnvelope`).
+
+        Quarantined samples of a resilient run are excluded — the envelope
+        describes the samples that actually solved.
+        """
         low, high = percentiles
-        magnitudes = self.ensemble.magnitudes_db()
+        magnitudes = _surviving_magnitudes(self.ensemble)
         return ResponseEnvelope(
             frequencies=self.frequencies,
             minimum_db=magnitudes.min(axis=0),
@@ -199,7 +226,8 @@ class MonteCarloResult:
 def monte_carlo_analysis(circuit, output, frequencies, space=None, *,
                          samples=128, seed=0, tolerances=None,
                          solver="lapack", method="auto", workers=None,
-                         session=None) -> MonteCarloResult:
+                         session=None, on_failure="raise",
+                         policy=None) -> MonteCarloResult:
     """Run a Monte Carlo tolerance analysis of ``circuit``.
 
     Parameters
@@ -221,6 +249,12 @@ def monte_carlo_analysis(circuit, output, frequencies, space=None, *,
         result is then memoized under ``(circuit, space, grid, samples,
         seed, solver)`` and the nominal response shares the session's cached
         sweep factorizations.
+    on_failure, policy:
+        Resilience controls passed to :func:`repro.montecarlo.ensemble_sweep`
+        — ``on_failure="quarantine"`` masks failing samples instead of
+        raising, ``policy`` a :class:`~repro.engine.resilience.SolvePolicy`.
+        Resilient runs bypass the session memo (the quarantine report is a
+        run artefact, not a cacheable response).
 
     Returns
     -------
@@ -228,21 +262,24 @@ def monte_carlo_analysis(circuit, output, frequencies, space=None, *,
     """
     if space is None:
         space = ParameterSpace(circuit, tolerances)
-    if session is not None:
+    if session is not None and on_failure == "raise" and policy is None:
         return session.montecarlo(circuit, output, frequencies, space,
                                   samples=samples, seed=seed, solver=solver,
                                   method=method, workers=workers)
     return _monte_carlo(circuit, output, frequencies, space, samples, seed,
-                        solver, method, workers, session=None)
+                        solver, method, workers, session=session,
+                        on_failure=on_failure, policy=policy)
 
 
 def _monte_carlo(circuit, output, frequencies, space, samples, seed, solver,
-                 method, workers, session=None) -> MonteCarloResult:
+                 method, workers, session=None, on_failure="raise",
+                 policy=None) -> MonteCarloResult:
     """The analysis itself (no memoization) — session feeds the nominal sweep."""
     frequencies = np.asarray(frequencies, dtype=float)
     ensemble = ensemble_sweep(circuit, output, frequencies, space,
                               samples=samples, seed=seed, solver=solver,
-                              method=method, workers=workers)
+                              method=method, workers=workers,
+                              on_failure=on_failure, policy=policy)
     nominal = ACAnalysis(circuit, output, method=method,
                          session=session).frequency_response(frequencies)
     return MonteCarloResult(ensemble=ensemble, nominal_response=nominal,
@@ -295,9 +332,15 @@ def variance_attribution(result, session=None) -> List[AttributionEntry]:
     ensemble = (result.ensemble if isinstance(result, MonteCarloResult)
                 else result)
     space = ensemble.space
+    surviving = ensemble.surviving_mask()
+    if not surviving.any():
+        raise LinAlgError(
+            "every ensemble sample is quarantined; cannot attribute variance "
+            "(see EnsembleResult.report)")
     deviations = ensemble.values / space.nominal_values[None, :] - 1.0
     deviations = np.where(np.isfinite(deviations), deviations, 0.0)
-    magnitudes = ensemble.magnitudes_db()
+    deviations = deviations[surviving]
+    magnitudes = ensemble.magnitudes_db()[surviving]
 
     # Least-squares fit per frequency: design matrix [1, δ_1 .. δ_E].
     design = np.column_stack([np.ones(deviations.shape[0]), deviations])
@@ -358,7 +401,11 @@ def yield_analysis(result, specs) -> YieldResult:
             "(per-spec pass counts are keyed by name)")
     per_spec = {spec.name: 0 for spec in specs}
     failures: List[int] = []
+    surviving = ensemble.surviving_mask()
+    quarantined = [int(sample) for sample in np.flatnonzero(~surviving)]
     for sample in range(ensemble.responses.shape[0]):
+        if not surviving[sample]:
+            continue
         bode = bode_from_response(ensemble.frequencies,
                                   ensemble.responses[sample])
         sample_passes = True
@@ -369,6 +416,7 @@ def yield_analysis(result, specs) -> YieldResult:
                 sample_passes = False
         if not sample_passes:
             failures.append(sample)
-    total = ensemble.responses.shape[0]
+    total = int(surviving.sum())
     return YieldResult(total=total, passed=total - len(failures),
-                       per_spec=per_spec, failures=failures)
+                       per_spec=per_spec, failures=failures,
+                       quarantined=quarantined)

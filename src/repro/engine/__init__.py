@@ -27,6 +27,9 @@ conditions".  This package owns that machinery once, for every formulation:
 """
 
 from .formulation import Formulation, FormulationBase
+from .resilience import (SolveDiagnostics, SolvePolicy, SweepReport,
+                         resilient_dense_solve, resilient_sparse_solve,
+                         reset_telemetry, telemetry_snapshot)
 from .session import AnalysisSession
 from .sweep import SweepEngine, SweepFactors
 
@@ -36,4 +39,11 @@ __all__ = [
     "SweepEngine",
     "SweepFactors",
     "AnalysisSession",
+    "SolvePolicy",
+    "SolveDiagnostics",
+    "SweepReport",
+    "resilient_dense_solve",
+    "resilient_sparse_solve",
+    "telemetry_snapshot",
+    "reset_telemetry",
 ]

@@ -1,0 +1,870 @@
+"""Resilient solve layer: escalation policies, diagnostics and quarantine.
+
+The batched sweep and ensemble engines are throughput-first: one singular or
+ill-conditioned matrix aborts a whole run.  This module wraps those kernels in
+an **escalation chain** driven by structured diagnostics, so a production
+sweep can either recover a failing point through progressively more careful
+factorizations or quarantine it with a precise, machine-readable report:
+
+* **fast** — the batched kernel the engine would have used anyway
+  (:func:`~repro.linalg.dense.batched_dense_lu` /
+  :func:`~repro.linalg.dense.batched_solve` on the dense paths, pivot-pattern
+  refactorization on the sparse path);
+* **bitexact** — the scalar reference kernel (:func:`~repro.linalg.dense.dense_lu`,
+  or a fresh *ordered* sparse factorization), whose factors are the
+  batched kernel's bit-for-bit;
+* **fresh** (sparse only) — a full Markowitz pivot search, abandoning the
+  fill-reducing order in favour of numerical safety;
+* **regularized** — factor ``A + εI`` as a last resort, then validate the
+  solution against the **original** ``A``: an exactly singular system still
+  fails its residual test here and is quarantined rather than silently
+  "solved".
+
+A stage is *accepted* only when its solution is finite and its scaled
+residual ``‖Ax − b‖∞ / (‖A‖₁·‖x‖∞ + ‖b‖∞)`` — after up to
+:attr:`SolvePolicy.refinement_steps` rounds of iterative refinement — is at
+or below the policy's residual limit.  A 1-norm condition estimate (Hager's
+method on the packed dense LU, probe vectors on the sparse factorization)
+above the policy's condition limit flags the solution *degraded*: recorded,
+never silently dropped.  Every escalation is recorded in
+:class:`SolveDiagnostics`; per-sweep aggregation lives in
+:class:`SweepReport`; process-wide counters in :data:`TELEMETRY` (surfaced
+through :meth:`repro.engine.session.AnalysisSession.stats`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import LinAlgError, SingularMatrixError, SolveFailureError
+from ..linalg import config as linalg_config
+from ..linalg.dense import DenseLU, batched_dense_lu, batched_solve, dense_lu
+from ..linalg.lu import sparse_lu, sparse_lu_reusing
+
+__all__ = ["SolvePolicy", "SolveDiagnostics", "EscalationRecord",
+           "FailureRecord", "RecoveryRecord", "SweepReport",
+           "scaled_residual", "dense_condition_estimate",
+           "sparse_condition_estimate", "resilient_dense_solve",
+           "resilient_sparse_solve", "solve_stack_resilient",
+           "TELEMETRY", "telemetry_snapshot", "reset_telemetry"]
+
+#: Escalation stages, in order of increasing desperation.
+STAGES = ("fast", "bitexact", "fresh", "regularized")
+
+#: Modes of the per-member condition estimate.
+_CONDITION_CHECKS = ("never", "escalated", "always")
+
+#: Default relative diagonal shift of the ``regularized`` stage:
+#: ``ε = √(machine eps) · max|A|`` perturbs each diagonal by one part in
+#: ~10⁻⁸ of the largest entry — enough to factor a numerically singular
+#: matrix, small enough that a merely ill-conditioned one still passes its
+#: residual test against the original ``A``.
+_DEFAULT_REGULARIZATION = float(np.sqrt(np.finfo(float).eps))
+
+#: Process-wide resilience counters (reset with :func:`reset_telemetry`).
+#: Stage keys count *accepted* solves per stage; ``recovered`` counts solves
+#: accepted past the fast stage, ``quarantined`` exhausted chains,
+#: ``degraded`` accepted solves whose condition estimate exceeded the limit.
+TELEMETRY = {"fast": 0, "bitexact": 0, "fresh": 0, "regularized": 0,
+             "recovered": 0, "quarantined": 0, "degraded": 0}
+
+
+def telemetry_snapshot() -> dict:
+    """A copy of the process-wide resilience counters."""
+    return dict(TELEMETRY)
+
+
+def reset_telemetry() -> None:
+    """Zero the process-wide resilience counters."""
+    for key in TELEMETRY:
+        TELEMETRY[key] = 0
+
+
+# --------------------------------------------------------------------------- #
+# policy and diagnostics
+# --------------------------------------------------------------------------- #
+
+
+@dataclasses.dataclass(frozen=True)
+class SolvePolicy:
+    """What the escalation chain is allowed to do and what it must achieve.
+
+    Attributes
+    ----------
+    residual_limit:
+        Largest acceptable scaled residual (see :func:`scaled_residual`).
+        ``None`` reads :func:`repro.linalg.config.residual_limit`
+        (``REPRO_RESIDUAL_LIMIT``-overridable).
+    condition_limit:
+        1-norm condition estimate above which an accepted solution is flagged
+        *degraded*.  ``None`` reads
+        :func:`repro.linalg.config.condition_limit`.
+    refinement_steps:
+        Rounds of iterative refinement attempted before a stage's residual is
+        judged (each round keeps the refined iterate only when it improves
+        the residual).
+    regularization:
+        Relative diagonal shift of the last-resort stage:
+        ``ε = regularization · max|A|``.  ``None`` uses ``√(machine eps)``.
+    allow_regularization:
+        Gate the ``regularized`` stage entirely (``False`` quarantines after
+        the exact-factorization stages).
+    condition_check:
+        ``"escalated"`` (default) estimates the condition number only for
+        solves that left the fast path; ``"always"`` estimates it for every
+        member (factoring the stack a second time on the LAPACK fast path);
+        ``"never"`` skips the estimate.
+    """
+
+    residual_limit: Optional[float] = None
+    condition_limit: Optional[float] = None
+    refinement_steps: int = 1
+    regularization: Optional[float] = None
+    allow_regularization: bool = True
+    condition_check: str = "escalated"
+
+    def __post_init__(self):
+        if self.condition_check not in _CONDITION_CHECKS:
+            raise LinAlgError(
+                f"unknown condition_check {self.condition_check!r} "
+                f"(expected one of {_CONDITION_CHECKS})")
+        if self.refinement_steps < 0:
+            raise LinAlgError("refinement_steps must be non-negative")
+        for name in ("residual_limit", "condition_limit", "regularization"):
+            value = getattr(self, name)
+            if value is not None and not (value > 0.0):
+                raise LinAlgError(f"{name} must be positive (got {value!r})")
+
+    def effective_residual_limit(self) -> float:
+        """The residual limit, resolving ``None`` against the configuration."""
+        if self.residual_limit is not None:
+            return self.residual_limit
+        return linalg_config.residual_limit()
+
+    def effective_condition_limit(self) -> float:
+        """The condition limit, resolving ``None`` against the configuration."""
+        if self.condition_limit is not None:
+            return self.condition_limit
+        return linalg_config.condition_limit()
+
+    def effective_regularization(self) -> float:
+        """The relative diagonal shift of the ``regularized`` stage."""
+        if self.regularization is not None:
+            return self.regularization
+        return _DEFAULT_REGULARIZATION
+
+
+@dataclasses.dataclass(frozen=True)
+class EscalationRecord:
+    """One rejected stage: which stage gave up and why."""
+
+    stage: str
+    reason: str
+
+
+@dataclasses.dataclass
+class SolveDiagnostics:
+    """Structured outcome of one resilient solve.
+
+    Attributes
+    ----------
+    stage:
+        The accepted escalation stage (one of :data:`STAGES`), or the last
+        stage attempted when the chain was exhausted.
+    residual:
+        Scaled residual of the accepted solution (``inf`` on failure).
+    condition:
+        1-norm condition estimate of the accepted factorization (``None``
+        when the policy skipped the estimate).
+    refinements:
+        Iterative-refinement rounds actually applied (improving rounds only).
+    degraded:
+        True when ``condition`` exceeded the policy's condition limit.
+    escalations:
+        :class:`EscalationRecord` per rejected stage, in order.
+    """
+
+    stage: str
+    residual: float
+    condition: Optional[float] = None
+    refinements: int = 0
+    degraded: bool = False
+    escalations: Tuple[EscalationRecord, ...] = ()
+
+
+@dataclasses.dataclass(frozen=True)
+class FailureRecord:
+    """One quarantined sweep point / ensemble sample."""
+
+    index: int
+    description: str
+    reason: str
+    escalations: Tuple[EscalationRecord, ...] = ()
+
+
+@dataclasses.dataclass(frozen=True)
+class RecoveryRecord:
+    """One point / sample recovered past the fast stage."""
+
+    index: int
+    stage: str
+    residual: float
+    condition: Optional[float]
+    escalations: Tuple[EscalationRecord, ...] = ()
+
+
+class SweepReport:
+    """Aggregated resilience outcome of one sweep / ensemble run.
+
+    Attributes
+    ----------
+    label:
+        Noun of the underlying system (``"matrix"``, ``"MNA matrix"``, …).
+    kind:
+        Granularity of the indices: ``"sweep point"`` or ``"sample"``.
+    total:
+        Number of points / samples attempted.
+    failures:
+        :class:`FailureRecord` per quarantined index.
+    recoveries:
+        :class:`RecoveryRecord` per index recovered past the fast stage.
+    stage_counts:
+        Accepted solves per escalation stage.
+    degraded:
+        ``(index, condition)`` pairs whose accepted solution exceeded the
+        condition limit.
+    """
+
+    def __init__(self, label="matrix", kind="sweep point", total=0):
+        self.label = label
+        self.kind = kind
+        self.total = total
+        self.failures: List[FailureRecord] = []
+        self.recoveries: List[RecoveryRecord] = []
+        self.stage_counts = {stage: 0 for stage in STAGES}
+        self.degraded: List[Tuple[int, float]] = []
+
+    # -- recording ----------------------------------------------------------
+
+    def record_fast(self, count=1):
+        """Count ``count`` solves accepted on the fast path."""
+        self.stage_counts["fast"] += int(count)
+        TELEMETRY["fast"] += int(count)
+
+    def record_recovery(self, index, diagnostics: SolveDiagnostics):
+        """Record a solve accepted past the fast stage."""
+        self.stage_counts[diagnostics.stage] += 1
+        TELEMETRY[diagnostics.stage] += 1
+        TELEMETRY["recovered"] += 1
+        self.recoveries.append(RecoveryRecord(
+            index=index, stage=diagnostics.stage,
+            residual=diagnostics.residual, condition=diagnostics.condition,
+            escalations=diagnostics.escalations))
+        if diagnostics.degraded:
+            self.record_degraded(index, diagnostics.condition)
+
+    def record_degraded(self, index, condition):
+        """Record an accepted solution whose condition estimate is over limit."""
+        self.degraded.append((index, condition))
+        TELEMETRY["degraded"] += 1
+
+    def record_failure(self, index, description, reason, escalations=()):
+        """Record a quarantined index."""
+        self.failures.append(FailureRecord(
+            index=index, description=description, reason=reason,
+            escalations=tuple(escalations)))
+        TELEMETRY["quarantined"] += 1
+
+    def merge(self, other: "SweepReport") -> None:
+        """Fold another report (e.g. one resumed shard) into this one."""
+        self.total += other.total
+        self.failures.extend(other.failures)
+        self.recoveries.extend(other.recoveries)
+        self.degraded.extend(other.degraded)
+        for stage, count in other.stage_counts.items():
+            self.stage_counts[stage] += count
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing was quarantined."""
+        return not self.failures
+
+    @property
+    def quarantined(self) -> List[int]:
+        """Sorted quarantined indices."""
+        return sorted({record.index for record in self.failures})
+
+    @property
+    def recovered(self) -> List[int]:
+        """Sorted indices recovered past the fast stage."""
+        return sorted({record.index for record in self.recoveries})
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        parts = [f"{self.total} {self.kind}s"]
+        escalated = sum(count for stage, count in self.stage_counts.items()
+                        if stage != "fast")
+        if escalated:
+            parts.append(f"{escalated} escalated")
+        if self.degraded:
+            parts.append(f"{len(self.degraded)} degraded")
+        parts.append(f"{len(self.quarantined)} quarantined")
+        return f"{self.label}: " + ", ".join(parts)
+
+    def __repr__(self):
+        return (f"SweepReport(label={self.label!r}, kind={self.kind!r}, "
+                f"total={self.total}, quarantined={self.quarantined})")
+
+
+# --------------------------------------------------------------------------- #
+# numerical diagnostics
+# --------------------------------------------------------------------------- #
+
+
+def _matrix_one_norm(matrix) -> float:
+    """1-norm (max column sum of magnitudes) of a dense array or SparseMatrix."""
+    if hasattr(matrix, "col_nnz"):  # SparseMatrix
+        sums = np.zeros(matrix.n_cols)
+        for __, col, value in matrix.entries():
+            sums[col] += abs(value)
+        return float(sums.max()) if matrix.n_cols else 0.0
+    return float(np.abs(np.asarray(matrix)).sum(axis=0).max())
+
+
+def _matvec(matrix, x):
+    """``A x`` for a dense array or SparseMatrix."""
+    if hasattr(matrix, "matvec"):
+        return matrix.matvec(x)
+    return np.asarray(matrix) @ x
+
+
+def scaled_residual(matrix, x, b) -> float:
+    """``‖Ax − b‖∞ / (‖A‖₁·‖x‖∞ + ‖b‖∞)`` — the stage-acceptance metric.
+
+    Non-finite solutions score ``inf``; the zero-dimensional system scores 0.
+    """
+    x = np.asarray(x, dtype=complex)
+    b = np.asarray(b, dtype=complex)
+    if x.size == 0:
+        return 0.0
+    if not np.all(np.isfinite(x)):
+        return float("inf")
+    residual = _matvec(matrix, x) - b
+    numerator = float(np.abs(residual).max())
+    denominator = (_matrix_one_norm(matrix) * float(np.abs(x).max())
+                   + float(np.abs(b).max()))
+    if denominator == 0.0:
+        return 0.0 if numerator == 0.0 else float("inf")
+    return numerator / denominator
+
+
+def rhs_relative_residual(matrix, x, b) -> float:
+    """``‖Ax − b‖∞ / ‖b‖∞`` — the regularized-stage consistency gate.
+
+    The backward error of :func:`scaled_residual` scales with ``‖x‖∞``, so a
+    solution of ``A + εI`` that blows up along a null-space direction of an
+    exactly singular ``A`` can score an arbitrarily small backward error on
+    an *inconsistent* system.  Measuring the residual against ``‖b‖∞`` alone
+    closes that hole: an inconsistent system keeps a residual of order
+    ``‖b‖∞`` no matter how large ``x`` grows.
+    """
+    x = np.asarray(x, dtype=complex)
+    b = np.asarray(b, dtype=complex)
+    if x.size == 0:
+        return 0.0
+    if not np.all(np.isfinite(x)):
+        return float("inf")
+    numerator = float(np.abs(_matvec(matrix, x) - b).max())
+    bnorm = float(np.abs(b).max())
+    if bnorm == 0.0:
+        return 0.0 if numerator == 0.0 else float("inf")
+    return numerator / bnorm
+
+
+def _conjugate_transpose_solve(factorization: DenseLU, rhs) -> np.ndarray:
+    """Solve ``Aᴴ x = b`` from the packed factors ``A = Pᵀ L U``.
+
+    ``Aᴴ = Uᴴ Lᴴ P``, so: forward-substitute the lower triangle ``Uᴴ``,
+    back-substitute the unit upper triangle ``Lᴴ``, then undo the row
+    permutation (``x[p] = w``).
+    """
+    lu = factorization.lu
+    n = factorization.n
+    work = np.asarray(rhs, dtype=complex).copy()
+    for i in range(n):
+        work[i] -= np.dot(np.conj(lu[:i, i]), work[:i])
+        pivot = np.conj(lu[i, i])
+        if pivot == 0:
+            raise SingularMatrixError(
+                "zero pivot in conjugate-transpose substitution",
+                pivot_index=i, dimension=n)
+        work[i] /= pivot
+    for i in range(n - 1, -1, -1):
+        work[i] -= np.dot(np.conj(lu[i + 1:, i]), work[i + 1:])
+    solution = np.empty(n, dtype=complex)
+    solution[factorization.permutation] = work
+    return solution
+
+
+def dense_condition_estimate(factorization: DenseLU, anorm) -> float:
+    """Hager's 1-norm condition estimate ``‖A‖₁·est(‖A⁻¹‖₁)`` from packed LU.
+
+    The classic power iteration on ``|A⁻¹|``: alternate solves with ``A`` and
+    ``Aᴴ``, steering toward the column of ``A⁻¹`` with the largest 1-norm.
+    A lower bound of the true condition number (usually within a small
+    factor); singular factors estimate ``inf``.
+    """
+    n = factorization.n
+    if n == 0:
+        return 0.0
+    anorm = float(anorm)
+    if anorm == 0.0:
+        return float("inf")
+    x = np.full(n, 1.0 / n, dtype=complex)
+    estimate = 0.0
+    try:
+        for __ in range(5):
+            y = factorization.solve(x)
+            if not np.all(np.isfinite(y)):
+                return float("inf")
+            new_estimate = float(np.abs(y).sum())
+            if new_estimate <= estimate:
+                break
+            estimate = new_estimate
+            magnitude = np.abs(y)
+            signs = np.where(magnitude == 0.0, 1.0 + 0.0j, y
+                             / np.where(magnitude == 0.0, 1.0, magnitude))
+            z = _conjugate_transpose_solve(factorization, signs)
+            j = int(np.argmax(np.abs(z)))
+            if float(np.abs(z[j])) <= float(np.real(np.vdot(z, x))):
+                break
+            x = np.zeros(n, dtype=complex)
+            x[j] = 1.0
+    except SingularMatrixError:
+        return float("inf")
+    return anorm * estimate
+
+
+def sparse_condition_estimate(factorization, matrix) -> float:
+    """Probe-based 1-norm condition lower bound for a sparse factorization.
+
+    The sparse :class:`~repro.linalg.lu.LUFactorization` exposes no
+    conjugate-transpose solve, so ``‖A⁻¹‖₁`` is bounded from below by pushing
+    a few structured probes (uniform, alternating-sign) through ``A⁻¹`` and
+    taking the largest amplification ``‖A⁻¹p‖₁ / ‖p‖₁``.
+    """
+    n = factorization.n
+    if n == 0:
+        return 0.0
+    anorm = _matrix_one_norm(matrix)
+    if anorm == 0.0:
+        return float("inf")
+    probes = [np.full(n, 1.0 / n, dtype=complex),
+              np.array([(-1.0) ** i for i in range(n)], dtype=complex) / n]
+    best = 0.0
+    try:
+        for probe in probes:
+            solution = factorization.solve(probe)
+            if not np.all(np.isfinite(solution)):
+                return float("inf")
+            amplification = (float(np.abs(solution).sum())
+                             / float(np.abs(probe).sum()))
+            best = max(best, amplification)
+    except SingularMatrixError:
+        return float("inf")
+    return anorm * best
+
+
+def _refine(factorization, matrix, x, b, steps, limit):
+    """Rescue-only iterative refinement: ``x += F⁻¹(b − Ax)`` while failing.
+
+    Refinement runs only while the scaled residual is *above* ``limit`` — an
+    already-acceptable solution is returned untouched, so fast-path results
+    keep their exact bits.  ``factorization`` may be of a *regularized*
+    neighbour of ``matrix``: the residual is always measured against the
+    original system, so a shifted factorization either converges toward the
+    true solution or the stage is rejected honestly.
+    Returns ``(x, residual, rounds_applied)``.
+    """
+    residual = scaled_residual(matrix, x, b)
+    applied = 0
+    for __ in range(steps):
+        if residual <= limit or not np.isfinite(residual):
+            break
+        defect = b - _matvec(matrix, x)
+        try:
+            correction = factorization.solve(defect)
+        except SingularMatrixError:
+            break
+        candidate = x + correction
+        candidate_residual = scaled_residual(matrix, candidate, b)
+        if candidate_residual < residual:
+            x, residual = candidate, candidate_residual
+            applied += 1
+        else:
+            break
+    return x, residual, applied
+
+
+# --------------------------------------------------------------------------- #
+# escalating solves
+# --------------------------------------------------------------------------- #
+
+
+def _finish(matrix, factorization, x, b, policy, stage, escalations,
+            estimate):
+    """Refine, judge and package one candidate stage's solution.
+
+    Returns ``(accepted, x, SolveDiagnostics)``; on rejection the diagnostics
+    carry the stage's residual for the escalation record.
+    """
+    limit = policy.effective_residual_limit()
+    x, residual, applied = _refine(factorization, matrix, x, b,
+                                   policy.refinement_steps, limit)
+    rejected = residual > limit
+    if not rejected and stage == "regularized":
+        # The shifted factorization did not see the true A: additionally
+        # demand consistency relative to the right-hand side, which the
+        # ‖x‖-scaled backward error cannot certify when x blows up along a
+        # null-space direction (exactly singular, inconsistent systems).
+        consistency = rhs_relative_residual(matrix, x, b)
+        rejected = consistency > float(np.sqrt(limit))
+        if rejected:
+            residual = max(residual, consistency)
+    if rejected:
+        return False, x, SolveDiagnostics(
+            stage=stage, residual=residual, refinements=applied,
+            escalations=tuple(escalations))
+    condition = None
+    degraded = False
+    check = policy.condition_check
+    if check == "always" or (check == "escalated"
+                             and (stage != "fast" or escalations)):
+        condition = estimate(factorization)
+        degraded = condition > policy.effective_condition_limit()
+    return True, x, SolveDiagnostics(
+        stage=stage, residual=residual, condition=condition,
+        refinements=applied, degraded=degraded,
+        escalations=tuple(escalations))
+
+
+def resilient_dense_solve(matrix, rhs, policy=None, escalations=()):
+    """Escalating scalar solve of one dense system ``A x = b``.
+
+    The chain past the fast stage: ``bitexact`` (scalar
+    :func:`~repro.linalg.dense.dense_lu`, the reference kernel whose factors
+    are the batched kernel's bit-for-bit) then ``regularized``
+    (``A + εI``, validated against the original ``A``).  Callers that already
+    burned the fast stage pass its :class:`EscalationRecord` in
+    ``escalations``.
+
+    Returns ``(x, SolveDiagnostics)``; raises :class:`SolveFailureError`
+    when every stage is rejected.
+    """
+    policy = policy or SolvePolicy()
+    matrix = np.asarray(matrix, dtype=complex)
+    rhs = np.asarray(rhs, dtype=complex)
+    escalations = list(escalations)
+    if not (np.all(np.isfinite(matrix)) and np.all(np.isfinite(rhs))):
+        raise SolveFailureError(
+            "system contains non-finite entries; unrecoverable",
+            dimension=matrix.shape[0], stage="fast",
+            diagnostics=SolveDiagnostics(
+                stage="fast", residual=float("inf"),
+                escalations=tuple(escalations)))
+    anorm = _matrix_one_norm(matrix)
+
+    def estimate(factorization):
+        return dense_condition_estimate(factorization, anorm)
+
+    # Stage: bitexact (fresh partial-pivoting scalar factorization).
+    try:
+        factorization = dense_lu(matrix)
+        x = factorization.solve(rhs)
+    except SingularMatrixError as error:
+        escalations.append(EscalationRecord("bitexact", str(error)))
+    else:
+        accepted, x, diagnostics = _finish(
+            matrix, factorization, x, rhs, policy, "bitexact", escalations,
+            estimate)
+        if accepted:
+            return x, diagnostics
+        escalations.append(EscalationRecord(
+            "bitexact", f"residual {diagnostics.residual:.3e} above limit "
+            f"{policy.effective_residual_limit():.3e}"))
+
+    # Stage: regularized (factor A + εI, validate against A itself).
+    if policy.allow_regularization:
+        shift = policy.effective_regularization() * max(anorm, 1.0)
+        shifted = matrix + shift * np.eye(matrix.shape[0], dtype=complex)
+        try:
+            factorization = dense_lu(shifted)
+            x = factorization.solve(rhs)
+        except SingularMatrixError as error:
+            escalations.append(EscalationRecord("regularized", str(error)))
+        else:
+            accepted, x, diagnostics = _finish(
+                matrix, factorization, x, rhs, policy, "regularized",
+                escalations, estimate)
+            if accepted:
+                return x, diagnostics
+            escalations.append(EscalationRecord(
+                "regularized",
+                f"residual {diagnostics.residual:.3e} above limit "
+                f"{policy.effective_residual_limit():.3e}"))
+
+    raise SolveFailureError(
+        "escalation chain exhausted without an acceptable solution",
+        dimension=matrix.shape[0], stage="regularized",
+        diagnostics=SolveDiagnostics(
+            stage="regularized", residual=float("inf"),
+            escalations=tuple(escalations)))
+
+
+def resilient_sparse_solve(matrix, rhs, policy=None, pattern=None,
+                           column_order=None):
+    """Escalating solve of one sparse system, pattern-reuse aware.
+
+    The full chain: ``fast`` (pivot-pattern refactorization via
+    :func:`~repro.linalg.lu.sparse_lu_reusing`) → ``bitexact`` (fresh ordered
+    factorization — recorded explicitly here, where the legacy path fell back
+    silently) → ``fresh`` (full Markowitz pivot search, abandoning the
+    fill-reducing order) → ``regularized`` (``A + εI`` validated against the
+    original ``A``).
+
+    Returns ``(x, SolveDiagnostics, pattern)`` where ``pattern`` is the pivot
+    pattern to reuse for the next point — the incoming one when the reuse
+    succeeded, the fresh factorization when one was computed, and the
+    incoming one unchanged after a regularized solve (a shifted pivot order
+    must not poison subsequent points).  Raises :class:`SolveFailureError`
+    when every stage is rejected.
+    """
+    policy = policy or SolvePolicy()
+    rhs = np.asarray(rhs, dtype=complex)
+    escalations: List[EscalationRecord] = []
+    values = np.array([value for __, __, value in matrix.entries()],
+                      dtype=complex)
+    if not (np.all(np.isfinite(values)) and np.all(np.isfinite(rhs))):
+        raise SolveFailureError(
+            "system contains non-finite entries; unrecoverable",
+            dimension=matrix.n_rows, stage="fast",
+            diagnostics=SolveDiagnostics(
+                stage="fast", residual=float("inf")))
+
+    def estimate(factorization):
+        return sparse_condition_estimate(factorization, matrix)
+
+    # Stages: fast (pattern reuse) / bitexact (fresh ordered).
+    factorization = None
+    next_pattern = pattern
+    stage = "fast"
+    try:
+        factorization, next_pattern, refactored = sparse_lu_reusing(
+            matrix, pattern, column_order=column_order)
+        if pattern is not None and not refactored:
+            # The silent legacy fallback, made visible.
+            escalations.append(EscalationRecord(
+                "fast", "reused pivot order rejected; "
+                "fresh ordered factorization"))
+            stage = "bitexact"
+    except SingularMatrixError as error:
+        escalations.append(EscalationRecord(stage, str(error)))
+        factorization = None
+    if factorization is not None:
+        try:
+            x = factorization.solve(rhs)
+        except SingularMatrixError as error:
+            escalations.append(EscalationRecord(stage, str(error)))
+        else:
+            accepted, x, diagnostics = _finish(
+                matrix, factorization, x, rhs, policy, stage, escalations,
+                estimate)
+            if accepted:
+                return x, diagnostics, next_pattern
+            escalations.append(EscalationRecord(
+                stage, f"residual {diagnostics.residual:.3e} above limit "
+                f"{policy.effective_residual_limit():.3e}"))
+
+    # Stage: fresh (full Markowitz search; skip when it would repeat the
+    # factorization that just failed — no order, no reusable pattern).
+    if column_order is not None or pattern is not None:
+        try:
+            factorization = sparse_lu(matrix)
+            x = factorization.solve(rhs)
+        except SingularMatrixError as error:
+            escalations.append(EscalationRecord("fresh", str(error)))
+        else:
+            accepted, x, diagnostics = _finish(
+                matrix, factorization, x, rhs, policy, "fresh", escalations,
+                estimate)
+            if accepted:
+                return x, diagnostics, factorization
+            escalations.append(EscalationRecord(
+                "fresh", f"residual {diagnostics.residual:.3e} above limit "
+                f"{policy.effective_residual_limit():.3e}"))
+
+    # Stage: regularized (factor A + εI, validate against A itself).
+    if policy.allow_regularization:
+        anorm = _matrix_one_norm(matrix)
+        shift = policy.effective_regularization() * max(anorm, 1.0)
+        shifted = matrix.diagonally_shifted(shift)
+        try:
+            factorization = sparse_lu(shifted)
+            x = factorization.solve(rhs)
+        except SingularMatrixError as error:
+            escalations.append(EscalationRecord("regularized", str(error)))
+        else:
+            accepted, x, diagnostics = _finish(
+                matrix, factorization, x, rhs, policy, "regularized",
+                escalations, estimate)
+            if accepted:
+                return x, diagnostics, next_pattern
+            escalations.append(EscalationRecord(
+                "regularized",
+                f"residual {diagnostics.residual:.3e} above limit "
+                f"{policy.effective_residual_limit():.3e}"))
+
+    raise SolveFailureError(
+        "escalation chain exhausted without an acceptable solution",
+        dimension=matrix.n_rows, stage="regularized",
+        diagnostics=SolveDiagnostics(
+            stage="regularized", residual=float("inf"),
+            escalations=tuple(escalations)))
+
+
+# --------------------------------------------------------------------------- #
+# batched front end
+# --------------------------------------------------------------------------- #
+
+
+def _stack_residuals(stack, solutions, rhs_stack) -> np.ndarray:
+    """Vectorized :func:`scaled_residual` over a ``(B, n, n)`` stack."""
+    residual = np.einsum("bij,bj->bi", stack, solutions) - rhs_stack
+    numerator = np.abs(residual).max(axis=1)
+    anorm = np.abs(stack).sum(axis=1).max(axis=1)
+    denominator = (anorm * np.abs(solutions).max(axis=1)
+                   + np.abs(rhs_stack).max(axis=1))
+    with np.errstate(invalid="ignore", divide="ignore"):
+        scaled = np.where(denominator == 0.0,
+                          np.where(numerator == 0.0, 0.0, np.inf),
+                          numerator / denominator)
+    scaled = np.where(np.isnan(scaled), np.inf, scaled)
+    return scaled
+
+
+def solve_stack_resilient(stack, rhs, policy, report, indexer,
+                          solver="lu") -> np.ndarray:
+    """Solve a ``(B, n, n)`` stack, escalating failing members individually.
+
+    The fast stage is the stack's native batched kernel
+    (:func:`~repro.linalg.dense.batched_dense_lu` for ``solver="lu"``,
+    :func:`~repro.linalg.dense.batched_solve` for ``"lapack"``); members it
+    cannot serve — singular flags, non-finite rows, residuals over the
+    policy limit — are re-solved one by one through
+    :func:`resilient_dense_solve`.  Both batched kernels are batch-size
+    invariant, so surviving members keep exactly the bits a fault-free run
+    would have produced.
+
+    Parameters
+    ----------
+    stack, rhs:
+        The systems; ``rhs`` is one shared vector or a ``(B, n)`` stack.
+    policy:
+        The :class:`SolvePolicy`.
+    report:
+        The :class:`SweepReport` receiving per-member outcomes.
+    indexer:
+        ``indexer(member) -> (report_index, description)`` mapping a stack
+        position to the index recorded in the report (sweep point or sample)
+        and a human-readable description of the member.
+    solver:
+        ``"lu"`` or ``"lapack"``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(B, n)`` solutions; quarantined members' rows are NaN.
+    """
+    stack = np.asarray(stack, dtype=complex)
+    batch, n = stack.shape[0], stack.shape[1]
+    rhs = np.asarray(rhs, dtype=complex)
+    rhs_stack = (np.broadcast_to(rhs, (batch, n)) if rhs.ndim == 1 else rhs)
+    limit = policy.effective_residual_limit()
+
+    singular = np.zeros(batch, dtype=bool)
+    factorization = None
+    if solver == "lapack":
+        # A non-finite member is legal input here (it will be quarantined);
+        # keep its NaN arithmetic from warning inside the batched kernel.
+        with np.errstate(invalid="ignore"):
+            try:
+                solutions = batched_solve(stack, rhs)
+            except SingularMatrixError:
+                # Re-solve members one by one: zgesv results are batch-size
+                # invariant, so healthy members reproduce the fault-free
+                # bits.
+                solutions = np.full((batch, n), np.nan, dtype=complex)
+                for member in range(batch):
+                    try:
+                        solutions[member] = batched_solve(
+                            stack[member:member + 1], rhs_stack[member])[0]
+                    except SingularMatrixError:
+                        singular[member] = True
+    else:
+        # A non-finite member is legal input here (it will be quarantined);
+        # keep its NaN arithmetic from warning inside the batched kernel.
+        with np.errstate(invalid="ignore"):
+            factorization = batched_dense_lu(stack, overwrite=False)
+            solutions = factorization.solve(rhs)
+        singular = factorization.singular.copy()
+
+    finite = np.all(np.isfinite(solutions), axis=1)
+    with np.errstate(invalid="ignore"):
+        residuals = _stack_residuals(stack, np.where(finite[:, None],
+                                                     solutions, 0.0),
+                                     rhs_stack)
+    failing = singular | ~finite | (residuals > limit)
+    report.record_fast(int(batch - failing.sum()))
+
+    if policy.condition_check == "always":
+        if factorization is None:
+            factorization = batched_dense_lu(stack, overwrite=False)
+        for member in np.flatnonzero(~failing):
+            anorm = float(np.abs(stack[member]).sum(axis=0).max())
+            condition = dense_condition_estimate(
+                factorization.member(member), anorm)
+            if condition > policy.effective_condition_limit():
+                index, __ = indexer(int(member))
+                report.record_degraded(index, condition)
+
+    for member in np.flatnonzero(failing):
+        member = int(member)
+        index, description = indexer(member)
+        if singular[member]:
+            reason = "fast batched factorization flagged the matrix singular"
+        elif not finite[member]:
+            reason = "fast batched solution is non-finite"
+        else:
+            reason = (f"fast batched residual {residuals[member]:.3e} "
+                      f"above limit {limit:.3e}")
+        fast_record = EscalationRecord("fast", reason)
+        try:
+            x, diagnostics = resilient_dense_solve(
+                stack[member], rhs_stack[member], policy,
+                escalations=(fast_record,))
+        except SolveFailureError as error:
+            solutions[member] = np.nan
+            diagnostics = error.diagnostics
+            report.record_failure(
+                index, description, str(error),
+                diagnostics.escalations if diagnostics is not None
+                else (fast_record,))
+        else:
+            solutions[member] = x
+            report.record_recovery(index, diagnostics)
+    return solutions

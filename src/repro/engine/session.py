@@ -466,9 +466,12 @@ class AnalysisSession:
         return removed
 
     def stats(self) -> Dict[str, int]:
-        """Cache statistics: hits, misses and live entry count."""
+        """Cache statistics plus the process-wide resilience counters."""
+        from .resilience import telemetry_snapshot
+
         return {"hits": self.hits, "misses": self.misses,
-                "entries": self.entry_count}
+                "entries": self.entry_count,
+                "resilience": telemetry_snapshot()}
 
     def __repr__(self):
         return (f"AnalysisSession(entries={self.entry_count}, "

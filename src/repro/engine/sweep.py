@@ -30,17 +30,26 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import FormulationError, SingularMatrixError
+from ..errors import (FormulationError, SingularMatrixError,
+                      SolveFailureError)
 from ..linalg.config import (SPARSE_ORDERINGS, dense_cutoff, sparse_ordering,
                              use_dense)
 from ..linalg.dense import batched_dense_lu, sweep_chunk_size
 from ..linalg.lu import sparse_lu_reusing
 from ..linalg.ordering import fill_reducing_order
 from ..linalg.sparse import SparseMatrix
+from .resilience import (SolvePolicy, SweepReport, resilient_sparse_solve,
+                         solve_stack_resilient)
 
 __all__ = ["SweepEngine", "SweepFactors"]
 
 _METHODS = ("auto", "dense", "sparse")
+
+#: Failure modes of the resilient solve entry points: ``"raise"`` aborts on
+#: the first unrecoverable point (the legacy behavior when no policy is
+#: given), ``"quarantine"`` masks it to NaN and records it in the engine's
+#: :attr:`SweepEngine.last_report`.
+_FAILURE_MODES = ("raise", "quarantine")
 
 
 class SweepEngine:
@@ -100,6 +109,9 @@ class SweepEngine:
         self.dense_cutoff = dense_cutoff()
         self.factorization_count = 0
         self.refactorization_count = 0
+        #: :class:`~repro.engine.resilience.SweepReport` of the most recent
+        #: resilient solve (``None`` after a legacy, non-resilient call).
+        self.last_report = None
         self._sparse_pattern = None
         self._column_order = None
 
@@ -195,27 +207,121 @@ class SweepEngine:
     # ------------------------------------------------------------------ #
 
     def solve_sweep(self, s, rhs, conductance_scale=1.0,
-                    frequency_scale=1.0) -> np.ndarray:
+                    frequency_scale=1.0, *, on_failure="raise",
+                    policy=None) -> np.ndarray:
         """Solve ``A(s_k) x_k = rhs`` at every point, discarding the factors.
 
         ``rhs`` is one shared right-hand side (broadcast over the sweep).
         Returns ``(K, n)`` complex solutions in input order.
+
+        ``on_failure="raise"`` with no ``policy`` (the default) is the legacy
+        path: the first singular point raises
+        :class:`~repro.errors.SingularMatrixError` and results are
+        bit-identical to prior releases.  Supplying a
+        :class:`~repro.engine.resilience.SolvePolicy` (or
+        ``on_failure="quarantine"``) activates the escalation chain: failing
+        points are recovered through progressively more careful
+        factorizations, and unrecoverable ones either abort (``"raise"``)
+        or are masked to NaN (``"quarantine"``) — either way the outcome is
+        recorded in :attr:`last_report`.
         """
+        if on_failure not in _FAILURE_MODES:
+            raise FormulationError(f"unknown failure mode {on_failure!r}")
         s = np.asarray(s, dtype=complex)
         solutions = np.zeros((len(s), self.formulation.dimension),
                              dtype=complex)
+        if on_failure == "raise" and policy is None:
+            self.last_report = None
+            if len(s) == 0:
+                return solutions
+            if self.is_dense:
+                for start, factorization in self.dense_chunks(
+                        s, conductance_scale, frequency_scale):
+                    solutions[start:start + factorization.batch] = (
+                        factorization.solve(rhs))
+            else:
+                for k, factorization in self.sparse_factors(
+                        s, conductance_scale, frequency_scale):
+                    solutions[k] = factorization.solve(rhs)
+            return solutions
+
+        policy = policy or SolvePolicy()
+        report = SweepReport(label=self.singular_label, kind="sweep point",
+                             total=len(s))
+        self.last_report = report
         if len(s) == 0:
             return solutions
         if self.is_dense:
-            for start, factorization in self.dense_chunks(
-                    s, conductance_scale, frequency_scale):
-                solutions[start:start + factorization.batch] = (
-                    factorization.solve(rhs))
+            chunk = sweep_chunk_size(self.formulation.dimension)
+            for start in range(0, len(s), chunk):
+                block = s[start:start + chunk]
+                stack = self.formulation.assemble_batch(
+                    block, conductance_scale, frequency_scale)
+                self.factorization_count += len(block)
+                before = len(report.failures)
+
+                def indexer(member, start=start, block=block):
+                    point = start + member
+                    return point, (f"sweep point {point} "
+                                   f"(s={complex(block[member])!r})")
+
+                solutions[start:start + len(block)] = solve_stack_resilient(
+                    stack, rhs, policy, report, indexer)
+                if on_failure == "raise" and len(report.failures) > before:
+                    failure = report.failures[before]
+                    raise SolveFailureError(
+                        f"{self.singular_label} is singular at "
+                        f"{failure.description}: {failure.reason}",
+                        sweep_point=failure.index)
         else:
-            for k, factorization in self.sparse_factors(
-                    s, conductance_scale, frequency_scale):
-                solutions[k] = factorization.solve(rhs)
+            keys, constant_values, dynamic_values = (
+                self.formulation.merged_sparse_structure())
+            n = self.formulation.dimension
+            order = self.column_order()
+            base = (constant_values if conductance_scale == 1.0
+                    else conductance_scale * constant_values)
+            for k, point in enumerate(s):
+                factor = complex(point)
+                if frequency_scale != 1.0:
+                    factor = factor * frequency_scale
+                values = base + factor * dynamic_values
+                matrix = SparseMatrix.from_entries(n, n,
+                                                   zip(keys, values.tolist()))
+                solutions[k] = self._resilient_sparse_point(
+                    matrix, rhs, policy, report, k,
+                    f"sweep point {k} (s={factor!r})", order, on_failure)
         return solutions
+
+    def _resilient_sparse_point(self, matrix, rhs, policy, report, index,
+                                description, order, on_failure):
+        """One resilient sparse solve, with engine counter / report upkeep."""
+        had_pattern = self._sparse_pattern is not None
+        try:
+            x, diagnostics, self._sparse_pattern = resilient_sparse_solve(
+                matrix, rhs, policy, self._sparse_pattern, order)
+        except SolveFailureError as error:
+            self.factorization_count += 1
+            escalations = (error.diagnostics.escalations
+                           if error.diagnostics is not None else ())
+            report.record_failure(index, description, str(error), escalations)
+            if on_failure == "raise":
+                raise SolveFailureError(
+                    f"{self.singular_label} is singular at {description}: "
+                    f"{error}", sweep_point=index,
+                    diagnostics=error.diagnostics) from error
+            return np.nan
+        if diagnostics.stage == "fast":
+            if had_pattern:
+                self.refactorization_count += 1
+            else:
+                self.factorization_count += 1
+            report.record_fast()
+            if diagnostics.degraded:
+                report.record_degraded(index, diagnostics.condition)
+        else:
+            self.factorization_count += 1
+            report.record_recovery(index, diagnostics)
+        return x
 
     # ------------------------------------------------------------------ #
     # the parameter axis
@@ -293,12 +399,41 @@ class SweepEngine:
 
         # Sparse path: affine update of the merged-structure values, pivot
         # pattern shared across the whole ensemble.
+        keys, __, __ = self.formulation.merged_sparse_structure()
+        order = self.column_order()
+        for sample, constant_sample, dynamic_sample in (
+                self._sparse_param_samples(names, scales, conductance_scale)):
+            solutions = np.empty((len(s), n), dtype=complex)
+            for k, point in enumerate(s):
+                factor = complex(point)
+                if frequency_scale != 1.0:
+                    factor = factor * frequency_scale
+                values = constant_sample + factor * dynamic_sample
+                matrix = SparseMatrix.from_entries(
+                    n, n, zip(keys, values.tolist()))
+                factorization, self._sparse_pattern, refactored = (
+                    sparse_lu_reusing(matrix, self._sparse_pattern,
+                                      column_order=order))
+                if refactored:
+                    self.refactorization_count += 1
+                else:
+                    self.factorization_count += 1
+                solutions[k] = factorization.solve(rhs)
+            yield sample, solutions
+
+    def _sparse_param_samples(self, names, scales, conductance_scale):
+        """Yield ``(sample, constant_values, dynamic_values)`` per member.
+
+        The vectorized affine update shared by the legacy and resilient
+        sparse parameter sweeps: sample ``m`` perturbs the merged-structure
+        value vectors by ``(scale − 1)·(element stamp)`` per scaled element,
+        reproducing :meth:`iter_param_sweep`'s historic arithmetic exactly.
+        """
         keys, constant_values, dynamic_values = (
             self.formulation.merged_sparse_structure())
         position = {key: index for index, key in enumerate(keys)}
         incidence_u, incidence_v, conductances, capacitances = (
             self.formulation.stamp_columns(names))
-        order = self.column_order()
         entry_positions: list = []
         entry_weights: list = []
         entry_elements: list = []
@@ -321,7 +456,7 @@ class SweepEngine:
         entry_weights = np.array(entry_weights)
         entry_elements = np.array(entry_elements, dtype=np.intp)
         delta = scales - 1.0
-        for sample in range(num_samples):
+        for sample in range(scales.shape[0]):
             constant_sample = constant_values.astype(complex).copy()
             dynamic_sample = dynamic_values.astype(complex).copy()
             np.add.at(constant_sample, entry_positions,
@@ -332,27 +467,11 @@ class SweepEngine:
                       * capacitances[entry_elements] * entry_weights)
             if conductance_scale != 1.0:
                 constant_sample = conductance_scale * constant_sample
-            solutions = np.empty((len(s), n), dtype=complex)
-            for k, point in enumerate(s):
-                factor = complex(point)
-                if frequency_scale != 1.0:
-                    factor = factor * frequency_scale
-                values = constant_sample + factor * dynamic_sample
-                matrix = SparseMatrix.from_entries(
-                    n, n, zip(keys, values.tolist()))
-                factorization, self._sparse_pattern, refactored = (
-                    sparse_lu_reusing(matrix, self._sparse_pattern,
-                                      column_order=order))
-                if refactored:
-                    self.refactorization_count += 1
-                else:
-                    self.factorization_count += 1
-                solutions[k] = factorization.solve(rhs)
-            yield sample, solutions
+            yield sample, constant_sample, dynamic_sample
 
     def solve_param_sweep(self, s, names, admittance_scales, rhs,
-                          conductance_scale=1.0,
-                          frequency_scale=1.0) -> np.ndarray:
+                          conductance_scale=1.0, frequency_scale=1.0, *,
+                          on_failure="raise", policy=None) -> np.ndarray:
         """Solve ``A_m(s_k) x = rhs`` over samples × frequencies.
 
         The parameter-space companion of :meth:`solve_sweep`: sample ``m``
@@ -370,14 +489,88 @@ class SweepEngine:
         Returns ``(M, K, n)`` complex solutions.  Accurate to rounding
         relative to rebuilding each perturbed system (the bit-exact ensemble
         engine is :func:`repro.montecarlo.ensemble_sweep`).
+
+        ``on_failure`` / ``policy`` follow :meth:`solve_sweep`, at *sample*
+        granularity: a sample with an unrecoverable point is quarantined
+        whole (its ``(K, n)`` block masked to NaN) under ``"quarantine"``,
+        with the outcome recorded in :attr:`last_report`.
         """
+        if on_failure not in _FAILURE_MODES:
+            raise FormulationError(f"unknown failure mode {on_failure!r}")
         s = np.asarray(s, dtype=complex)
         scales = np.asarray(admittance_scales)
-        solutions = np.zeros((scales.shape[0], len(s),
-                              self.formulation.dimension), dtype=complex)
-        for sample, block in self.iter_param_sweep(
-                s, names, scales, rhs, conductance_scale, frequency_scale):
-            solutions[sample] = block
+        n = self.formulation.dimension
+        solutions = np.zeros((scales.shape[0], len(s), n), dtype=complex)
+        if on_failure == "raise" and policy is None:
+            self.last_report = None
+            for sample, block in self.iter_param_sweep(
+                    s, names, scales, rhs, conductance_scale,
+                    frequency_scale):
+                solutions[sample] = block
+            return solutions
+
+        policy = policy or SolvePolicy()
+        num_samples = scales.shape[0]
+        report = SweepReport(label=self.singular_label, kind="sample",
+                             total=num_samples)
+        self.last_report = report
+        if num_samples == 0 or len(s) == 0:
+            return solutions
+        if self.is_dense:
+            names = tuple(names)
+            budget = sweep_chunk_size(n)
+            for sample in range(num_samples):
+                block_scales = scales[sample:sample + 1]
+                before = len(report.failures)
+                for start in range(0, len(s), budget):
+                    points = s[start:start + budget]
+                    stack = self.formulation.assemble_param_batch(
+                        points, names, block_scales, conductance_scale,
+                        frequency_scale).reshape(len(points), n, n)
+                    self.factorization_count += len(points)
+
+                    def indexer(member, sample=sample, start=start):
+                        return sample, (f"sample {sample} at sweep point "
+                                        f"{start + member}")
+
+                    solutions[sample, start:start + len(points)] = (
+                        solve_stack_resilient(stack, rhs, policy, report,
+                                              indexer))
+                if len(report.failures) > before:
+                    solutions[sample] = np.nan
+                    if on_failure == "raise":
+                        failure = report.failures[before]
+                        raise SolveFailureError(
+                            f"{self.singular_label} is singular for "
+                            f"{failure.description}: {failure.reason}",
+                            sample=sample)
+        else:
+            keys, __, __ = self.formulation.merged_sparse_structure()
+            order = self.column_order()
+            for sample, constant_sample, dynamic_sample in (
+                    self._sparse_param_samples(names, scales,
+                                               conductance_scale)):
+                before = len(report.failures)
+                for k, point in enumerate(s):
+                    factor = complex(point)
+                    if frequency_scale != 1.0:
+                        factor = factor * frequency_scale
+                    values = constant_sample + factor * dynamic_sample
+                    matrix = SparseMatrix.from_entries(
+                        n, n, zip(keys, values.tolist()))
+                    try:
+                        solutions[sample, k] = self._resilient_sparse_point(
+                            matrix, rhs, policy, report, sample,
+                            f"sample {sample} at sweep point {k}", order,
+                            on_failure)
+                    except SolveFailureError as error:
+                        raise SolveFailureError(
+                            str(error), sample=sample, sweep_point=k,
+                            diagnostics=error.diagnostics) from error
+                    if len(report.failures) > before:
+                        break
+                if len(report.failures) > before:
+                    solutions[sample] = np.nan
         return solutions
 
     def factor_sweep(self, s, conductance_scale=1.0,

@@ -57,7 +57,59 @@ class LinAlgError(ReproError):
 
 
 class SingularMatrixError(LinAlgError):
-    """Raised when an LU factorization encounters a (numerically) singular pivot."""
+    """Raised when an LU factorization encounters a (numerically) singular pivot.
+
+    Beyond the message, the exception carries structured context so that
+    quarantine reports (:class:`repro.engine.resilience.SweepReport`) can name
+    the failure precisely without parsing strings:
+
+    Attributes
+    ----------
+    pivot_index:
+        Elimination step / pivot column at which the factorization failed,
+        if known.
+    dimension:
+        Dimension of the (square) matrix being factored, if known.
+    sweep_point:
+        Index of the frequency-sweep point at which the failure occurred,
+        if the solve was part of a sweep.
+    sample:
+        Ensemble-sample index, if the solve was part of a parameter sweep /
+        Monte Carlo ensemble.
+    batch_index:
+        Index of the offending matrix inside a batched (stacked) solve.
+    stage:
+        Name of the :class:`repro.engine.resilience.SolvePolicy` escalation
+        stage that gave up, when the failure came out of the resilient layer.
+    """
+
+    def __init__(self, message, *, pivot_index=None, dimension=None,
+                 sweep_point=None, sample=None, batch_index=None, stage=None):
+        super().__init__(message)
+        self.pivot_index = pivot_index
+        self.dimension = dimension
+        self.sweep_point = sweep_point
+        self.sample = sample
+        self.batch_index = batch_index
+        self.stage = stage
+
+
+class SolveFailureError(SingularMatrixError):
+    """Raised when the resilient escalation chain exhausts every stage.
+
+    A :class:`SingularMatrixError` subclass (callers catching the classic
+    error keep working), raised by ``on_failure="raise"`` resilient solves
+    with the full :class:`repro.engine.resilience.SolveDiagnostics` attached
+    as ``diagnostics``.
+    """
+
+    def __init__(self, message, *, diagnostics=None, **context):
+        super().__init__(message, **context)
+        self.diagnostics = diagnostics
+
+
+class CheckpointError(ReproError):
+    """Raised for invalid, corrupt or mismatched ensemble checkpoints."""
 
 
 class FormulationError(ReproError):
@@ -82,6 +134,18 @@ class ReferenceError_(ReproError):
 
 class SymbolicError(ReproError):
     """Raised for failures in the symbolic-analysis subsystem."""
+
+
+class SingularEvaluationError(SingularMatrixError, ZeroDivisionError):
+    """Raised when a symbolic network function is evaluated at a point where
+    its denominator vanishes — the symbolic engine's face of a singular
+    system matrix.
+
+    Inherits both :class:`SingularMatrixError` (so all four engines raise the
+    same typed error for a singular circuit) and :class:`ZeroDivisionError`
+    (the exception this condition historically raised, kept for
+    backward compatibility).
+    """
 
 
 class SimplificationError(SymbolicError):

@@ -111,7 +111,8 @@ class DenseLU:
             work[i] -= np.dot(self.lu[i, i + 1:], work[i + 1:])
             pivot = self.lu[i, i]
             if pivot == 0:
-                raise SingularMatrixError("zero pivot in back substitution")
+                raise SingularMatrixError("zero pivot in back substitution",
+                                          pivot_index=i, dimension=self.n)
             work[i] /= pivot
         return work
 
@@ -150,7 +151,8 @@ def dense_lu(matrix):
     for k in range(n):
         pivot_index = int(np.argmax(np.abs(lu[k:, k]))) + k
         if lu[pivot_index, k] == 0:
-            raise SingularMatrixError(f"matrix is singular at column {k}")
+            raise SingularMatrixError(f"matrix is singular at column {k}",
+                                      pivot_index=k, dimension=n)
         if pivot_index != k:
             lu[[k, pivot_index], :] = lu[[pivot_index, k], :]
             permutation[[k, pivot_index]] = permutation[[pivot_index, k]]
@@ -372,20 +374,18 @@ def batched_solve(stack, rhs) -> np.ndarray:
             f"rhs stack has shape {rhs.shape}, expected ({batch}, {n})")
     try:
         return np.linalg.solve(stack, columns)[:, :, 0]
-    except np.linalg.LinAlgError:
+    except np.linalg.LinAlgError as error:
         # Locate the offending matrix for a precise diagnostic (the gufunc
         # reports only that *some* member is singular).
         factorization = batched_dense_lu(stack)
         if factorization.singular.any():
             index = int(np.argmax(factorization.singular))
-            error = SingularMatrixError(
-                f"matrix {index} of the batch is singular")
-            error.batch_index = index
-        else:
-            error = SingularMatrixError(
-                "a matrix of the batch is numerically singular")
-            error.batch_index = None
-        raise error from None
+            raise SingularMatrixError(
+                f"matrix {index} of the batch is singular",
+                batch_index=index, dimension=n) from error
+        raise SingularMatrixError(
+            "a matrix of the batch is numerically singular",
+            dimension=n) from error
 
 
 def batched_dense_lu(stack, overwrite=False) -> BatchedDenseLU:

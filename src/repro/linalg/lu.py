@@ -250,7 +250,9 @@ def sparse_lu(matrix, threshold=0.1, pivoting="markowitz", column_order=None):
             )
         if pivot_row is None:
             raise SingularMatrixError(
-                f"matrix is singular (no acceptable pivot at step {len(pivots)})"
+                f"matrix is singular (no acceptable pivot at step "
+                f"{len(pivots)} of {n})",
+                pivot_index=len(pivots), dimension=n,
             )
         pivot_value = rows[pivot_row][pivot_col]
         pivot_rows.append(pivot_row)
@@ -370,7 +372,8 @@ def sparse_lu_refactor(matrix, pattern, stability=1e-8) -> LUFactorization:
         if pivot_value == 0:
             raise SingularMatrixError(
                 f"reused pivot ({pivot_row}, {pivot_col}) is zero at "
-                f"step {step}; refactor with fresh pivoting"
+                f"step {step}; refactor with fresh pivoting",
+                pivot_index=step, dimension=n,
             )
         if stability and target_rows:
             column_max = max(abs(rows[i][pivot_col]) for i in target_rows)
@@ -378,7 +381,8 @@ def sparse_lu_refactor(matrix, pattern, stability=1e-8) -> LUFactorization:
                 raise SingularMatrixError(
                     f"reused pivot ({pivot_row}, {pivot_col}) lost "
                     f"{1.0 / stability:.0e} of its column magnitude at "
-                    f"step {step}; refactor with fresh pivoting"
+                    f"step {step}; refactor with fresh pivoting",
+                    pivot_index=step, dimension=n,
                 )
         pivots.append(pivot_value)
         upper_rows.append(dict(rows[pivot_row]))

@@ -256,6 +256,23 @@ class SparseMatrix:
                 result._data[key] = value * factor
         return result
 
+    def diagonally_shifted(self, shift):
+        """Return ``self + shift·I`` as a new matrix (square matrices only).
+
+        The diagonal-regularization primitive of the resilient solve layer
+        (:mod:`repro.engine.resilience`): a last-resort solve factors
+        ``A + εI`` instead of a numerically singular ``A``, then validates
+        the solution against the *original* matrix.
+        """
+        if self.n_rows != self.n_cols:
+            raise LinAlgError("diagonal shift requires a square matrix")
+        result = self.copy()
+        shift = complex(shift)
+        if shift != 0:
+            for index in range(self.n_rows):
+                result.add(index, index, shift)
+        return result
+
     def plus(self, other, factor=1.0):
         """Return ``self + factor * other`` as a new matrix."""
         if self.shape != other.shape:

@@ -24,6 +24,8 @@ yield — lives one layer up in :mod:`repro.analysis.montecarlo`.
 """
 
 from ..netlist.elements import Tolerance
+from .checkpoint import (CheckpointedRun, EnsembleStatistics,
+                         checkpoint_info, checkpointed_ensemble_sweep)
 from .engine import EnsembleResult, ensemble_sweep, rebuild_sweep
 from .program import ValueProgram
 from .space import ParameterSpace
@@ -35,4 +37,8 @@ __all__ = [
     "EnsembleResult",
     "ensemble_sweep",
     "rebuild_sweep",
+    "EnsembleStatistics",
+    "CheckpointedRun",
+    "checkpointed_ensemble_sweep",
+    "checkpoint_info",
 ]

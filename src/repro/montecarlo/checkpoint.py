@@ -1,0 +1,443 @@
+"""Deterministic checkpoint / resume for long-running tolerance ensembles.
+
+A 10⁵-sample Monte Carlo run is hours of solves; a crash at sample 99 000
+should not restart at sample 0.  :func:`checkpointed_ensemble_sweep` cuts the
+ensemble into fixed-size **shards** and serializes the run state after every
+shard — atomically, via a temporary file and :func:`os.replace`, so a kill at
+any instant leaves either the previous checkpoint or the new one, never a
+torn file.
+
+Determinism is the design constraint, not an afterthought:
+
+* every sample's element values are drawn **up front** from the seeded
+  generator (:meth:`~repro.montecarlo.space.ParameterSpace.sample_values`),
+  so shard ``k`` sees exactly the values it would have seen in an
+  uninterrupted run;
+* both batched dense kernels are batch-size invariant and the sparse /
+  resilient paths solve sample-by-sample, so a shard's response rows are
+  bit-for-bit the rows of the full run;
+* the streaming :class:`EnsembleStatistics` accumulators are updated once
+  per shard in fixed shard order, so a resumed run replays the identical
+  sequence of floating-point additions.
+
+Together: **kill + resume is bit-identical** to never having been killed —
+same responses, same statistics, same quarantine report.
+
+Checkpoints carry the circuit fingerprint, the parameter-space key, the
+sampler seed and the solver configuration; resuming against a mismatched
+setup raises :class:`~repro.errors.CheckpointError` instead of silently
+mixing two different runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from typing import Optional
+
+import numpy as np
+
+from ..engine.resilience import (EscalationRecord, FailureRecord,
+                                 RecoveryRecord, SweepReport)
+from ..errors import CheckpointError
+from .engine import EnsembleResult, _normalize_output, ensemble_sweep
+from .space import ParameterSpace
+
+__all__ = ["EnsembleStatistics", "CheckpointedRun",
+           "checkpointed_ensemble_sweep", "checkpoint_info"]
+
+#: On-disk format version; bumped on any incompatible layout change.
+_FORMAT_VERSION = 1
+
+
+@dataclasses.dataclass
+class EnsembleStatistics:
+    """Streaming per-frequency magnitude statistics (all in dB).
+
+    The mergeable accumulator behind checkpointing: ``count`` samples have
+    contributed their dB magnitude rows to ``sum_db`` / ``sumsq_db`` and the
+    running extremes.  Updates happen once per shard in fixed shard order,
+    so a resumed run reproduces the identical addition sequence and hence
+    identical bits.  Quarantined (NaN) samples never enter the accumulators.
+    """
+
+    frequencies: np.ndarray
+    count: int = 0
+    sum_db: Optional[np.ndarray] = None
+    sumsq_db: Optional[np.ndarray] = None
+    min_db: Optional[np.ndarray] = None
+    max_db: Optional[np.ndarray] = None
+
+    def __post_init__(self):
+        points = len(self.frequencies)
+        if self.sum_db is None:
+            self.sum_db = np.zeros(points)
+        if self.sumsq_db is None:
+            self.sumsq_db = np.zeros(points)
+        if self.min_db is None:
+            self.min_db = np.full(points, np.inf)
+        if self.max_db is None:
+            self.max_db = np.full(points, -np.inf)
+
+    def update(self, magnitudes_db: np.ndarray) -> None:
+        """Fold one shard's ``(K, F)`` surviving magnitude rows in."""
+        magnitudes_db = np.atleast_2d(np.asarray(magnitudes_db, dtype=float))
+        if magnitudes_db.shape[0] == 0:
+            return
+        self.count += magnitudes_db.shape[0]
+        self.sum_db += magnitudes_db.sum(axis=0)
+        self.sumsq_db += (magnitudes_db ** 2).sum(axis=0)
+        np.minimum(self.min_db, magnitudes_db.min(axis=0), out=self.min_db)
+        np.maximum(self.max_db, magnitudes_db.max(axis=0), out=self.max_db)
+
+    def merge(self, other: "EnsembleStatistics") -> None:
+        """Fold another accumulator (a later run of shards) into this one."""
+        self.count += other.count
+        self.sum_db += other.sum_db
+        self.sumsq_db += other.sumsq_db
+        np.minimum(self.min_db, other.min_db, out=self.min_db)
+        np.maximum(self.max_db, other.max_db, out=self.max_db)
+
+    def mean_db(self) -> np.ndarray:
+        """Per-frequency mean magnitude of the samples seen so far."""
+        if self.count == 0:
+            return np.full(len(self.frequencies), np.nan)
+        return self.sum_db / self.count
+
+    def std_db(self) -> np.ndarray:
+        """Per-frequency population standard deviation (dB)."""
+        if self.count == 0:
+            return np.full(len(self.frequencies), np.nan)
+        mean = self.sum_db / self.count
+        variance = np.maximum(self.sumsq_db / self.count - mean ** 2, 0.0)
+        return np.sqrt(variance)
+
+
+@dataclasses.dataclass
+class CheckpointedRun:
+    """Outcome of one :func:`checkpointed_ensemble_sweep` call.
+
+    ``finished`` is False when ``max_shards`` stopped the run early (the
+    checkpoint then holds everything needed to resume); ``ensemble`` is the
+    full :class:`~repro.montecarlo.engine.EnsembleResult` once finished and
+    ``None`` before.  ``resumed_from`` counts the samples that were already
+    in the checkpoint when this call started.
+    """
+
+    finished: bool
+    completed: int
+    total: int
+    resumed_from: int
+    statistics: EnsembleStatistics
+    report: Optional[SweepReport]
+    path: str
+    ensemble: Optional[EnsembleResult] = None
+
+
+def _space_key_digest(space) -> str:
+    """Content hash of the parameter space (names, nominals, tolerances)."""
+    digest = hashlib.sha256()
+    digest.update(repr(space.key()).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def _report_to_json(report) -> str:
+    """Serialize a SweepReport's state (``""`` for the legacy ``None``)."""
+    if report is None:
+        return ""
+    return json.dumps({
+        "label": report.label,
+        "kind": report.kind,
+        "total": report.total,
+        "failures": [
+            {"index": record.index, "description": record.description,
+             "reason": record.reason,
+             "escalations": [[e.stage, e.reason]
+                             for e in record.escalations]}
+            for record in report.failures],
+        "recoveries": [
+            {"index": record.index, "stage": record.stage,
+             "residual": record.residual, "condition": record.condition,
+             "escalations": [[e.stage, e.reason]
+                             for e in record.escalations]}
+            for record in report.recoveries],
+        "degraded": [[index, condition]
+                     for index, condition in report.degraded],
+        "stage_counts": report.stage_counts,
+    })
+
+
+def _report_from_json(text):
+    """Rebuild a SweepReport without touching the process-wide telemetry."""
+    if not text:
+        return None
+    state = json.loads(text)
+    report = SweepReport(label=state["label"], kind=state["kind"],
+                         total=state["total"])
+    report.failures = [
+        FailureRecord(index=entry["index"],
+                      description=entry["description"],
+                      reason=entry["reason"],
+                      escalations=tuple(EscalationRecord(stage, reason)
+                                        for stage, reason
+                                        in entry["escalations"]))
+        for entry in state["failures"]]
+    report.recoveries = [
+        RecoveryRecord(index=entry["index"], stage=entry["stage"],
+                       residual=entry["residual"],
+                       condition=entry["condition"],
+                       escalations=tuple(EscalationRecord(stage, reason)
+                                         for stage, reason
+                                         in entry["escalations"]))
+        for entry in state["recoveries"]]
+    report.degraded = [(index, condition)
+                       for index, condition in state["degraded"]]
+    report.stage_counts = dict(state["stage_counts"])
+    return report
+
+
+def _merge_shard_report(target, shard_report, offset) -> None:
+    """Fold one shard's report into the run report, offsetting its indices.
+
+    Unlike :meth:`SweepReport.merge` this re-bases the shard-local sample
+    indices to ensemble coordinates — and copies records directly instead of
+    going through the ``record_*`` methods, which would double-count the
+    process-wide telemetry the shard run already incremented.
+    """
+    for record in shard_report.failures:
+        target.failures.append(dataclasses.replace(
+            record, index=record.index + offset))
+    for record in shard_report.recoveries:
+        target.recoveries.append(dataclasses.replace(
+            record, index=record.index + offset))
+    target.degraded.extend((index + offset, condition)
+                           for index, condition in shard_report.degraded)
+    for stage, count in shard_report.stage_counts.items():
+        target.stage_counts[stage] += count
+
+
+def _save_checkpoint(path, *, fingerprint, space_digest, seed, samples,
+                     shard_size, solver, solver_used, method, on_failure,
+                     frequencies, completed, responses, statistics, report):
+    """Atomically write the run state: tmp file + :func:`os.replace`."""
+    temporary = path + ".tmp"
+    with open(temporary, "wb") as handle:
+        np.savez(
+            handle,
+            version=np.array(_FORMAT_VERSION),
+            fingerprint=np.array(fingerprint),
+            space_digest=np.array(space_digest),
+            seed=np.array(int(seed)),
+            samples=np.array(int(samples)),
+            shard_size=np.array(int(shard_size)),
+            solver=np.array(solver),
+            solver_used=np.array(solver_used),
+            method=np.array(method),
+            on_failure=np.array(on_failure),
+            frequencies=np.asarray(frequencies, dtype=float),
+            completed=np.array(int(completed)),
+            responses=responses[:completed],
+            stats_count=np.array(int(statistics.count)),
+            stats_sum_db=statistics.sum_db,
+            stats_sumsq_db=statistics.sumsq_db,
+            stats_min_db=statistics.min_db,
+            stats_max_db=statistics.max_db,
+            report_json=np.array(_report_to_json(report)),
+        )
+    os.replace(temporary, path)
+
+
+def _load_checkpoint(path):
+    """Read a checkpoint file into a plain dict (strings unwrapped)."""
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            state = {key: archive[key] for key in archive.files}
+    except (OSError, ValueError, KeyError) as error:
+        raise CheckpointError(
+            f"cannot read ensemble checkpoint {path!r}: {error}") from error
+    try:
+        return {
+            "version": int(state["version"]),
+            "fingerprint": str(state["fingerprint"]),
+            "space_digest": str(state["space_digest"]),
+            "seed": int(state["seed"]),
+            "samples": int(state["samples"]),
+            "shard_size": int(state["shard_size"]),
+            "solver": str(state["solver"]),
+            "solver_used": str(state["solver_used"]),
+            "method": str(state["method"]),
+            "on_failure": str(state["on_failure"]),
+            "frequencies": np.asarray(state["frequencies"], dtype=float),
+            "completed": int(state["completed"]),
+            "responses": np.asarray(state["responses"], dtype=complex),
+            "stats_count": int(state["stats_count"]),
+            "stats_sum_db": np.asarray(state["stats_sum_db"], dtype=float),
+            "stats_sumsq_db": np.asarray(state["stats_sumsq_db"],
+                                         dtype=float),
+            "stats_min_db": np.asarray(state["stats_min_db"], dtype=float),
+            "stats_max_db": np.asarray(state["stats_max_db"], dtype=float),
+            "report_json": str(state["report_json"]),
+        }
+    except KeyError as error:
+        raise CheckpointError(
+            f"ensemble checkpoint {path!r} is missing field {error}; "
+            "corrupt or from an incompatible version") from error
+
+
+def checkpoint_info(path) -> dict:
+    """Inspect a checkpoint without resuming it.
+
+    Returns a dict with the run configuration and progress: ``completed`` /
+    ``samples``, seed, solver, and the quarantine summary so far.
+    """
+    state = _load_checkpoint(path)
+    report = _report_from_json(state["report_json"])
+    return {
+        "version": state["version"],
+        "fingerprint": state["fingerprint"],
+        "seed": state["seed"],
+        "samples": state["samples"],
+        "completed": state["completed"],
+        "shard_size": state["shard_size"],
+        "solver": state["solver"],
+        "method": state["method"],
+        "on_failure": state["on_failure"],
+        "quarantined": report.quarantined if report is not None else [],
+    }
+
+
+def checkpointed_ensemble_sweep(circuit, output, frequencies, space=None, *,
+                                path, samples=128, seed=0, shard_size=32,
+                                max_shards=None, tolerances=None,
+                                solver="lapack", method="auto",
+                                on_failure="quarantine",
+                                policy=None) -> CheckpointedRun:
+    """Run (or resume) a tolerance ensemble with periodic checkpointing.
+
+    The ensemble is evaluated in shards of ``shard_size`` samples through the
+    standard :func:`~repro.montecarlo.engine.ensemble_sweep`; after each
+    shard the responses so far, the streaming :class:`EnsembleStatistics`
+    and the quarantine report are written atomically to ``path``.  If
+    ``path`` already holds a checkpoint of the *same* run (circuit
+    fingerprint, parameter-space content, seed, sample count, shard size and
+    solver configuration all match) the run resumes after its last completed
+    shard; a mismatched checkpoint raises
+    :class:`~repro.errors.CheckpointError`.
+
+    A resumed run is **bit-identical** to an uninterrupted one: values are
+    drawn up front from the seeded sampler, shard boundaries are fixed, and
+    each shard's solves and statistics updates are independent of how many
+    processes it took to get there.
+
+    Parameters
+    ----------
+    path:
+        Checkpoint file (``.npz``).  The file is left in place on
+        completion — delete it to re-run from scratch.
+    shard_size:
+        Samples per shard (and per checkpoint write).
+    max_shards:
+        Stop after this many *new* shards (``finished=False`` in the
+        result); ``None`` runs to completion.  This is the hook fault /
+        kill tests use to stop a run at a deterministic point.
+    on_failure, policy:
+        Resilience controls, as for
+        :func:`~repro.montecarlo.engine.ensemble_sweep`; checkpointed runs
+        default to ``"quarantine"`` so one bad sample cannot waste hours of
+        completed work.
+
+    Returns
+    -------
+    CheckpointedRun
+    """
+    from ..engine.session import AnalysisSession
+
+    if space is None:
+        space = ParameterSpace(circuit, tolerances)
+    frequencies = np.asarray(frequencies, dtype=float)
+    samples = int(samples)
+    shard_size = int(shard_size)
+    if shard_size <= 0:
+        raise CheckpointError(f"shard_size must be positive, got {shard_size}")
+    fingerprint = AnalysisSession.fingerprint(circuit)
+    space_digest = _space_key_digest(space)
+    values = space.sample_values(samples, seed)
+
+    responses = np.zeros((samples, len(frequencies)), dtype=complex)
+    statistics = EnsembleStatistics(frequencies=frequencies)
+    resilient = on_failure == "quarantine" or policy is not None
+    report = (SweepReport(label="ensemble member", kind="sample", total=0)
+              if resilient else None)
+    completed = 0
+    solver_used = solver
+
+    if os.path.exists(path):
+        state = _load_checkpoint(path)
+        if state["version"] != _FORMAT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {path!r} has format version {state['version']}, "
+                f"expected {_FORMAT_VERSION}")
+        expected = {"fingerprint": fingerprint, "space_digest": space_digest,
+                    "seed": int(seed), "samples": samples,
+                    "shard_size": shard_size, "solver": solver,
+                    "method": method, "on_failure": on_failure}
+        for field, value in expected.items():
+            if state[field] != value:
+                raise CheckpointError(
+                    f"checkpoint {path!r} belongs to a different run: "
+                    f"{field} is {state[field]!r}, this run has {value!r}")
+        if not np.array_equal(state["frequencies"], frequencies):
+            raise CheckpointError(
+                f"checkpoint {path!r} belongs to a different run: "
+                "frequency grids differ")
+        completed = state["completed"]
+        responses[:completed] = state["responses"]
+        statistics = EnsembleStatistics(
+            frequencies=frequencies, count=state["stats_count"],
+            sum_db=state["stats_sum_db"], sumsq_db=state["stats_sumsq_db"],
+            min_db=state["stats_min_db"], max_db=state["stats_max_db"])
+        report = _report_from_json(state["report_json"])
+        solver_used = state["solver_used"]
+    resumed_from = completed
+
+    shards_run = 0
+    while completed < samples:
+        if max_shards is not None and shards_run >= max_shards:
+            break
+        start = completed
+        stop = min(start + shard_size, samples)
+        shard = ensemble_sweep(circuit, output, frequencies, space,
+                               values=values[start:stop], solver=solver,
+                               method=method, on_failure=on_failure,
+                               policy=policy)
+        responses[start:stop] = shard.responses
+        surviving = shard.surviving_mask()
+        statistics.update(shard.magnitudes_db()[surviving])
+        if report is not None and shard.report is not None:
+            _merge_shard_report(report, shard.report, start)
+        if report is not None:
+            report.total = stop
+        completed = stop
+        solver_used = shard.solver
+        shards_run += 1
+        _save_checkpoint(path, fingerprint=fingerprint,
+                         space_digest=space_digest, seed=seed,
+                         samples=samples, shard_size=shard_size,
+                         solver=solver, solver_used=solver_used,
+                         method=method, on_failure=on_failure,
+                         frequencies=frequencies, completed=completed,
+                         responses=responses, statistics=statistics,
+                         report=report)
+
+    finished = completed == samples
+    result = CheckpointedRun(finished=finished, completed=completed,
+                             total=samples, resumed_from=resumed_from,
+                             statistics=statistics, report=report, path=path)
+    if finished:
+        result.ensemble = EnsembleResult(
+            frequencies=frequencies, values=values, responses=responses,
+            space=space, output=_normalize_output(output), solver=solver_used,
+            report=report)
+    return result

@@ -34,7 +34,11 @@ import os
 
 import numpy as np
 
-from ..errors import FormulationError, SingularMatrixError
+from ..engine.resilience import (SolvePolicy, SweepReport,
+                                 resilient_sparse_solve,
+                                 solve_stack_resilient)
+from ..errors import (FormulationError, SingularMatrixError,
+                      SolveFailureError)
 from ..linalg.config import use_dense
 from ..linalg.dense import batched_dense_lu, batched_solve
 from ..mna.builder import build_mna_system
@@ -117,6 +121,11 @@ class EnsembleResult:
     solver:
         ``"lapack"``, ``"lu"`` or ``"sparse"`` — the backend that produced
         the responses.
+    report:
+        The :class:`~repro.engine.resilience.SweepReport` of a resilient run
+        (``None`` on the legacy path).  Quarantined samples' response rows
+        are NaN; use :meth:`surviving_mask` to restrict statistics to the
+        samples that solved.
     """
 
     frequencies: np.ndarray
@@ -125,11 +134,21 @@ class EnsembleResult:
     space: ParameterSpace
     output: object
     solver: str
+    report: object = None
 
     @property
     def num_samples(self):
         """Number of ensemble members."""
         return self.responses.shape[0]
+
+    def surviving_mask(self) -> np.ndarray:
+        """``(M,)`` boolean mask of samples that were not quarantined."""
+        mask = np.ones(self.responses.shape[0], dtype=bool)
+        if self.report is not None:
+            mask[self.report.quarantined] = False
+        # Belt and braces: a NaN row is never a survivor, report or not.
+        mask &= ~np.isnan(self.responses).any(axis=1)
+        return mask
 
     def magnitudes_db(self) -> np.ndarray:
         """``(M, F)`` response magnitudes in dB (zeros floored at tiny)."""
@@ -153,13 +172,15 @@ def _solve_chunk(flat, rhs, solver, describe):
             index = getattr(error, "batch_index", None)
             if index is not None:
                 raise SingularMatrixError(
-                    f"{describe(index)} is singular") from None
+                    f"{describe(index)} is singular",
+                    batch_index=index) from error
             raise SingularMatrixError(
-                f"{describe()} is numerically singular") from None
+                f"{describe()} is numerically singular") from error
     factorization = batched_dense_lu(flat, overwrite=True)
     if factorization.singular.any():
         index = int(np.argmax(factorization.singular))
-        raise SingularMatrixError(f"{describe(index)} is singular")
+        raise SingularMatrixError(f"{describe(index)} is singular",
+                                  batch_index=index)
     return factorization.solve(rhs)
 
 
@@ -169,7 +190,7 @@ def _default_workers() -> int:
 
 
 def _dense_ensemble(system, program, s, values, terms, solver,
-                    workers=None) -> np.ndarray:
+                    workers=None, policy=None, report=None) -> np.ndarray:
     """Chunked dense-path ensemble: assemble → factor → solve → project.
 
     Chunks are fully independent (both solvers are batch-size invariant and
@@ -177,6 +198,10 @@ def _dense_ensemble(system, program, s, values, terms, solver,
     on a small thread pool: the LAPACK gufunc releases the GIL, overlapping
     one chunk's factorization with another's assembly.  Threading cannot
     change a single result bit — it only reorders which chunk computes when.
+
+    With a resilient ``policy`` / ``report``, failing members escalate
+    through :func:`~repro.engine.resilience.solve_stack_resilient` and the
+    chunks run serially, so the report's records are deterministic.
     """
     num_samples = values.shape[0]
     num_points = len(s)
@@ -185,6 +210,14 @@ def _dense_ensemble(system, program, s, values, terms, solver,
     constant_stack, dynamic_stack = program.dense_parts(values)
     rhs = system.rhs
     chunk = _ensemble_chunk_matrices(dimension)
+    resilient = policy is not None
+
+    def solve(flat, describe, indexer):
+        if resilient:
+            return solve_stack_resilient(flat, rhs, policy, report, indexer,
+                                         solver=solver)
+        return _solve_chunk(flat=flat, rhs=rhs, solver=solver,
+                            describe=describe)
 
     def run_split(sample, start):
         """One frequency-axis slice of one sample (num_points > chunk)."""
@@ -194,11 +227,14 @@ def _dense_ensemble(system, program, s, values, terms, solver,
         # Exactly assemble_batch's expression: constant + s·dynamic.
         stack = np.multiply(block[:, None, None], dynamic)
         np.add(constant, stack, out=stack)
-        solutions = _solve_chunk(
-            flat=stack, rhs=rhs, solver=solver,
+        solutions = solve(
+            stack,
             describe=lambda index=None:
                 f"ensemble member {sample}" if index is None else
-                f"ensemble member {sample} at sweep point {start + index}")
+                f"ensemble member {sample} at sweep point {start + index}",
+            indexer=lambda member: (
+                sample,
+                f"ensemble member {sample} at sweep point {start + member}"))
         responses[sample, start:start + len(block)] = _project(terms,
                                                                solutions)
 
@@ -214,12 +250,16 @@ def _dense_ensemble(system, program, s, values, terms, solver,
             np.add(constant_stack[sample][None, :, :], stack[position],
                    out=stack[position])
         flat = stack.reshape(len(block) * num_points, dimension, dimension)
-        solutions = _solve_chunk(
-            flat=flat, rhs=rhs, solver=solver,
+        solutions = solve(
+            flat,
             describe=lambda index=None:
                 f"ensemble chunk starting at sample {start}" if index is None
                 else f"ensemble member {start + index // num_points} at "
-                     f"sweep point {index % num_points}")
+                     f"sweep point {index % num_points}",
+            indexer=lambda member: (
+                start + member // num_points,
+                f"ensemble member {start + member // num_points} at "
+                f"sweep point {member % num_points}"))
         for position, sample in enumerate(block):
             rows = solutions[position * num_points:(position + 1) * num_points]
             responses[sample] = _project(terms, rows)
@@ -236,6 +276,10 @@ def _dense_ensemble(system, program, s, values, terms, solver,
                 for start in range(0, num_samples, samples_per_chunk)]
 
     workers = _default_workers() if workers is None else max(1, int(workers))
+    if resilient:
+        # Deterministic report ordering: escalations and failures are
+        # recorded in ensemble order, not thread-completion order.
+        workers = 1
     if workers == 1 or len(jobs) == 1:
         for job, arguments in jobs:
             job(*arguments)
@@ -250,7 +294,8 @@ def _dense_ensemble(system, program, s, values, terms, solver,
     return responses
 
 
-def _sparse_ensemble(system, program, s, values, terms) -> np.ndarray:
+def _sparse_ensemble(system, program, s, values, terms, policy=None,
+                     report=None) -> np.ndarray:
     """Sparse-path ensemble: per-sample value vectors, per-sample patterns.
 
     Mirrors the rebuild path's factorization policy exactly: every sample
@@ -282,22 +327,44 @@ def _sparse_ensemble(system, program, s, values, terms) -> np.ndarray:
     order = (None if ordering == "markowitz"
              else fill_reducing_order(dimension, merged, method=ordering))
     responses = np.zeros((num_samples, len(s)), dtype=complex)
+    resilient = policy is not None
     for sample in range(num_samples):
         pattern = None
         for k, point in enumerate(s):
             entry_values = base[sample] + complex(point) * dynamic[sample]
             matrix = SparseMatrix.from_entries(
                 dimension, dimension, zip(merged, entry_values.tolist()))
-            factorization, pattern, __ = sparse_lu_reusing(
-                matrix, pattern, column_order=order)
-            solution = factorization.solve(system.rhs)
+            if resilient:
+                try:
+                    solution, diagnostics, pattern = resilient_sparse_solve(
+                        matrix, system.rhs, policy, pattern, order)
+                except SolveFailureError as error:
+                    escalations = (error.diagnostics.escalations
+                                   if error.diagnostics is not None else ())
+                    report.record_failure(
+                        sample,
+                        f"ensemble member {sample} at sweep point {k}",
+                        str(error), escalations)
+                    responses[sample] = np.nan
+                    break
+                if diagnostics.stage == "fast":
+                    report.record_fast()
+                    if diagnostics.degraded:
+                        report.record_degraded(sample, diagnostics.condition)
+                else:
+                    report.record_recovery(sample, diagnostics)
+            else:
+                factorization, pattern, __ = sparse_lu_reusing(
+                    matrix, pattern, column_order=order)
+                solution = factorization.solve(system.rhs)
             responses[sample, k] = _project(terms, solution[None, :])[0]
     return responses
 
 
 def ensemble_sweep(circuit, output, frequencies, space=None, *, values=None,
                    samples=128, seed=0, solver="lapack", method="auto",
-                   workers=None) -> EnsembleResult:
+                   workers=None, on_failure="raise",
+                   policy=None) -> EnsembleResult:
     """Evaluate a tolerance ensemble of ``circuit`` over a frequency grid.
 
     Parameters
@@ -327,7 +394,18 @@ def ensemble_sweep(circuit, output, frequencies, space=None, *, values=None,
     workers:
         Worker threads for the dense path (default: up to 4, bounded by the
         CPU count; 1 disables threading).  Results are identical for any
-        worker count.
+        worker count.  Resilient runs execute serially so the quarantine
+        report is deterministic.
+    on_failure:
+        ``"raise"`` (default): a singular member aborts the sweep — with no
+        ``policy`` this is the legacy path, bit-identical to prior releases.
+        ``"quarantine"``: failing members escalate through the
+        :class:`~repro.engine.resilience.SolvePolicy` chain, and samples
+        that remain unrecoverable are masked to NaN and named in
+        ``result.report`` instead of aborting the ensemble.
+    policy:
+        The escalation :class:`~repro.engine.resilience.SolvePolicy`
+        (defaults to ``SolvePolicy()`` when ``on_failure="quarantine"``).
 
     Returns
     -------
@@ -336,10 +414,13 @@ def ensemble_sweep(circuit, output, frequencies, space=None, *, values=None,
     Raises
     ------
     SingularMatrixError
-        When some ensemble member is singular at some sweep point.
+        When some ensemble member is singular at some sweep point and
+        ``on_failure="raise"``.
     """
     if solver not in _SOLVERS:
         raise FormulationError(f"unknown ensemble solver {solver!r}")
+    if on_failure not in ("raise", "quarantine"):
+        raise FormulationError(f"unknown failure mode {on_failure!r}")
     if space is None:
         space = ParameterSpace(circuit)
     frequencies = np.asarray(frequencies, dtype=float)
@@ -354,15 +435,32 @@ def ensemble_sweep(circuit, output, frequencies, space=None, *, values=None,
     system = build_mna_system(circuit)
     terms = _output_terms(system, output)
     program = ValueProgram.from_circuit(circuit, space)
+    resilient = on_failure == "quarantine" or policy is not None
+    report = None
+    if resilient:
+        policy = policy or SolvePolicy()
+        report = SweepReport(label="ensemble member", kind="sample",
+                             total=values.shape[0])
     if use_dense(system.dimension, method):
         responses = _dense_ensemble(system, program, s, values, terms, solver,
-                                    workers=workers)
+                                    workers=workers, policy=policy,
+                                    report=report)
     else:
         solver = "sparse"
-        responses = _sparse_ensemble(system, program, s, values, terms)
+        responses = _sparse_ensemble(system, program, s, values, terms,
+                                     policy=policy, report=report)
+    if report is not None and report.failures:
+        if on_failure == "raise":
+            failure = report.failures[0]
+            raise SolveFailureError(
+                f"{failure.description} is singular: {failure.reason}",
+                sample=failure.index)
+        # Quarantine whole samples: one bad point invalidates the member.
+        responses[report.quarantined] = np.nan
     return EnsembleResult(frequencies=frequencies, values=values,
                           responses=responses, space=space,
-                          output=_normalize_output(output), solver=solver)
+                          output=_normalize_output(output), solver=solver,
+                          report=report)
 
 
 def rebuild_sweep(circuit, output, frequencies, space=None, *, values=None,

@@ -29,7 +29,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Optional, Tuple
 
-from ..errors import NetlistError
+from ..errors import NetlistError, ValidationError
 
 __all__ = [
     "GROUND",
@@ -78,9 +78,23 @@ class Tolerance:
 
     def __post_init__(self):
         object.__setattr__(self, "fraction", float(self.fraction))
-        if not 0.0 < self.fraction < 1.0:
-            raise NetlistError(
-                f"tolerance fraction must be in (0, 1), got {self.fraction!r}"
+        # Validate at construction: a bad tolerance caught here names itself,
+        # instead of surfacing as a negative element value deep inside
+        # ParameterSpace sampling (or a singular matrix deeper still).
+        if self.fraction != self.fraction or self.fraction in (
+                float("inf"), float("-inf")):
+            raise ValidationError(
+                f"tolerance fraction must be finite, got {self.fraction!r}"
+            )
+        if self.fraction <= 0.0:
+            raise ValidationError(
+                f"tolerance fraction must be positive, got {self.fraction!r}"
+            )
+        if self.fraction >= 1.0:
+            raise ValidationError(
+                f"tolerance fraction {self.fraction!r} spans zero: a "
+                "relative band of 1 or more lets sampled element values "
+                "reach or cross zero"
             )
         if self.distribution not in TOLERANCE_DISTRIBUTIONS:
             raise NetlistError(

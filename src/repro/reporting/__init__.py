@@ -25,6 +25,7 @@ from .tables import (
     format_adaptive_iterations,
     format_bode_comparison,
     format_coefficient_table,
+    format_sweep_report,
 )
 
 __all__ = [
@@ -43,4 +44,5 @@ __all__ = [
     "format_adaptive_iterations",
     "format_bode_comparison",
     "format_coefficient_table",
+    "format_sweep_report",
 ]

@@ -13,6 +13,7 @@ __all__ = [
     "format_adaptive_iterations",
     "format_coefficient_table",
     "format_bode_comparison",
+    "format_sweep_report",
 ]
 
 
@@ -105,4 +106,37 @@ def format_bode_comparison(fig2_result, rows=12) -> str:
             f"{sim_phase[index]:>13.2f}"
         )
     lines.append("  " + fig2_result.comparison.summary())
+    return "\n".join(lines)
+
+
+def format_sweep_report(report, max_rows=20) -> str:
+    """Render a resilience :class:`~repro.engine.resilience.SweepReport`.
+
+    One header line (the report's own :meth:`summary`), the accepted-stage
+    histogram, then one row per recovery / quarantined failure naming the
+    index, the accepted or last stage, and the reason.
+    """
+    lines = [report.summary()]
+    stages = " ".join(f"{stage}={count}"
+                      for stage, count in report.stage_counts.items())
+    lines.append(f"  accepted per stage: {stages}")
+    rows = []
+    for record in report.recoveries:
+        condition = ("—" if record.condition is None
+                     else f"{record.condition:.2e}")
+        rows.append(f"{record.index:>6} | {'recovered':>11} | "
+                    f"{record.stage:>11} | residual {record.residual:.2e}, "
+                    f"condition {condition}")
+    for record in report.failures:
+        rows.append(f"{record.index:>6} | {'quarantined':>11} | "
+                    f"{'—':>11} | {record.reason}")
+    for index, condition in report.degraded:
+        rows.append(f"{index:>6} | {'degraded':>11} | {'—':>11} | "
+                    f"condition estimate {condition:.2e} over limit")
+    if rows:
+        lines.append(f"{report.kind:>6} | {'outcome':>11} | "
+                     f"{'stage':>11} | detail")
+        lines.extend(rows[:max_rows])
+        if len(rows) > max_rows:
+            lines.append(f"  … ({len(rows) - max_rows} more rows)")
     return "\n".join(lines)

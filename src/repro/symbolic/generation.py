@@ -23,7 +23,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Tuple
 
-from ..errors import SymbolicError
+from ..errors import SingularEvaluationError, SymbolicError
 from ..netlist.transform import to_admittance_form
 from ..nodal.reduce import TransferSpec
 from ..xfloat import XFloat
@@ -105,7 +105,9 @@ class SymbolicTransferFunction:
         """Numeric value of the transfer function at complex ``s``."""
         denominator = self._polynomial_value("denominator", s)
         if denominator == 0:
-            raise ZeroDivisionError("symbolic denominator evaluates to zero")
+            raise SingularEvaluationError(
+                "symbolic denominator evaluates to zero: the system matrix "
+                f"is singular at s={complex(s)!r}")
         return self._polynomial_value("numerator", s) / denominator
 
     def summary(self) -> str:

@@ -1,0 +1,137 @@
+"""Fault-injection harness for the resilient solve layer.
+
+Chaos wrappers that corrupt the ensemble engine's inputs at precisely chosen
+samples — without touching library code — so tests can assert the two
+resilience properties of ISSUE 7:
+
+* a **transient** fault (a kernel that fails once and then works) recovers
+  **bit-identically** to a fault-free run;
+* a **permanent** fault (a sample whose stamped matrix is singular or
+  non-finite at every frequency) degrades to an **accurate quarantine
+  report** naming exactly the injected samples, with every other sample's
+  response untouched to the last bit.
+
+The injection points are module-level names the engine looks up at call
+time, patched inside context managers:
+
+* :func:`ensemble_faults` replaces
+  ``repro.montecarlo.engine.ValueProgram`` with a factory returning a
+  :class:`ChaosProgram` — a transparent proxy whose :meth:`dense_parts`
+  corrupts the chosen samples' stamped ``(G, C)`` matrices;
+* :func:`failing_kernel` replaces
+  ``repro.engine.resilience.batched_solve`` with a wrapper that raises
+  :class:`~repro.errors.SingularMatrixError` on its N-th call and passes
+  every other call through untouched.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import numpy as np
+
+import repro.engine.resilience as resilience
+import repro.montecarlo.engine as ensemble_engine
+from repro.errors import SingularMatrixError
+
+#: Supported per-sample fault kinds.
+FAULT_KINDS = ("singular", "nan", "near_singular")
+
+
+def inject_dense_fault(constant, dynamic, kind, epsilon=1e-14):
+    """Corrupt one sample's stamped ``(G, C)`` parts in place.
+
+    ``singular`` duplicates row 0 into row 1 of *both* parts, so
+    ``G + s·C`` has two identical rows — exactly singular at every
+    frequency.  ``nan`` poisons one conductance entry.  ``near_singular``
+    makes row 1 a ``(1 + ε)`` multiple of row 0: solvable, but with a
+    condition number of order ``1/ε``.
+    """
+    if kind == "singular":
+        constant[1, :] = constant[0, :]
+        dynamic[1, :] = dynamic[0, :]
+    elif kind == "nan":
+        constant[0, 0] = np.nan
+    elif kind == "near_singular":
+        constant[1, :] = constant[0, :] * (1.0 + epsilon)
+        dynamic[1, :] = dynamic[0, :] * (1.0 + epsilon)
+    else:
+        raise ValueError(f"unknown fault kind {kind!r}; "
+                         f"expected one of {FAULT_KINDS}")
+
+
+class ChaosProgram:
+    """Transparent :class:`~repro.montecarlo.program.ValueProgram` proxy
+    that corrupts chosen samples' dense stamped parts.
+
+    ``faults`` maps sample index → fault kind (one of :data:`FAULT_KINDS`).
+    Every other attribute — ``dimension``, ``sparse_values``, … — is
+    forwarded to the wrapped program untouched, so the engine cannot tell
+    the difference until it looks at the corrupted matrices.
+    """
+
+    def __init__(self, program, faults, epsilon=1e-14):
+        self._program = program
+        self._faults = dict(faults)
+        self._epsilon = epsilon
+
+    def __getattr__(self, name):
+        return getattr(self._program, name)
+
+    def dense_parts(self, values):
+        constant, dynamic = self._program.dense_parts(values)
+        constant = constant.copy()
+        dynamic = dynamic.copy()
+        for sample, kind in self._faults.items():
+            if 0 <= sample < constant.shape[0]:
+                inject_dense_fault(constant[sample], dynamic[sample],
+                                   kind, self._epsilon)
+        return constant, dynamic
+
+
+@contextlib.contextmanager
+def ensemble_faults(faults, epsilon=1e-14):
+    """Corrupt chosen ensemble samples inside the ``with`` block.
+
+    Patches the ``ValueProgram`` name the ensemble engine instantiates, so
+    any :func:`~repro.montecarlo.engine.ensemble_sweep` call in the block
+    sees a :class:`ChaosProgram` with the given ``faults`` mapping.
+    """
+    original = ensemble_engine.ValueProgram
+
+    class _ChaosFactory:
+        @staticmethod
+        def from_circuit(circuit, space):
+            return ChaosProgram(original.from_circuit(circuit, space),
+                                faults, epsilon)
+
+    ensemble_engine.ValueProgram = _ChaosFactory
+    try:
+        yield
+    finally:
+        ensemble_engine.ValueProgram = original
+
+
+@contextlib.contextmanager
+def failing_kernel(nth=1):
+    """Make the resilient layer's batched LAPACK kernel fail transiently.
+
+    The patched kernel raises :class:`SingularMatrixError` on its ``nth``
+    call (1-based) and behaves normally on every other call — the shape of
+    a transient backend failure.  Yields a dict whose ``"count"`` entry
+    tracks how many calls the kernel received.
+    """
+    original = resilience.batched_solve
+    state = {"count": 0}
+
+    def chaos(stack, rhs):
+        state["count"] += 1
+        if state["count"] == nth:
+            raise SingularMatrixError("injected transient kernel failure")
+        return original(stack, rhs)
+
+    resilience.batched_solve = chaos
+    try:
+        yield state
+    finally:
+        resilience.batched_solve = original

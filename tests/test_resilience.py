@@ -1,0 +1,545 @@
+"""Resilient solve layer: escalation, quarantine, checkpoints, fault injection.
+
+The contract under test (ISSUE 7):
+
+* the **no-fault default path is bit-identical** to the legacy engines —
+  turning quarantine on must not change a single response bit;
+* a **transient** fault recovers bit-identically; a **permanent** fault
+  degrades to an accurate :class:`~repro.engine.resilience.SweepReport`
+  naming exactly the injected samples, with every surviving sample's
+  response untouched;
+* statistics (:mod:`repro.analysis.montecarlo`) exclude quarantined samples
+  and report them, instead of NaN-poisoning envelopes and yields;
+* checkpointed ensembles resume **bit-identically** after a kill;
+* all four engines (dense, sparse+ordering, rank-1 screening, symbolic)
+  raise the same typed :class:`~repro.errors.SingularMatrixError` for the
+  same singular circuits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from faults import ensemble_faults, failing_kernel
+
+from repro.analysis.montecarlo import (MonteCarloResult, YieldSpec,
+                                       monte_carlo_analysis,
+                                       variance_attribution, yield_analysis)
+from repro.analysis.sensitivity import element_sensitivities
+from repro.circuits import build_ua741
+from repro.circuits.rc_ladder import build_rc_ladder
+from repro.engine.resilience import (SolvePolicy, SweepReport,
+                                     reset_telemetry, resilient_dense_solve,
+                                     resilient_sparse_solve,
+                                     telemetry_snapshot)
+from repro.engine.session import AnalysisSession
+from repro.engine.sweep import SweepEngine
+from repro.errors import (CheckpointError, LinAlgError, NetlistError,
+                          SingularMatrixError, SolveFailureError,
+                          ValidationError)
+from repro.linalg.sparse import SparseMatrix
+from repro.mna.builder import build_mna_system
+from repro.montecarlo import (ParameterSpace, Tolerance, checkpoint_info,
+                              checkpointed_ensemble_sweep, ensemble_sweep)
+from repro.netlist.circuit import Circuit
+from repro.nodal.reduce import TransferSpec
+from repro.reporting import format_sweep_report
+from repro.symbolic.generation import symbolic_network_function
+
+FREQUENCIES = np.logspace(1, 7, 9)
+
+
+def _toleranced(circuit, fraction=0.05, count=5):
+    names = [element.name for element in circuit
+             if type(element).__name__ in ("Resistor", "Capacitor")][:count]
+    return ParameterSpace(circuit, {name: fraction for name in names})
+
+
+@pytest.fixture(scope="module")
+def ua741():
+    circuit, spec = build_ua741()
+    return circuit, spec, _toleranced(circuit)
+
+
+@pytest.fixture(scope="module")
+def ladder():
+    circuit, spec = build_rc_ladder(4)
+    return circuit, spec, _toleranced(circuit, fraction=0.1)
+
+
+def build_floating_at_dc():
+    """Node ``b`` hangs on a capacitor alone: singular exactly at s = 0."""
+    circuit = Circuit("floating")
+    circuit.add_voltage_source("vin", "in", "0", 1.0)
+    circuit.add_resistor("R1", "in", "out", 1e3)
+    circuit.add_resistor("RL", "out", "0", 2e3)
+    circuit.add_capacitor("C1", "b", "0", 1e-12)
+    return circuit
+
+
+def build_driven_floating_at_dc():
+    """A current source drives the floating node: *inconsistent* at s = 0.
+
+    The zero row meets a nonzero right-hand-side entry, so not even the
+    regularized stage can certify a solution — the point must quarantine.
+    """
+    circuit = build_floating_at_dc()
+    circuit.add_current_source("Ib", "b", "0", 1.0)
+    return circuit
+
+
+def build_isolated_island():
+    """An R‖C island with no path to the rest: singular at every s."""
+    circuit = Circuit("island")
+    circuit.add_voltage_source("vin", "in", "0", 1.0)
+    circuit.add_resistor("R1", "in", "out", 1e3)
+    circuit.add_resistor("RL", "out", "0", 2e3)
+    circuit.add_resistor("Ri", "a", "b", 1e3)
+    circuit.add_capacitor("Ci", "a", "b", 1e-9)
+    return circuit
+
+
+class TestSolvePolicy:
+    """Policy validation and configuration resolution."""
+
+    def test_defaults_resolve_config(self):
+        policy = SolvePolicy()
+        assert policy.effective_residual_limit() == 1e-8
+        assert policy.effective_condition_limit() == 1e13
+        assert policy.effective_regularization() == pytest.approx(
+            np.sqrt(np.finfo(float).eps))
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RESIDUAL_LIMIT", "1e-6")
+        monkeypatch.setenv("REPRO_CONDITION_LIMIT", "1e10")
+        policy = SolvePolicy()
+        assert policy.effective_residual_limit() == 1e-6
+        assert policy.effective_condition_limit() == 1e10
+
+    def test_invalid_env_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RESIDUAL_LIMIT", "not-a-number")
+        assert SolvePolicy().effective_residual_limit() == 1e-8
+        monkeypatch.setenv("REPRO_RESIDUAL_LIMIT", "-3")
+        assert SolvePolicy().effective_residual_limit() == 1e-8
+
+    @pytest.mark.parametrize("kwargs", [
+        {"condition_check": "sometimes"},
+        {"refinement_steps": -1},
+        {"residual_limit": 0.0},
+        {"condition_limit": -1.0},
+        {"regularization": 0.0},
+    ])
+    def test_invalid_policy_rejected(self, kwargs):
+        with pytest.raises(LinAlgError):
+            SolvePolicy(**kwargs)
+
+
+class TestResilientDenseSolve:
+    """The scalar escalation chain: bitexact → regularized."""
+
+    def test_clean_system_accepted_bitexact(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+        matrix += 4 * np.eye(4)
+        rhs = rng.normal(size=4) + 0j
+        x, diagnostics = resilient_dense_solve(matrix, rhs)
+        assert diagnostics.stage == "bitexact"
+        assert diagnostics.escalations == ()
+        assert np.allclose(matrix @ x, rhs)
+
+    def test_consistent_singular_recovered_by_regularization(self):
+        matrix = np.array([[1.0, 1.0], [1.0, 1.0]], dtype=complex)
+        rhs = np.array([2.0, 2.0], dtype=complex)
+        x, diagnostics = resilient_dense_solve(matrix, rhs)
+        assert diagnostics.stage == "regularized"
+        assert any(record.stage == "bitexact"
+                   for record in diagnostics.escalations)
+        assert np.allclose(matrix @ x, rhs)
+
+    def test_inconsistent_singular_quarantined(self):
+        matrix = np.array([[1.0, 1.0], [1.0, 1.0]], dtype=complex)
+        rhs = np.array([1.0, 0.0], dtype=complex)
+        with pytest.raises(SolveFailureError) as excinfo:
+            resilient_dense_solve(matrix, rhs)
+        error = excinfo.value
+        assert isinstance(error, SingularMatrixError)
+        assert error.diagnostics is not None
+        stages = [record.stage for record in error.diagnostics.escalations]
+        assert "bitexact" in stages and "regularized" in stages
+
+    def test_non_finite_input_unrecoverable(self):
+        matrix = np.eye(3, dtype=complex)
+        matrix[0, 0] = np.nan
+        with pytest.raises(SolveFailureError, match="non-finite"):
+            resilient_dense_solve(matrix, np.ones(3, dtype=complex))
+
+    def test_regularization_can_be_disabled(self):
+        matrix = np.array([[1.0, 1.0], [1.0, 1.0]], dtype=complex)
+        rhs = np.array([2.0, 2.0], dtype=complex)
+        policy = SolvePolicy(allow_regularization=False)
+        with pytest.raises(SolveFailureError) as excinfo:
+            resilient_dense_solve(matrix, rhs, policy)
+        stages = [r.stage for r in excinfo.value.diagnostics.escalations]
+        assert "regularized" not in stages
+
+
+class TestResilientSparseSolve:
+    """The sparse chain: fast → bitexact → fresh → regularized."""
+
+    def _singular_matrix(self):
+        # diag(1, 1, 0): exactly singular, zero last pivot.
+        return SparseMatrix.from_entries(
+            3, 3, [((0, 0), 1.0), ((1, 1), 1.0), ((2, 2), 0.0),
+                   ((0, 1), 0.2), ((1, 0), 0.1)])
+
+    def test_consistent_singular_recovered(self):
+        matrix = self._singular_matrix()
+        rhs = np.array([1.0, 1.0, 0.0], dtype=complex)
+        x, diagnostics, __ = resilient_sparse_solve(matrix, rhs)
+        assert diagnostics.stage == "regularized"
+        assert np.allclose(matrix.matvec(x), rhs)
+
+    def test_inconsistent_singular_quarantined(self):
+        matrix = self._singular_matrix()
+        rhs = np.array([1.0, 1.0, 1.0], dtype=complex)
+        with pytest.raises(SolveFailureError) as excinfo:
+            resilient_sparse_solve(matrix, rhs)
+        stages = [r.stage for r in excinfo.value.diagnostics.escalations]
+        assert "fast" in stages and "regularized" in stages
+
+
+class TestSweepQuarantineParity:
+    """Turning quarantine on must not change a fault-free result bit."""
+
+    @pytest.mark.parametrize("method", ["dense", "sparse"])
+    def test_solve_sweep_bit_identical(self, ladder, method):
+        circuit, __, ___ = ladder
+        system = build_mna_system(circuit)
+        s = 2j * np.pi * FREQUENCIES
+        legacy = SweepEngine(system, method=method).solve_sweep(s, system.rhs)
+        engine = SweepEngine(system, method=method)
+        resilient = engine.solve_sweep(s, system.rhs, on_failure="quarantine")
+        assert np.array_equal(legacy, resilient)
+        assert engine.last_report is not None and engine.last_report.ok
+        assert engine.last_report.stage_counts["fast"] == len(s)
+
+    @pytest.mark.parametrize("method", ["dense", "sparse"])
+    def test_solve_param_sweep_bit_identical(self, ladder, method):
+        circuit, __, space = ladder
+        system = build_mna_system(circuit)
+        s = 2j * np.pi * FREQUENCIES[:5]
+        values = space.sample_values(4, seed=1)
+        scales = space.admittance_scales(values)
+        legacy = SweepEngine(system, method=method).solve_param_sweep(
+            s, space.names, scales, system.rhs)
+        engine = SweepEngine(system, method=method)
+        resilient = engine.solve_param_sweep(s, space.names, scales,
+                                             system.rhs,
+                                             on_failure="quarantine")
+        assert np.array_equal(legacy, resilient)
+        assert engine.last_report.ok
+
+    @pytest.mark.parametrize("method", ["dense", "sparse"])
+    def test_singular_point_quarantined_not_fatal(self, method):
+        circuit = build_driven_floating_at_dc()
+        system = build_mna_system(circuit)
+        s = np.array([0j, 2j * np.pi * 1e3])
+        engine = SweepEngine(system, method=method)
+        solutions = engine.solve_sweep(s, system.rhs,
+                                       on_failure="quarantine")
+        report = engine.last_report
+        assert report.quarantined == [0]
+        assert np.isnan(solutions[0]).all()
+        assert "sweep point 0" in report.failures[0].description
+        # The surviving point keeps its fault-free bits.
+        clean = SweepEngine(system, method=method).solve_sweep(
+            s[1:], system.rhs)
+        assert np.array_equal(solutions[1], clean[0])
+        # The report renders.
+        assert "quarantined" in format_sweep_report(report)
+
+    @pytest.mark.parametrize("method", ["dense", "sparse"])
+    def test_consistent_singular_point_rescued(self, method):
+        # The *undriven* floating node is a zero row against a zero rhs
+        # entry: still singular, but consistent — the regularized stage can
+        # certify a solution and must record the rescue, not quarantine it.
+        circuit = build_floating_at_dc()
+        system = build_mna_system(circuit)
+        s = np.array([0j, 2j * np.pi * 1e3])
+        engine = SweepEngine(system, method=method)
+        solutions = engine.solve_sweep(s, system.rhs,
+                                       on_failure="quarantine")
+        report = engine.last_report
+        assert report.quarantined == []
+        assert report.recovered == [0]
+        assert report.stage_counts["regularized"] == 1
+        assert np.isfinite(solutions).all()
+
+    def test_raise_mode_carries_sweep_point(self):
+        circuit = build_driven_floating_at_dc()
+        system = build_mna_system(circuit)
+        engine = SweepEngine(system, method="dense")
+        with pytest.raises(SolveFailureError) as excinfo:
+            engine.solve_sweep(np.array([0j]), system.rhs,
+                               policy=SolvePolicy())
+        assert excinfo.value.sweep_point == 0
+
+
+class TestEnsembleQuarantine:
+    """The ensemble acceptance path: injected faults → accurate reports."""
+
+    @pytest.mark.parametrize("solver", ["lapack", "lu"])
+    def test_no_fault_bit_parity(self, ua741, solver):
+        circuit, spec, space = ua741
+        legacy = ensemble_sweep(circuit, spec, FREQUENCIES, space,
+                                samples=16, seed=2, solver=solver)
+        resilient = ensemble_sweep(circuit, spec, FREQUENCIES, space,
+                                   samples=16, seed=2, solver=solver,
+                                   on_failure="quarantine")
+        assert np.array_equal(legacy.responses, resilient.responses)
+        assert resilient.report.ok
+        assert resilient.surviving_mask().all()
+
+    def test_injected_faults_quarantined_exactly(self, ua741):
+        circuit, spec, space = ua741
+        samples, seed = 256, 7
+        clean = ensemble_sweep(circuit, spec, FREQUENCIES, space,
+                               samples=samples, seed=seed)
+        with ensemble_faults({3: "singular", 17: "nan"}):
+            result = monte_carlo_analysis(circuit, spec, FREQUENCIES, space,
+                                          samples=samples, seed=seed,
+                                          on_failure="quarantine")
+        ensemble = result.ensemble
+        report = ensemble.report
+        # The report names exactly the injected samples.
+        assert report.quarantined == [3, 17]
+        descriptions = {record.index: record.description
+                        for record in report.failures}
+        assert "ensemble member 3" in descriptions[3]
+        assert "ensemble member 17" in descriptions[17]
+        # Quarantined rows are NaN; every survivor keeps fault-free bits.
+        mask = ensemble.surviving_mask()
+        assert not mask[3] and not mask[17] and mask.sum() == samples - 2
+        assert np.isnan(ensemble.responses[3]).all()
+        assert np.isnan(ensemble.responses[17]).all()
+        assert np.array_equal(ensemble.responses[mask],
+                              clean.responses[mask])
+        # Envelope == the clean run's statistics restricted to survivors.
+        envelope = result.envelope()
+        clean_magnitudes = clean.magnitudes_db()[mask]
+        assert np.array_equal(envelope.minimum_db,
+                              clean_magnitudes.min(axis=0))
+        assert np.array_equal(envelope.maximum_db,
+                              clean_magnitudes.max(axis=0))
+        assert np.array_equal(envelope.mean_db,
+                              clean_magnitudes.mean(axis=0))
+        # Yield excludes and reports the quarantined samples.
+        pivot = float(np.median(clean.magnitudes_db()[:, 4]))
+        spec_gain = YieldSpec(name="gain", minimum_gain_db=pivot,
+                              at_frequency=float(FREQUENCIES[4]))
+        clean_yield = yield_analysis(clean, spec_gain)
+        faulted_yield = result.yield_against(spec_gain)
+        assert faulted_yield.total == samples - 2
+        assert faulted_yield.quarantined == [3, 17]
+        assert faulted_yield.failures == [
+            index for index in clean_yield.failures if index not in (3, 17)]
+        # Variance attribution stays finite over the survivors.
+        for entry in variance_attribution(result):
+            assert np.isfinite(entry.share)
+
+    def test_near_singular_sample_flagged_degraded(self, ladder):
+        # ε = 1e-7 leaves the matrix comfortably solvable (backward-stable
+        # residuals) while its ~1/ε condition estimate crosses the policy's
+        # lowered limit: the sample must survive but be flagged degraded —
+        # and only that sample (the clean ladder sits far below the limit).
+        circuit, spec, space = ladder
+        policy = SolvePolicy(condition_check="always", condition_limit=1e8)
+        with ensemble_faults({5: "near_singular"}, epsilon=1e-7):
+            result = ensemble_sweep(circuit, spec, FREQUENCIES[:3], space,
+                                    samples=8, seed=3,
+                                    on_failure="quarantine", policy=policy)
+        assert result.report.quarantined == []
+        assert np.isfinite(result.responses[5]).all()
+        assert sorted({index for index, __ in result.report.degraded}) == [5]
+
+    def test_all_quarantined_statistics_refuse(self, ua741):
+        circuit, spec, space = ua741
+        with ensemble_faults({0: "nan", 1: "nan", 2: "nan"}):
+            ensemble = ensemble_sweep(circuit, spec, FREQUENCIES[:3], space,
+                                      samples=3, seed=0,
+                                      on_failure="quarantine")
+        assert ensemble.report.quarantined == [0, 1, 2]
+        result = MonteCarloResult(ensemble=ensemble,
+                                  nominal_response=np.zeros(3), seed=0)
+        with pytest.raises(LinAlgError, match="quarantined"):
+            result.envelope()
+        with pytest.raises(LinAlgError, match="quarantined"):
+            variance_attribution(result)
+
+    def test_raise_mode_names_sample(self, ua741):
+        circuit, spec, space = ua741
+        with ensemble_faults({2: "singular"}):
+            with pytest.raises(SolveFailureError) as excinfo:
+                ensemble_sweep(circuit, spec, FREQUENCIES[:3], space,
+                               samples=4, seed=0, policy=SolvePolicy())
+        assert excinfo.value.sample == 2
+
+
+class TestTransientFaults:
+    """A kernel that fails once must recover bit-identically."""
+
+    def test_transient_kernel_failure_recovers_bit_identically(self, ladder):
+        circuit, spec, space = ladder
+        clean = ensemble_sweep(circuit, spec, FREQUENCIES, space,
+                               samples=12, seed=4)
+        with failing_kernel(nth=1) as state:
+            resilient = ensemble_sweep(circuit, spec, FREQUENCIES, space,
+                                       samples=12, seed=4,
+                                       on_failure="quarantine")
+        assert state["count"] > 1  # the kernel failed and was retried
+        assert np.array_equal(clean.responses, resilient.responses)
+        assert resilient.report.ok
+
+
+class TestCheckpointedEnsembles:
+    """Kill + resume must be bit-identical to an uninterrupted run."""
+
+    def test_kill_and_resume_bit_identical(self, ladder, tmp_path):
+        circuit, spec, space = ladder
+        path = str(tmp_path / "run.npz")
+        reference = ensemble_sweep(circuit, spec, FREQUENCIES, space,
+                                   samples=20, seed=3,
+                                   on_failure="quarantine")
+        killed = checkpointed_ensemble_sweep(
+            circuit, spec, FREQUENCIES, space, path=path, samples=20,
+            seed=3, shard_size=6, max_shards=2)
+        assert not killed.finished and killed.completed == 12
+        assert checkpoint_info(path)["completed"] == 12
+        resumed = checkpointed_ensemble_sweep(
+            circuit, spec, FREQUENCIES, space, path=path, samples=20,
+            seed=3, shard_size=6)
+        assert resumed.finished and resumed.resumed_from == 12
+        assert np.array_equal(resumed.ensemble.responses,
+                              reference.responses)
+        # Streaming statistics match an uninterrupted checkpointed run bit
+        # for bit.
+        straight = checkpointed_ensemble_sweep(
+            circuit, spec, FREQUENCIES, space,
+            path=str(tmp_path / "straight.npz"), samples=20, seed=3,
+            shard_size=6)
+        assert resumed.statistics.count == straight.statistics.count
+        assert np.array_equal(resumed.statistics.sum_db,
+                              straight.statistics.sum_db)
+        assert np.array_equal(resumed.statistics.sumsq_db,
+                              straight.statistics.sumsq_db)
+        assert np.array_equal(resumed.statistics.min_db,
+                              straight.statistics.min_db)
+        assert np.array_equal(resumed.statistics.max_db,
+                              straight.statistics.max_db)
+
+    def test_mismatched_run_rejected(self, ladder, tmp_path):
+        circuit, spec, space = ladder
+        path = str(tmp_path / "run.npz")
+        checkpointed_ensemble_sweep(circuit, spec, FREQUENCIES, space,
+                                    path=path, samples=12, seed=3,
+                                    shard_size=6, max_shards=1)
+        with pytest.raises(CheckpointError, match="seed"):
+            checkpointed_ensemble_sweep(circuit, spec, FREQUENCIES, space,
+                                        path=path, samples=12, seed=4,
+                                        shard_size=6)
+        with pytest.raises(CheckpointError, match="shard_size"):
+            checkpointed_ensemble_sweep(circuit, spec, FREQUENCIES, space,
+                                        path=path, samples=12, seed=3,
+                                        shard_size=4)
+
+    def test_corrupt_checkpoint_rejected(self, ladder, tmp_path):
+        circuit, spec, space = ladder
+        path = tmp_path / "run.npz"
+        path.write_bytes(b"not a checkpoint")
+        with pytest.raises(CheckpointError):
+            checkpointed_ensemble_sweep(circuit, spec, FREQUENCIES, space,
+                                        path=str(path), samples=12, seed=3)
+
+
+class TestSingularCircuitsAllEngines:
+    """The same singular circuits raise the same typed error everywhere."""
+
+    CASES = [
+        ("floating", build_floating_at_dc, np.array([0.0])),
+        ("island", build_isolated_island, np.array([0.0, 1e3])),
+    ]
+
+    @pytest.mark.parametrize("name,build,frequencies", CASES,
+                             ids=[case[0] for case in CASES])
+    def test_dense_engine(self, name, build, frequencies):
+        system = build_mna_system(build())
+        engine = SweepEngine(system, method="dense")
+        with pytest.raises(SingularMatrixError, match="singular"):
+            engine.solve_sweep(2j * np.pi * frequencies, system.rhs)
+
+    @pytest.mark.parametrize("name,build,frequencies", CASES,
+                             ids=[case[0] for case in CASES])
+    @pytest.mark.parametrize("ordering", ["markowitz", "amd"])
+    def test_sparse_engine_with_ordering(self, name, build, frequencies,
+                                         ordering, monkeypatch):
+        monkeypatch.setenv("REPRO_SPARSE_ORDERING", ordering)
+        system = build_mna_system(build())
+        engine = SweepEngine(system, method="sparse")
+        with pytest.raises(SingularMatrixError, match="singular"):
+            engine.solve_sweep(2j * np.pi * frequencies, system.rhs)
+
+    @pytest.mark.parametrize("name,build,frequencies", CASES,
+                             ids=[case[0] for case in CASES])
+    def test_screening_engine(self, name, build, frequencies):
+        with pytest.raises(SingularMatrixError, match="singular"):
+            element_sensitivities(build(), "out", frequencies)
+
+    @pytest.mark.parametrize("name,build,frequencies", CASES,
+                             ids=[case[0] for case in CASES])
+    def test_symbolic_engine(self, name, build, frequencies):
+        transfer = symbolic_network_function(
+            build(), TransferSpec(inputs=["vin"], output="out"))
+        s = complex(2j * np.pi * frequencies[0])
+        with pytest.raises(SingularMatrixError, match="singular"):
+            transfer.evaluate(s)
+        # Historic callers caught ZeroDivisionError; that must keep working.
+        with pytest.raises(ZeroDivisionError):
+            transfer.evaluate(s)
+
+
+class TestToleranceValidation:
+    """Bad tolerances fail loudly at construction, not deep in sampling."""
+
+    @pytest.mark.parametrize("fraction", [-0.1, 0.0, 1.0, 1.5,
+                                          float("nan"), float("inf")])
+    def test_invalid_fraction_rejected(self, fraction):
+        with pytest.raises(ValidationError):
+            Tolerance(fraction)
+
+    def test_validation_error_is_netlist_error(self):
+        with pytest.raises(NetlistError):
+            Tolerance(-0.2)
+
+    def test_valid_tolerance_accepted(self):
+        assert Tolerance(0.05).fraction == 0.05
+
+    def test_invalid_distribution_rejected(self):
+        with pytest.raises(NetlistError):
+            Tolerance(0.05, distribution="triangular")
+
+
+class TestTelemetry:
+    """Resilience counters aggregate process-wide and surface in stats()."""
+
+    def test_quarantine_counts_into_telemetry_and_session(self, ua741):
+        circuit, spec, space = ua741
+        reset_telemetry()
+        with ensemble_faults({1: "singular"}):
+            ensemble_sweep(circuit, spec, FREQUENCIES[:3], space,
+                           samples=4, seed=0, on_failure="quarantine")
+        snapshot = telemetry_snapshot()
+        assert snapshot["quarantined"] >= 1
+        assert snapshot["fast"] >= 1
+        stats = AnalysisSession().stats()
+        assert stats["resilience"] == telemetry_snapshot()
