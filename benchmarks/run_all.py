@@ -19,9 +19,9 @@ Modes::
                                                            # kernel reduced
 
 ``--smoke`` sets ``REPRO_BENCH_REDUCED=1`` and runs only the reduced
-symbolic-kernel, Monte Carlo and sparse-scaling workloads — seconds instead
-of minutes, equivalence still asserted — so CI keeps the trajectory file
-fresh without paying for the full suite.
+symbolic-kernel, Monte Carlo, compiled-model and sparse-scaling workloads —
+seconds instead of minutes, equivalence still asserted — so CI keeps the
+trajectory file fresh without paying for the full suite.
 """
 
 from __future__ import annotations
@@ -58,6 +58,7 @@ def run_quantitative(smoke=False):
     """The engine A/B experiments; returns snapshot records."""
     from repro.reporting.experiments import (
         run_batch_sweep,
+        run_compiled_model,
         run_montecarlo_ensemble,
         run_scaling_curve,
         run_sensitivity_screening,
@@ -105,6 +106,29 @@ def run_quantitative(smoke=False):
         assert ensemble.batch_invariant, ensemble.describe()
         if not smoke:
             assert ensemble.speedup >= 5.0, ensemble.describe()
+
+    # Compiled transfer model: tensor serving vs the matrix engine over the
+    # same draws, with the parity and compile-once gates asserted either way.
+    start = time.perf_counter()
+    compiled = run_compiled_model(num_samples=samples, num_points=points,
+                                  repeats=1 if smoke else 3)
+    records.append(_record(
+        "compiled_model", compiled.circuit_name,
+        time.perf_counter() - start, compiled.speedup,
+        compiled.relative_deviation,
+        {"samples": compiled.num_samples,
+         "points": compiled.num_frequencies,
+         "tolerance_axes": compiled.num_axes,
+         "terms": compiled.num_terms,
+         "groups": compiled.num_groups,
+         "compile_seconds": round(compiled.compile_seconds, 3),
+         "serve_seconds": round(compiled.serve_seconds, 4),
+         "session_compiles": compiled.session_compiles}))
+    print(compiled.describe())
+    assert compiled.relative_deviation <= 1e-9, compiled.describe()
+    assert compiled.session_compiles == 1, compiled.describe()
+    if not smoke:
+        assert compiled.speedup >= 20.0, compiled.describe()
 
     # Generator-circuit scaling: dense vs ordered-sparse sweep timings with
     # the per-family crossover dimension and fill-in ablation in the record.
@@ -159,7 +183,8 @@ def run_scripted():
     sys.path.insert(0, str(BENCH_DIR))
     skip = {"run_all", "conftest"}
     quantitative = {"bench_batch_sweep", "bench_sensitivity", "bench_session",
-                    "bench_sdg", "bench_montecarlo", "bench_scaling"}
+                    "bench_sdg", "bench_montecarlo", "bench_scaling",
+                    "bench_compiled"}
     for path in sorted(BENCH_DIR.glob("bench_*.py")):
         module_name = path.stem
         if module_name in skip or module_name in quantitative:

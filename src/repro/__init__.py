@@ -40,7 +40,13 @@ from .netlist import (
     to_admittance_form,
 )
 from .engine import AnalysisSession
-from .montecarlo import ParameterSpace, Tolerance, ensemble_sweep
+from .montecarlo import (
+    ParameterSpace,
+    Tolerance,
+    compiled_ensemble_sweep,
+    ensemble_sweep,
+)
+from .symbolic import CompiledTransferModel, compile_transfer_model
 from .nodal import TransferSpec, NetworkFunctionSampler, BatchSampler
 from .interpolation import (
     AdaptiveOptions,
@@ -76,6 +82,9 @@ __all__ = [
     "Tolerance",
     "ParameterSpace",
     "ensemble_sweep",
+    "compiled_ensemble_sweep",
+    "CompiledTransferModel",
+    "compile_transfer_model",
     "TransferSpec",
     "NetworkFunctionSampler",
     "BatchSampler",

@@ -125,7 +125,17 @@ def build_ua741(load_resistance=2e3,
     return circuit, spec
 
 
-def build_ua741_macro() -> Tuple[Circuit, TransferSpec]:
+#: The macro elements that carry tolerance metadata by default: the twelve
+#: axes that dominate the closed-loop response spread (input stage, mirror
+#: pole, compensation network, output stage and load).  Exactly twelve so
+#: corner analysis still runs its full 2^12 factorial
+#: (:data:`repro.montecarlo.space._FULL_FACTORIAL_LIMIT`).
+UA741_MACRO_TOLERANCED = ("Rb1", "Rb2", "Cdm", "Rt", "Rdm", "Cc",
+                          "Rz", "Rc2", "Rout", "RL", "CL", "G1")
+
+
+def build_ua741_macro(tolerance=0.05, distribution="gaussian", *,
+                      toleranced=True) -> Tuple[Circuit, TransferSpec]:
     """Behavioral µA741 macromodel: the symbolic-analysis-scale twin.
 
     The transistor-level macro of :func:`build_ua741` has a 39-unknown nodal
@@ -142,6 +152,18 @@ def build_ua741_macro() -> Tuple[Circuit, TransferSpec]:
     It is the workload of the symbolic-kernel benchmark: large enough that
     the legacy flat expansion takes seconds, small enough that it completes,
     so the interned/legacy A/B is measurable.
+
+    Parameters
+    ----------
+    tolerance, distribution:
+        :class:`~repro.netlist.elements.Tolerance` metadata attached to the
+        :data:`UA741_MACRO_TOLERANCED` elements (±5 % gaussian by default),
+        so Monte Carlo / compiled-model workloads get a ready
+        tolerance-annotated symbolic circuit without hand-decorating.
+        Metadata only — the design-point numerics are unchanged.
+    toleranced:
+        Pass ``False`` to opt out (no tolerance metadata; matches the
+        pre-tolerance fingerprint).
 
     Returns
     -------
@@ -197,6 +219,11 @@ def build_ua741_macro() -> Tuple[Circuit, TransferSpec]:
     circuit.add_capacitor("Cf2", "c2", "out", 3.2e-12)
     circuit.add_resistor("RL", "out", "0", 2e3)
     circuit.add_capacitor("CL", "out", "0", 100e-12)
+
+    if toleranced:
+        for name in UA741_MACRO_TOLERANCED:
+            circuit.replace(
+                circuit[name].with_tolerance(tolerance, distribution))
 
     spec = TransferSpec(inputs=["Vip", "Vim"], output="out")
     return circuit, spec

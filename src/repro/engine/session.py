@@ -55,6 +55,12 @@ _MAX_SWEEP_ENTRIES = 16
 #: though ordered sparse factors stay near ``nnz + fill`` per point.
 _MAX_SWEEP_BYTES = 256 * 1024 * 1024
 
+#: Compiled transfer models carry dense (groups × free-symbols) incidence
+#: programs — small next to sweep factors but not free (the µA741 macro's
+#: is a few hundred KB) — so the compiled cache is LRU-bounded by count
+#: like the kept-sweep cache.
+_MAX_COMPILED_ENTRIES = 16
+
 
 def _sweep_cost_bytes(sweep) -> int:
     """Pessimistic estimate of one kept sweep's factor memory."""
@@ -88,9 +94,11 @@ class AnalysisSession:
         self._symbolic_nodal: Dict[Tuple, object] = {}
         self._symbolic_engines: Dict[Tuple, object] = {}
         self._symbolic_transfers: Dict[Tuple, object] = {}
+        self._compiled: Dict[Tuple, object] = {}
         self._montecarlo: Dict[Tuple, object] = {}
         self.hits = 0
         self.misses = 0
+        self._compiled_stats = {"compiles": 0, "hits": 0, "evictions": 0}
 
     # ------------------------------------------------------------------ #
     # keys
@@ -384,6 +392,46 @@ class AnalysisSession:
 
         return self._get(self._symbolic_transfers, key, build)
 
+    def compiled_transfer(self, circuit, spec, free_symbols=None,
+                          max_terms=None, kernel="interned",
+                          admittance_transform=True):
+        """The circuit's :class:`~repro.symbolic.compile.CompiledTransferModel`.
+
+        Compile-once semantics per (circuit fingerprint, spec, free-symbol
+        set): Bode passes, SDG epsilon sweeps and Monte Carlo runs on one
+        circuit all serve from the same lowered coefficient-tensor program.
+        The cache is LRU-bounded like the kept-sweep cache, and the
+        per-session ``compiles`` / ``hits`` / ``evictions`` counters are
+        reported by :meth:`stats` under ``"compiled"``.
+        """
+        from ..symbolic.determinant import DEFAULT_MAX_TERMS
+
+        if max_terms is None:
+            max_terms = DEFAULT_MAX_TERMS
+        free_key = None if free_symbols is None else \
+            tuple(str(name) for name in free_symbols)
+        key = (self.fingerprint(circuit), self._spec_key(spec),
+               admittance_transform, int(max_terms), kernel, free_key)
+        model = self._compiled.get(key)
+        if model is None:
+            self.misses += 1
+            self._compiled_stats["compiles"] += 1
+            transfer = self.symbolic_transfer(
+                circuit, spec, max_terms=max_terms, kernel=kernel,
+                admittance_transform=admittance_transform)
+            model = transfer.compile(free_symbols=free_key)
+            self._compiled[key] = model
+        else:
+            self.hits += 1
+            self._compiled_stats["hits"] += 1
+            # Refresh recency so hot programs survive the LRU bound.
+            self._compiled.pop(key)
+            self._compiled[key] = model
+        while len(self._compiled) > _MAX_COMPILED_ENTRIES:
+            del self._compiled[next(iter(self._compiled))]
+            self._compiled_stats["evictions"] += 1
+        return model
+
     def montecarlo(self, circuit, output, frequencies, space, *,
                    samples=128, seed=0, solver="lapack", method="auto",
                    workers=None):
@@ -441,7 +489,7 @@ class AnalysisSession:
         return (self._mna, self._nodal, self._samplers, self._sweeps,
                 self._references, self._admittance, self._screenings,
                 self._symbolic_nodal, self._symbolic_engines,
-                self._symbolic_transfers, self._montecarlo)
+                self._symbolic_transfers, self._compiled, self._montecarlo)
 
     def invalidate(self, circuit=None):
         """Drop cached artifacts — of one circuit, or everything.
@@ -466,11 +514,18 @@ class AnalysisSession:
         return removed
 
     def stats(self) -> Dict[str, int]:
-        """Cache statistics plus the process-wide resilience counters."""
+        """Cache statistics plus the process-wide resilience counters.
+
+        ``"compiled"`` carries this session's compiled-transfer cache
+        counters: ``compiles`` (builds on miss), ``hits`` (served from
+        cache) and ``evictions`` (LRU drops; :meth:`invalidate` removals
+        are not evictions).
+        """
         from .resilience import telemetry_snapshot
 
         return {"hits": self.hits, "misses": self.misses,
                 "entries": self.entry_count,
+                "compiled": dict(self._compiled_stats),
                 "resilience": telemetry_snapshot()}
 
     def __repr__(self):

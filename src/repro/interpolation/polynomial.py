@@ -44,6 +44,10 @@ class Polynomial:
         self._coefficients: List[XFloat] = [_as_xfloat(c) for c in coefficients]
         if not self._coefficients:
             self._coefficients = [XFloat.zero()]
+        # Compiled nonzero-coefficient arrays for evaluate_many, built on
+        # first use.  Safe to cache: every algebraic operation returns a
+        # new Polynomial, so the coefficient list never mutates.
+        self._compiled = None
 
     # -- constructors --------------------------------------------------------
 
@@ -180,10 +184,12 @@ class Polynomial:
     def evaluate_many(self, s_values) -> Tuple[np.ndarray, np.ndarray]:
         """Vectorized :meth:`evaluate` over an array of complex points.
 
-        The whole grid is evaluated with numpy batch arithmetic: per-term
-        log-magnitudes and phases form a ``(terms, K)`` matrix, the common
-        exponent is factored out per point, and the terms are summed along
-        the term axis.  Returns ``(mantissas, exponents)`` arrays with value
+        The grid runs on the compiled coefficient arrays shared with the
+        transfer-model compiler
+        (:func:`repro.symbolic.compile.log_polynomial_grid`): the nonzero
+        coefficients are lowered once per polynomial instead of being
+        re-extracted and re-broadcast on every call, with bit-identical
+        arithmetic.  Returns ``(mantissas, exponents)`` arrays with value
         ``mantissa * 10**exponent`` per point.
         """
         s = np.asarray(s_values, dtype=complex)
@@ -198,34 +204,13 @@ class Polynomial:
             exponents[zero_points] = exponent
         live = ~zero_points
         if live.any():
-            powers = np.array([power for power, coefficient
-                               in enumerate(self._coefficients)
-                               if not coefficient.is_zero()], dtype=float)
-            if powers.size:
-                log_coefficients = np.array([
-                    coefficient.log10()
-                    for coefficient in self._coefficients
-                    if not coefficient.is_zero()
-                ])
-                coefficient_phases = np.array([
-                    0.0 if coefficient.sign() > 0 else math.pi
-                    for coefficient in self._coefficients
-                    if not coefficient.is_zero()
-                ])
-                log_s = np.log10(np.abs(s[live]))
-                arg_s = np.angle(s[live])
-                log_magnitude = (log_coefficients[:, None]
-                                 + powers[:, None] * log_s[None, :])
-                phase = (coefficient_phases[:, None]
-                         + powers[:, None] * arg_s[None, :])
-                peak = log_magnitude.max(axis=0)
-                exponent = np.floor(peak).astype(np.int64)
-                shift = log_magnitude - exponent[None, :]
-                # Terms more than 300 decades below the peak cannot affect
-                # the double-precision sum (mirrors the scalar path).
-                terms = np.where(shift < -300.0, 0.0, 10.0**shift)
-                mantissas[live] = (terms * np.exp(1j * phase)).sum(axis=0)
-                exponents[live] = exponent
+            if self._compiled is None:
+                from ..symbolic.compile import compile_polynomial
+
+                self._compiled = compile_polynomial(self._coefficients)
+            if self._compiled.powers.size:
+                mantissas[live], exponents[live] = \
+                    self._compiled.grid(s[live])
         return mantissas.reshape(shape), exponents.reshape(shape)
 
     def evaluate_complex(self, s) -> complex:

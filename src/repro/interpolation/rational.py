@@ -65,8 +65,9 @@ class RationalFunction:
         """Vectorized :meth:`evaluate` over an array of complex points.
 
         Numerator and denominator are evaluated with the batched polynomial
-        path (:meth:`~repro.interpolation.polynomial.Polynomial.evaluate_many`)
-        and combined per point with the same exponent-cancelling rule as the
+        path (:meth:`~repro.interpolation.polynomial.Polynomial.evaluate_many`,
+        which runs on each polynomial's compiled coefficient arrays) and
+        combined per point with the same exponent-cancelling rule as the
         scalar evaluation.
         """
         s = np.asarray(s_values, dtype=complex)

@@ -17,7 +17,12 @@ first-class workload on top of the :mod:`repro.engine` sweep machinery:
   (:func:`~repro.linalg.dense.batched_solve` LAPACK throughput arm, or the
   ``solver="lu"`` arm that is bit-identical to the
   :func:`rebuild_sweep` rebuild-per-sample reference), with the sparse
-  pivot-refactorization fallback above the dense cutoff.
+  pivot-refactorization fallback above the dense cutoff,
+* :mod:`repro.montecarlo.compiled` — :func:`compiled_ensemble_sweep`: the
+  same ensemble served by a
+  :class:`~repro.symbolic.compile.CompiledTransferModel` with **no matrix
+  solves at all** — parameter-space axes map straight onto free-symbol
+  slots of the compiled coefficient-tensor program.
 
 Statistical post-processing — envelopes, variance attribution, corners and
 yield — lives one layer up in :mod:`repro.analysis.montecarlo`.
@@ -26,6 +31,8 @@ yield — lives one layer up in :mod:`repro.analysis.montecarlo`.
 from ..netlist.elements import Tolerance
 from .checkpoint import (CheckpointedRun, EnsembleStatistics,
                          checkpoint_info, checkpointed_ensemble_sweep)
+from .compiled import (compiled_corner_analysis, compiled_ensemble_sweep,
+                       compiled_monte_carlo)
 from .engine import EnsembleResult, ensemble_sweep, rebuild_sweep
 from .program import ValueProgram
 from .space import ParameterSpace
@@ -37,6 +44,9 @@ __all__ = [
     "EnsembleResult",
     "ensemble_sweep",
     "rebuild_sweep",
+    "compiled_ensemble_sweep",
+    "compiled_monte_carlo",
+    "compiled_corner_analysis",
     "EnsembleStatistics",
     "CheckpointedRun",
     "checkpointed_ensemble_sweep",

@@ -48,6 +48,7 @@ __all__ = [
     "SessionWorkloadResult",
     "SymbolicKernelResult",
     "MonteCarloEnsembleResult",
+    "CompiledModelResult",
     "ScalingPoint",
     "ScalingCurveResult",
     "run_table1",
@@ -61,6 +62,7 @@ __all__ = [
     "run_session_workload",
     "run_symbolic_kernel",
     "run_montecarlo_ensemble",
+    "run_compiled_model",
     "run_scaling_curve",
     "ua741_tolerance_space",
 ]
@@ -923,6 +925,135 @@ def run_montecarlo_ensemble(num_samples=256, num_points=200, tolerance=0.05,
                                                 one_at_a_time.responses)),
         ))
     return results
+
+
+# --------------------------------------------------------------------------- #
+# Compiled transfer model — coefficient-tensor serving vs the matrix engine
+# --------------------------------------------------------------------------- #
+
+
+@dataclasses.dataclass
+class CompiledModelResult:
+    """Compiled coefficient-tensor serving vs the matrix ensemble engine.
+
+    Both arms evaluate the *same* sampled element values over the same
+    frequency grid on the µA741 behavioral macro:
+
+    * the matrix arm — :func:`~repro.montecarlo.ensemble_sweep` with the
+      LAPACK solver, one stacked factorization per (sample, frequency),
+    * the compiled arm — :func:`~repro.montecarlo.compiled_ensemble_sweep`
+      served warm from a session-cached
+      :class:`~repro.symbolic.compile.CompiledTransferModel`: zero matrix
+      solves, pure coefficient-tensor broadcasts.
+
+    ``speedup`` is matrix over warm-serve wall clock (best of ``repeats``
+    each); ``relative_deviation`` is the worst response-scale relative
+    difference between the arms.  ``session_compiles`` counts symbolic →
+    tensor lowerings the session performed across the cold call plus every
+    warm repeat — the compile-once acceptance bar is exactly 1.
+    """
+
+    circuit_name: str
+    dimension: int
+    num_samples: int
+    num_frequencies: int
+    num_axes: int
+    #: Source (numerator + denominator) terms and folded incidence groups.
+    num_terms: int
+    num_groups: int
+    #: Symbolic generation + lowering, paid once per session fingerprint.
+    compile_seconds: float
+    matrix_seconds: float
+    serve_seconds: float
+    relative_deviation: float
+    session_compiles: int
+
+    @property
+    def speedup(self) -> float:
+        """Wall-clock ratio matrix / compiled warm serve."""
+        if self.serve_seconds == 0.0:
+            return float("inf")
+        return self.matrix_seconds / self.serve_seconds
+
+    def describe(self) -> str:
+        """One line for the experiment table."""
+        return (
+            f"{self.circuit_name:>12} (n={self.dimension:>3}, "
+            f"M={self.num_samples:>4}, F={self.num_frequencies:>4}, "
+            f"E={self.num_axes:>3}, terms={self.num_terms}, "
+            f"groups={self.num_groups}): "
+            f"matrix {self.matrix_seconds:6.3f} s, "
+            f"serve {self.serve_seconds:6.4f} s "
+            f"(speedup {self.speedup:5.1f}x, "
+            f"compile {self.compile_seconds:5.2f} s, "
+            f"compiles {self.session_compiles}), "
+            f"deviation {self.relative_deviation:.2e}"
+        )
+
+
+def run_compiled_model(num_samples=256, num_points=200, tolerance=0.05,
+                       seed=42, f_min=1.0, f_max=1e8,
+                       repeats=3) -> CompiledModelResult:
+    """Compare compiled coefficient-tensor serving against the matrix engine.
+
+    The workload is the µA741 behavioral macro with ±``tolerance`` on its
+    twelve :data:`~repro.circuits.ua741.UA741_MACRO_TOLERANCED` axes.  The
+    matrix arm takes the best of ``repeats`` LAPACK ensemble sweeps; the
+    compiled arm pays one cold call (symbolic generation + lowering, timed
+    as ``compile_seconds``), then takes the best of ``repeats`` warm serves
+    from the same :class:`~repro.engine.session.AnalysisSession`.
+    """
+    from ..circuits.ua741 import build_ua741_macro
+    from ..montecarlo import ParameterSpace, ensemble_sweep
+    from ..montecarlo.compiled import compiled_ensemble_sweep
+
+    circuit, spec = build_ua741_macro(tolerance=tolerance)
+    space = ParameterSpace(circuit)
+    frequencies = np.logspace(np.log10(f_min), np.log10(f_max), num_points)
+    values = space.sample_values(num_samples, seed=seed)
+
+    matrix_seconds = float("inf")
+    matrix = None
+    for __ in range(repeats):
+        start = time.perf_counter()
+        matrix = ensemble_sweep(circuit, spec, frequencies, space,
+                                values=values, solver="lapack")
+        matrix_seconds = min(matrix_seconds, time.perf_counter() - start)
+
+    session = AnalysisSession()
+    start = time.perf_counter()
+    compiled = compiled_ensemble_sweep(circuit, spec, frequencies, space,
+                                       values=values, session=session)
+    cold_seconds = time.perf_counter() - start
+
+    serve_seconds = float("inf")
+    for __ in range(repeats):
+        start = time.perf_counter()
+        compiled = compiled_ensemble_sweep(circuit, spec, frequencies, space,
+                                           values=values, session=session)
+        serve_seconds = min(serve_seconds, time.perf_counter() - start)
+
+    scale = np.maximum(np.abs(matrix.responses), np.finfo(float).tiny)
+    deviation = float(np.max(
+        np.abs(compiled.responses - matrix.responses) / scale))
+
+    model = session.compiled_transfer(
+        circuit, spec,
+        free_symbols=[name for name in space.names])
+    return CompiledModelResult(
+        circuit_name="ua741-macro",
+        dimension=system_dimension(circuit),
+        num_samples=num_samples,
+        num_frequencies=num_points,
+        num_axes=len(space),
+        num_terms=sum(model.term_count()),
+        num_groups=sum(model.group_count()),
+        compile_seconds=max(cold_seconds - serve_seconds, 0.0),
+        matrix_seconds=matrix_seconds,
+        serve_seconds=serve_seconds,
+        relative_deviation=deviation,
+        session_compiles=session.stats()["compiled"]["compiles"],
+    )
 
 
 # --------------------------------------------------------------------------- #

@@ -26,6 +26,7 @@ from .determinant import symbolic_determinant
 from .kernel import (DeterminantEngine, EngineStats, SymbolInterner,
                      TermValuation, sum_term_values)
 from .generation import SymbolicTransferFunction, symbolic_network_function, simplify_after_generation
+from .compile import CompiledTransferModel, compile_transfer_model
 from .sdg import SDGResult, simplification_during_generation
 from .sbg import SBGResult, simplification_before_generation
 
@@ -45,6 +46,8 @@ __all__ = [
     "SymbolicTransferFunction",
     "symbolic_network_function",
     "simplify_after_generation",
+    "CompiledTransferModel",
+    "compile_transfer_model",
     "SDGResult",
     "simplification_during_generation",
     "SBGResult",

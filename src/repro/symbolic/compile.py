@@ -1,0 +1,701 @@
+"""Compile symbolic transfer functions into servable coefficient-tensor models.
+
+The logical endpoint of the interpolation/SDG pipeline: the paper's compact
+symbolic network functions exist so that downstream evaluation is *cheap*,
+yet the term-list consumers still walk every interned term per evaluation
+and the sweep engines pay a matrix solve per (sample, frequency) point.
+:func:`compile_transfer_model` lowers a
+:class:`~repro.symbolic.generation.SymbolicTransferFunction` once into a
+:class:`CompiledTransferModel` that serves whole ``(M samples × F
+frequencies)`` grids as pure numpy broadcasts — no term walks, no solves.
+
+The lowering is a **partial evaluation** against a declared *free-symbol*
+set (typically the tolerance axes of a
+:class:`~repro.montecarlo.space.ParameterSpace`):
+
+* terms are grouped by ``(s power, multiplicity pattern over the free
+  symbols)`` — the sparse term × symbol-multiplicity incidence program;
+* each group's *bound* symbols and integer coefficients fold into one
+  ``(log10 magnitude, sign)`` constant at compile time, in the same
+  log-domain peak-extracted accumulation discipline as
+  :class:`~repro.symbolic.kernel.TermValuation` (the huge dynamic ranges
+  that forced :class:`~repro.xfloat.XFloat` never overflow);
+* at serve time the free values enter through one ``(M, S) @ (S, G)``
+  log-incidence product, fold per power of ``s`` into complex polynomial
+  coefficients, and the grid is evaluated by a vectorized Horner recursion
+  over the unit circle with per-point decimal peaks factored out.
+
+For the µA741 behavioral macro (864 + 102 864 terms) a twelve-axis free set
+collapses the program to a few thousand groups, which is what buys the
+matrix-solve-free Monte Carlo path its order-of-magnitude headroom.
+
+The module also hosts :func:`log_polynomial_grid`, the shared
+coefficient-grid kernel behind
+:meth:`~repro.interpolation.polynomial.Polynomial.evaluate_many` — the
+exact batched log-magnitude arithmetic of the interpolation layer, compiled
+once per polynomial instead of being re-broadcast per call.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import SingularEvaluationError, SymbolicError
+
+__all__ = [
+    "CompiledPolynomial",
+    "CompiledTransferModel",
+    "compile_polynomial",
+    "compile_transfer_model",
+    "log_polynomial_grid",
+]
+
+#: Decimal decades below the per-point peak beyond which a term cannot
+#: affect a double-precision sum (the discipline shared with
+#: :meth:`~repro.interpolation.polynomial.Polynomial.evaluate` and
+#: :meth:`~repro.interpolation.rational.RationalFunction.evaluate_many`).
+_DROP_DECADES = 300.0
+
+
+# --------------------------------------------------------------------------- #
+# the shared coefficient-grid kernel (interpolation-layer consumers)
+# --------------------------------------------------------------------------- #
+
+
+def log_polynomial_grid(powers, log_coefficients, phases, s):
+    """Batched log-domain polynomial evaluation over nonzero grid points.
+
+    Exactly the arithmetic of the scalar
+    :meth:`~repro.interpolation.polynomial.Polynomial.evaluate` loop,
+    vectorized: per-term ``log10`` magnitudes and phases form a
+    ``(terms, K)`` matrix, the common decimal exponent is factored out per
+    point, and terms more than 300 decades below the peak are dropped.
+
+    Parameters
+    ----------
+    powers, log_coefficients, phases:
+        The compiled nonzero-coefficient arrays (ascending powers): the
+        power as a float, ``log10`` of the coefficient magnitude, and the
+        coefficient phase (0 or π).
+    s:
+        1-D array of *nonzero* complex points.
+
+    Returns
+    -------
+    (mantissas, exponents)
+        Complex mantissas and integer decimal exponents per point; the
+        value is ``mantissa * 10**exponent``.
+    """
+    log_s = np.log10(np.abs(s))
+    arg_s = np.angle(s)
+    log_magnitude = (log_coefficients[:, None]
+                     + powers[:, None] * log_s[None, :])
+    phase = (phases[:, None]
+             + powers[:, None] * arg_s[None, :])
+    peak = log_magnitude.max(axis=0)
+    exponent = np.floor(peak).astype(np.int64)
+    shift = log_magnitude - exponent[None, :]
+    # Terms more than 300 decades below the peak cannot affect the
+    # double-precision sum (mirrors the scalar path).
+    terms = np.where(shift < -_DROP_DECADES, 0.0, 10.0**shift)
+    mantissas = (terms * np.exp(1j * phase)).sum(axis=0)
+    return mantissas, exponent
+
+
+@dataclasses.dataclass(frozen=True)
+class CompiledPolynomial:
+    """The nonzero-coefficient arrays of one extended-range polynomial.
+
+    Built once per :class:`~repro.interpolation.polynomial.Polynomial` (its
+    coefficients are immutable in practice — every algebraic operation
+    returns a new instance) and served through :func:`log_polynomial_grid`
+    on every ``evaluate_many`` call.
+    """
+
+    powers: np.ndarray
+    log_coefficients: np.ndarray
+    phases: np.ndarray
+
+    def grid(self, s):
+        """``(mantissas, exponents)`` over nonzero complex points ``s``."""
+        return log_polynomial_grid(self.powers, self.log_coefficients,
+                                   self.phases, s)
+
+
+def compile_polynomial(coefficients) -> CompiledPolynomial:
+    """Compile ascending-power extended-range coefficients for the grid kernel.
+
+    ``coefficients`` is any sequence of :class:`~repro.xfloat.XFloat`-like
+    values (``is_zero`` / ``log10`` / ``sign``); zero coefficients are
+    skipped, matching the scalar evaluation loop.
+    """
+    powers = np.array([power for power, coefficient in enumerate(coefficients)
+                       if not coefficient.is_zero()], dtype=float)
+    log_coefficients = np.array([
+        coefficient.log10() for coefficient in coefficients
+        if not coefficient.is_zero()
+    ])
+    phases = np.array([
+        0.0 if coefficient.sign() > 0 else math.pi
+        for coefficient in coefficients
+        if not coefficient.is_zero()
+    ])
+    return CompiledPolynomial(powers, log_coefficients, phases)
+
+
+# --------------------------------------------------------------------------- #
+# the transfer-model compiler
+# --------------------------------------------------------------------------- #
+
+
+@dataclasses.dataclass(frozen=True)
+class _CoefficientProgram:
+    """One side's (numerator or denominator) folded incidence program.
+
+    Groups are stored power-contiguously: ``offsets[k] : offsets[k + 1]``
+    slices the groups of ``s**k``.  ``incidence[g, j]`` is the multiplicity
+    of free symbol ``j`` in group ``g``; ``const_logs`` / ``const_signs``
+    carry the compile-time fold of every bound factor and coefficient.
+    """
+
+    max_power: int
+    offsets: np.ndarray        # (max_power + 2,) group-slice boundaries
+    const_logs: np.ndarray     # (G,) log10 |folded group constant|
+    const_signs: np.ndarray    # (G,) sign of the folded group constant
+    incidence: np.ndarray      # (G, S) free-symbol multiplicities
+    odd_incidence: np.ndarray  # (G, S) multiplicity parity (sign tracking)
+    presence: np.ndarray       # (G, S) 0/1 occupancy (zero-value kill)
+    num_terms: int             # source terms folded into this program
+
+    @property
+    def num_groups(self) -> int:
+        """Number of folded (power, multiplicity-pattern) groups."""
+        return self.const_logs.shape[0]
+
+
+def _compile_expression(expression, table, slot) -> _CoefficientProgram:
+    """Fold one sum-of-products expression against the free-symbol slots."""
+    num_slots = len(slot)
+    group_ids: Dict[Tuple[int, bytes], int] = {}
+    patterns: List[bytes] = []
+    group_powers: List[int] = []
+    term_groups: List[int] = []
+    term_logs: List[float] = []
+    term_signs: List[float] = []
+
+    bound_logs: Dict[str, float] = {}
+    bound_signs: Dict[str, float] = {}
+
+    def bound_log(name):
+        log = bound_logs.get(name)
+        if log is None:
+            symbol = table.get(name)
+            if symbol is None:
+                raise SymbolicError(f"symbol {name!r} missing from the table")
+            value = symbol.value
+            if value == 0.0:
+                log = -math.inf
+                bound_signs[name] = 0.0
+            else:
+                log = math.log10(abs(value))
+                bound_signs[name] = 1.0 if value > 0.0 else -1.0
+            bound_logs[name] = log
+        return log
+
+    for term in expression.terms:
+        coefficient = term.coefficient
+        if coefficient == 0.0:
+            continue
+        log = math.log10(abs(coefficient))
+        sign = 1.0 if coefficient > 0.0 else -1.0
+        counts = [0] * num_slots
+        dead = False
+        for name in term.symbols:
+            index = slot.get(name)
+            if index is not None:
+                counts[index] += 1
+                continue
+            log += bound_log(name)
+            factor_sign = bound_signs[name]
+            if factor_sign == 0.0:
+                dead = True     # a bound symbol valued 0 kills the term
+                break
+            sign *= factor_sign
+        if dead:
+            continue
+        key = (term.s_power, bytes(counts))
+        group = group_ids.get(key)
+        if group is None:
+            group = group_ids[key] = len(patterns)
+            patterns.append(key[1])
+            group_powers.append(term.s_power)
+        term_groups.append(group)
+        term_logs.append(log)
+        term_signs.append(sign)
+
+    num_terms = len(term_logs)
+    if num_terms == 0:
+        empty = np.empty((0, num_slots))
+        return _CoefficientProgram(
+            max_power=0, offsets=np.zeros(2, dtype=np.int64),
+            const_logs=np.empty(0), const_signs=np.empty(0),
+            incidence=empty, odd_incidence=empty.copy(),
+            presence=empty.copy(), num_terms=0)
+
+    # Fold each group's terms into one (log10, sign) constant: extract the
+    # group peak, sum signed peak-normalized mantissas (the TermValuation
+    # accumulation discipline), re-attach the peak.
+    gids = np.asarray(term_groups, dtype=np.int64)
+    logs = np.asarray(term_logs)
+    signs = np.asarray(term_signs)
+    order = np.argsort(gids, kind="stable")
+    gids, logs, signs = gids[order], logs[order], signs[order]
+    starts = np.flatnonzero(np.diff(gids, prepend=-1))
+    peaks = np.maximum.reduceat(logs, starts)
+    spread = logs - np.repeat(peaks, np.diff(starts, append=len(gids)))
+    mantissas = np.add.reduceat(
+        signs * np.where(spread < -_DROP_DECADES, 0.0, 10.0**spread), starts)
+
+    kept = mantissas != 0.0          # exact in-group cancellation drops out
+    folded_logs = np.log10(np.abs(mantissas[kept])) + peaks[kept]
+    folded_signs = np.sign(mantissas[kept])
+    kept_groups = gids[starts][kept]
+
+    # Power-contiguous layout: sort kept groups by s power, record offsets.
+    powers = np.asarray(group_powers, dtype=np.int64)[kept_groups]
+    layout = np.argsort(powers, kind="stable")
+    powers = powers[layout]
+    max_power = int(powers[-1]) if powers.size else 0
+    offsets = np.searchsorted(powers, np.arange(max_power + 2))
+
+    incidence = np.frombuffer(
+        b"".join(patterns[group] for group in kept_groups[layout]),
+        dtype=np.uint8).reshape(-1, num_slots).astype(float) \
+        if num_slots else np.empty((kept_groups.size, 0))
+    return _CoefficientProgram(
+        max_power=max_power,
+        offsets=offsets.astype(np.int64),
+        const_logs=folded_logs[layout],
+        const_signs=folded_signs[layout],
+        incidence=incidence,
+        odd_incidence=np.mod(incidence, 2.0),
+        presence=(incidence > 0.0).astype(float),
+        num_terms=num_terms,
+    )
+
+
+_LN10 = math.log(10.0)
+
+
+def _pow10_dropped(spread):
+    """``10**spread`` with sub-peak terms dropped, denormal-free.
+
+    ``spread`` is relative to a local peak (all entries ≤ 0, possibly
+    ``-inf``).  Entries more than 300 decades down are flushed to exact
+    zero *before* the exponential: they cannot affect a double-precision
+    sum, and routing them through ``np.exp`` would produce denormals and
+    ``-inf`` specials that knock the ufunc off its vectorized path (a
+    measured ~15x slowdown on the serve fold).
+    """
+    kept = spread > -_DROP_DECADES
+    values = np.exp(_LN10 * np.where(kept, spread, 0.0))
+    values *= kept
+    return values
+
+
+#: Per-sample decade budgets for the scaled direct-evaluation fast path.
+#: With the per-sample midpoint normalization, a polynomial whose grid peak
+#: spans at most 2 × 140 decades keeps every Horner intermediate within
+#: ``1e±280`` and every mantissa ratio representable; coefficients within
+#: 300 decades of the normalizer never flush to zero.
+_FAST_RANGE = 140.0
+_FAST_COEFF = 300.0
+
+
+def _coefficient_tensors(program, safe_logs, negative, zeroed):
+    """Fold free values into per-power ``(log10, sign)`` coefficient tensors.
+
+    The serve-side hot fold: one ``(M, S) @ (S, G)`` log-incidence product,
+    one exponential over the group matrix (peak-extracted per (sample,
+    power) so nothing overflows), and segmented sums back down to ``(M,
+    max_power + 1)``.  Returns ``(clogs, csigns)``; a zero coefficient is
+    ``(-inf, 0)``.
+    """
+    num_samples = safe_logs.shape[0]
+    width = program.max_power + 1
+    if program.num_groups == 0:
+        return (np.full((num_samples, width), -np.inf),
+                np.zeros((num_samples, width)))
+
+    term_logs = safe_logs @ program.incidence.T
+    term_logs += program.const_logs
+    if negative.any():
+        parity = np.rint(
+            negative @ program.odd_incidence.T).astype(np.int64) & 1
+        term_signs = np.where(parity == 1, -program.const_signs[None, :],
+                              program.const_signs[None, :])
+    else:
+        term_signs = program.const_signs
+    any_dead = bool(zeroed.any())
+    if any_dead:
+        dead = (zeroed @ program.presence.T) > 0.5
+        term_logs[dead] = -np.inf
+
+    # Segment boundaries per power; empty powers are dropped from the
+    # reduceat index list (reduceat misreads zero-length segments) and
+    # their columns stay identically zero / -inf.
+    offsets = program.offsets
+    counts = np.diff(offsets)
+    nonempty = counts > 0
+    starts = offsets[:-1][nonempty]
+
+    row_peak = term_logs.max(axis=1)
+    if not any_dead and \
+            float((row_peak - term_logs.min(axis=1)).max()) <= 280.0:
+        # Hot path: every group in a sample fits within the normal double
+        # range under one per-sample normalizer, so the whole fold runs as
+        # four fused in-place passes (the per-coefficient sums keep full
+        # relative precision regardless of the shared scale).
+        np.subtract(term_logs, row_peak[:, None], out=term_logs)
+        np.multiply(term_logs, _LN10, out=term_logs)
+        np.exp(term_logs, out=term_logs)
+        np.multiply(term_logs, term_signs, out=term_logs)
+        peak_safe = row_peak[:, None]
+    else:
+        # General path: per-(sample, power) peak extraction handles dead
+        # groups and arbitrary dynamic range.
+        peaks = np.full((num_samples, width), -np.inf)
+        peaks[:, nonempty] = np.maximum.reduceat(term_logs, starts, axis=1)
+        peak_safe = np.where(peaks > -np.inf, peaks, 0.0)
+        term_logs -= np.repeat(peak_safe, counts, axis=1)
+        term_logs = term_signs * _pow10_dropped(term_logs)
+
+    mantissa = np.zeros((num_samples, width))
+    mantissa[:, nonempty] = np.add.reduceat(term_logs, starts, axis=1)
+    with np.errstate(divide="ignore"):
+        clogs = np.log10(np.abs(mantissa)) + peak_safe
+    return clogs, np.sign(mantissa)
+
+
+def _direct_horner(scaled_coefficients, s):
+    """Plain complex Horner of per-sample scaled coefficients over ``s``."""
+    num_samples, width = scaled_coefficients.shape
+    accumulator = np.empty((num_samples, s.shape[0]), dtype=complex)
+    accumulator[:] = scaled_coefficients[:, width - 1][:, None]
+    for power in range(width - 2, -1, -1):
+        accumulator *= s[None, :]
+        accumulator += scaled_coefficients[:, power][:, None]
+    return accumulator
+
+
+def _log_horner_grid(clogs, csigns, log_abs_s, unit):
+    """Exact log-domain Horner over the grid (the fallback arm).
+
+    ``Σ_k csign_k 10**clog_k s**k`` is evaluated as ``10**peak · Σ_k
+    scaled_k z**k`` with ``z`` on the unit circle and the per-(sample,
+    point) decimal peak factored out, so no intermediate ever overflows
+    regardless of coefficient dynamic range.
+
+    Returns ``(mantissas, peaks)`` of shape ``(M, F)``; an identically-zero
+    side yields mantissa 0 with peak ``-inf``.
+    """
+    num_samples, width = clogs.shape
+    powers = np.arange(width, dtype=float)
+    logs = clogs[:, :, None] + powers[None, :, None] * log_abs_s[None, None, :]
+    peak = logs.max(axis=1)                           # (M, F)
+    alive = peak > -np.inf
+    spread = logs - np.where(alive, peak, 0.0)[:, None, :]
+    scaled = csigns[:, :, None] * _pow10_dropped(spread)
+    accumulator = scaled[:, width - 1, :].astype(complex)
+    for power in range(width - 2, -1, -1):
+        accumulator = accumulator * unit[None, :] + scaled[:, power, :]
+    return accumulator, np.where(alive, peak, -np.inf)
+
+
+def _grid_side(clogs, csigns, s, log_abs_s, unit):
+    """One side's ``(mantissas, peaks)`` over the nonzero-``s`` grid.
+
+    Routes each sample through the scaled direct path when its grid peak —
+    which is monotone in ``log|s|`` because every slope ``k`` is
+    non-negative, so the endpoints bound it — and coefficient spread fit
+    the decade budgets; everything else takes the per-point log-domain
+    fallback.  Both arms return the same mantissa × ``10**peak``
+    representation (the direct arm's peak is its per-sample normalizer, a
+    constant row).
+    """
+    num_samples, width = clogs.shape
+    ls_min = float(log_abs_s.min())
+    ls_max = float(log_abs_s.max())
+    slopes = np.arange(width, dtype=float)
+    peak_low = (clogs + slopes[None, :] * ls_min).max(axis=1)
+    peak_high = (clogs + slopes[None, :] * ls_max).max(axis=1)
+    normalizer = 0.5 * (peak_low + peak_high)
+    live = clogs > -np.inf
+    least_live = np.where(live, clogs, np.inf).min(axis=1)
+    # Horner intermediates divide the tail by up to s**width, which only
+    # grows the exponent when |s| < 1.
+    margin = width * max(0.0, -ls_min)
+    finite = np.isfinite(normalizer)
+    # An identically-zero side has -inf peaks; the guards' inf − inf is
+    # masked out by `finite` but must not warn.
+    with np.errstate(invalid="ignore"):
+        fast = (finite
+                & (peak_high - normalizer + margin <= _FAST_RANGE)
+                & (normalizer - peak_low <= _FAST_RANGE)
+                & (normalizer - least_live <= _FAST_COEFF))
+
+    if fast.all():
+        # Constant-per-row peaks: return them as an (M, 1) column so the
+        # N/D combine collapses to a per-sample scale factor.
+        scaled = csigns * np.exp(_LN10 * (clogs - normalizer[:, None]))
+        return _direct_horner(scaled, s), normalizer[:, None]
+
+    mantissas = np.zeros((num_samples, s.shape[0]), dtype=complex)
+    peaks = np.full((num_samples, s.shape[0]), -np.inf)
+    if fast.any():
+        scaled = (csigns[fast]
+                  * np.exp(_LN10 * (clogs[fast] - normalizer[fast][:, None])))
+        mantissas[fast] = _direct_horner(scaled, s)
+        peaks[fast] = normalizer[fast][:, None]
+    slow = ~fast & finite
+    if slow.any():
+        mantissas[slow], peaks[slow] = _log_horner_grid(
+            clogs[slow], csigns[slow], log_abs_s, unit)
+    return mantissas, peaks
+
+
+def _combine_sides(n_mantissas, n_peaks, d_mantissas, d_peaks, describe):
+    """``N/D`` with the exponent-cancelling rule of RationalFunction.
+
+    The peak arrays may be ``(M, F)`` or per-sample ``(M, 1)`` columns (the
+    all-fast-path case); everything broadcasts, so the decimal shift then
+    costs one scalar per sample instead of one per grid point.
+    """
+    zero_d = d_mantissas == 0
+    if zero_d.any():
+        raise SingularEvaluationError(
+            f"compiled denominator evaluates to zero at {describe(zero_d)}")
+    ratio = n_mantissas / d_mantissas
+    shift = n_peaks - d_peaks
+    with np.errstate(invalid="ignore"):
+        values = ratio * 10.0 ** np.clip(shift, -_DROP_DECADES, _DROP_DECADES)
+    overflow = shift > _DROP_DECADES
+    if overflow.any():
+        values = np.where(overflow, ratio * math.inf, values)
+    vanished = shift < -_DROP_DECADES
+    if vanished.any():
+        values = np.where(vanished, 0.0 + 0.0j, values)
+    zero_n = n_mantissas == 0
+    if zero_n.any():
+        values[zero_n] = 0.0 + 0.0j
+    return values
+
+
+@dataclasses.dataclass(frozen=True)
+class CompiledTransferModel:
+    """A symbolic transfer function lowered to coefficient-tensor form.
+
+    Serves ``H(s; x)`` over whole ``(M samples × F frequencies)`` grids
+    with :meth:`evaluate` — no per-term walks, no matrix solves.  Build one
+    with :func:`compile_transfer_model` or
+    :meth:`~repro.symbolic.generation.SymbolicTransferFunction.compile`
+    (session-cached via
+    :meth:`~repro.engine.session.AnalysisSession.compiled_transfer`).
+    """
+
+    free_names: Tuple[str, ...]
+    nominal_values: np.ndarray
+    numerator: _CoefficientProgram
+    denominator: _CoefficientProgram
+
+    @property
+    def num_free(self) -> int:
+        """Number of free symbol slots."""
+        return len(self.free_names)
+
+    def term_count(self) -> Tuple[int, int]:
+        """Source ``(numerator, denominator)`` terms folded at compile time."""
+        return self.numerator.num_terms, self.denominator.num_terms
+
+    def group_count(self) -> Tuple[int, int]:
+        """Folded ``(numerator, denominator)`` incidence-program groups."""
+        return self.numerator.num_groups, self.denominator.num_groups
+
+    def slot_index(self, name) -> int:
+        """Column of free symbol ``name`` in a value matrix."""
+        try:
+            return self.free_names.index(str(name))
+        except ValueError:
+            raise SymbolicError(
+                f"symbol {name!r} is not a free slot of this compiled model "
+                f"(free symbols: {list(self.free_names)})") from None
+
+    def _values_matrix(self, values) -> Tuple[np.ndarray, bool]:
+        values = np.asarray(values, dtype=float)
+        single = values.ndim == 1
+        if single:
+            values = values[None, :]
+        if values.ndim != 2 or values.shape[1] != self.num_free:
+            raise SymbolicError(
+                f"values must be (M, {self.num_free}) over free symbols "
+                f"{list(self.free_names)}, got shape {values.shape}")
+        return values, single
+
+    def coefficient_tensors(self, values, kind="denominator"):
+        """Per-power ``(log10 magnitude, sign)`` tensors of one side.
+
+        The ``(M, max_power + 1)`` fold the grid evaluation runs on —
+        exposed for tests and for consumers that want raw coefficients
+        (e.g. DC gain without a grid).
+        """
+        values, single = self._values_matrix(values)
+        program = (self.numerator if kind.startswith("n")
+                   else self.denominator)
+        clogs, csigns = _coefficient_tensors(program, *_fold_inputs(values))
+        if single:
+            return clogs[0], csigns[0]
+        return clogs, csigns
+
+    def evaluate(self, values, s_grid) -> np.ndarray:
+        """``H(s; x)`` over an ``(M samples × F points)`` grid.
+
+        Parameters
+        ----------
+        values:
+            ``(M, S)`` free-symbol values in :attr:`free_names` order (or a
+            single ``(S,)`` vector).  Zero values kill every term the
+            symbol appears in; negative values (cross-coupled
+            transconductances) are tracked through multiplicity parity.
+        s_grid:
+            Complex frequency points (any 1-D array-like, or a scalar).
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(M, F)`` complex responses (axes with singleton inputs are
+            squeezed: ``(F,)`` for vector values, ``(M,)`` for scalar
+            ``s``, a scalar for both).
+
+        Raises
+        ------
+        SingularEvaluationError
+            When the denominator evaluates to zero at some (sample, point).
+        """
+        values, single = self._values_matrix(values)
+        s = np.atleast_1d(np.asarray(s_grid, dtype=complex))
+        scalar_s = np.ndim(s_grid) == 0
+        fold = _fold_inputs(values)
+        n_clogs, n_csigns = _coefficient_tensors(self.numerator, *fold)
+        d_clogs, d_csigns = _coefficient_tensors(self.denominator, *fold)
+
+        responses = np.zeros((values.shape[0], s.shape[0]), dtype=complex)
+        live = s != 0
+        if live.any():
+            s_live = s[live]
+            log_abs_s = np.log10(np.abs(s_live))
+            unit = np.exp(1j * np.angle(s_live))
+            n_mant, n_peak = _grid_side(n_clogs, n_csigns, s_live,
+                                        log_abs_s, unit)
+            d_mant, d_peak = _grid_side(d_clogs, d_csigns, s_live,
+                                        log_abs_s, unit)
+
+            def describe(mask):
+                sample, point = np.unravel_index(int(np.argmax(mask)),
+                                                 mask.shape)
+                return (f"s={complex(s_live[point])!r} "
+                        f"(sample {int(sample)})")
+
+            responses[:, live] = _combine_sides(n_mant, n_peak, d_mant,
+                                                d_peak, describe)
+        if (~live).any():
+            # DC branch: the s**0 coefficient tensors combine directly.
+            d_zero = d_csigns[:, 0] == 0.0
+            if d_zero.any():
+                raise SingularEvaluationError(
+                    "compiled denominator evaluates to zero at s=0 "
+                    f"(sample {int(np.argmax(d_zero))})")
+            dc = _combine_sides(
+                n_csigns[:, :1].astype(complex), n_clogs[:, :1],
+                d_csigns[:, :1].astype(complex), d_clogs[:, :1],
+                lambda mask: "s=0")
+            responses[:, ~live] = dc
+        if single:
+            responses = responses[0]
+        if scalar_s:
+            responses = responses[..., 0]
+        return responses
+
+    def frequency_response(self, values, frequencies) -> np.ndarray:
+        """:meth:`evaluate` at ``s = 2jπf`` over frequencies in hertz."""
+        frequencies = np.asarray(frequencies, dtype=float)
+        return self.evaluate(values, 2j * math.pi * frequencies)
+
+    def evaluate_nominal(self, s_grid) -> np.ndarray:
+        """:meth:`evaluate` at the design point (table values)."""
+        return self.evaluate(self.nominal_values, s_grid)
+
+    def __repr__(self):
+        n_terms, d_terms = self.term_count()
+        n_groups, d_groups = self.group_count()
+        return (f"CompiledTransferModel(free={self.num_free}, "
+                f"terms={n_terms}+{d_terms}, groups={n_groups}+{d_groups})")
+
+
+def _fold_inputs(values):
+    """``(safe_logs, negative, zeroed)`` float matrices of a value matrix."""
+    magnitude = np.abs(values)
+    zero = magnitude == 0.0
+    safe_logs = np.log10(np.where(zero, 1.0, magnitude))
+    return safe_logs, (values < 0.0).astype(float), zero.astype(float)
+
+
+def compile_transfer_model(transfer, free_symbols=None) -> CompiledTransferModel:
+    """Lower a symbolic transfer function to a :class:`CompiledTransferModel`.
+
+    Parameters
+    ----------
+    transfer:
+        A :class:`~repro.symbolic.generation.SymbolicTransferFunction`
+        (exact or SAG/SDG-simplified).
+    free_symbols:
+        Names of the symbols that remain runtime inputs, in slot order.
+        Every other symbol is *bound* and folds into the group constants at
+        its design-point table value.  Default: every table symbol stays
+        free (maximum generality, minimum collapse) — pass the tolerance
+        axes actually varied to get the compile-time folding that makes
+        serving cheap.
+
+    Raises
+    ------
+    SymbolicError
+        For unknown or duplicated free symbols, or a transfer function
+        whose denominator has no terms.
+    """
+    table = transfer.table
+    if free_symbols is None:
+        free_names = tuple(sorted(table))
+    else:
+        free_names = tuple(str(name) for name in free_symbols)
+        if len(set(free_names)) != len(free_names):
+            raise SymbolicError(
+                f"duplicate free symbols in {list(free_names)}")
+        for name in free_names:
+            if name not in table:
+                raise SymbolicError(
+                    f"free symbol {name!r} missing from the transfer "
+                    "function's symbol table")
+    if not transfer.denominator.terms:
+        raise SymbolicError(
+            "cannot compile a transfer function with an empty denominator")
+    slot = {name: index for index, name in enumerate(free_names)}
+    nominal = np.array([table[name].value for name in free_names])
+    return CompiledTransferModel(
+        free_names=free_names,
+        nominal_values=nominal,
+        numerator=_compile_expression(transfer.numerator, table, slot),
+        denominator=_compile_expression(transfer.denominator, table, slot),
+    )

@@ -62,6 +62,8 @@ class SymbolicTransferFunction:
         default_factory=dict, repr=False, compare=False)
     _power_groups: Dict[str, Dict[int, List[Term]]] = dataclasses.field(
         default_factory=dict, repr=False, compare=False)
+    _compiled_models: Dict[Optional[Tuple[str, ...]], object] = \
+        dataclasses.field(default_factory=dict, repr=False, compare=False)
 
     def term_count(self) -> Tuple[int, int]:
         """``(numerator terms, denominator terms)``."""
@@ -84,13 +86,28 @@ class SymbolicTransferFunction:
             if groups is None:
                 # One pass groups every coefficient's terms, instead of a
                 # full-expression scan per power.
-                groups = {}
-                for term in self._expression(kind).terms:
-                    groups.setdefault(term.s_power, []).append(term)
+                groups = self._expression(kind).grouped_by_power()
                 self._power_groups[kind] = groups
             valuation = TermValuation(groups.get(power, ()), self.table)
             self._valuations[key] = valuation
         return valuation
+
+    def compile(self, free_symbols=None):
+        """Lower this transfer into a cached :class:`CompiledTransferModel`.
+
+        One model is kept per distinct free-symbol tuple (the expressions
+        are immutable by the contract above, so reuse is always valid).
+        See :func:`repro.symbolic.compile.compile_transfer_model`.
+        """
+        key = None if free_symbols is None else \
+            tuple(str(name) for name in free_symbols)
+        model = self._compiled_models.get(key)
+        if model is None:
+            from .compile import compile_transfer_model
+
+            model = compile_transfer_model(self, free_symbols=key)
+            self._compiled_models[key] = model
+        return model
 
     def coefficient_value(self, kind, power) -> XFloat:
         """Design-point value of one coefficient (numeric, extended range)."""

@@ -230,6 +230,18 @@ class SymbolicExpression:
         """All terms contributing to the coefficient of ``s**power``."""
         return [term for term in self.terms if term.s_power == power]
 
+    def grouped_by_power(self) -> Dict[int, List[Term]]:
+        """All terms bucketed by their power of ``s`` in one pass.
+
+        The shared grouping hook behind per-coefficient valuation and
+        transfer-model compilation — one expression scan instead of one
+        :meth:`coefficient_terms` scan per power.
+        """
+        groups: Dict[int, List[Term]] = {}
+        for term in self.terms:
+            groups.setdefault(term.s_power, []).append(term)
+        return groups
+
     def coefficient_value(self, power, table) -> XFloat:
         """Design-point value of the coefficient of ``s**power``.
 

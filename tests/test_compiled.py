@@ -1,0 +1,485 @@
+"""Tests for the compiled transfer-model layer (PR 8).
+
+Covers the full lowering chain: :func:`compile_transfer_model` structure
+and error paths, nominal / perturbed parity against the symbolic
+evaluator, grid semantics (scalar ``s``, DC, mixed grids, zero and
+negative slot values), the matrix-solve-free ensemble consumers in
+:mod:`repro.montecarlo.compiled` cross-checked against the matrix-engine
+:func:`~repro.montecarlo.engine.ensemble_sweep`, and the bit-parity
+regression pinning :meth:`Polynomial.evaluate_many` to its pre-compiled
+implementation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import corner_analysis, monte_carlo_analysis
+from repro.circuits.ua741 import UA741_MACRO_TOLERANCED, build_ua741_macro
+from repro.errors import (FormulationError, SingularEvaluationError,
+                          SymbolicError)
+from repro.interpolation.polynomial import Polynomial
+from repro.montecarlo import (ParameterSpace, compiled_corner_analysis,
+                              compiled_ensemble_sweep, compiled_monte_carlo,
+                              ensemble_sweep)
+from repro.netlist.circuit import Circuit
+from repro.nodal.reduce import TransferSpec
+from repro.symbolic import (CompiledTransferModel, compile_transfer_model,
+                            symbolic_network_function)
+from repro.xfloat import XFloat
+
+_PROBE_S = [2j * math.pi * f for f in (13.0, 997.0, 1.1e4, 2.3e5, 5.7e6)]
+
+FREQUENCIES = np.logspace(1, 7, 13)
+
+
+def _relative(reference, candidate):
+    scale = np.maximum(np.maximum(np.abs(reference), np.abs(candidate)),
+                       np.finfo(float).tiny)
+    return float(np.max(np.abs(candidate - reference) / scale))
+
+
+@pytest.fixture
+def toleranced_rc():
+    """Two-pole RC with ±10 % tolerances on every passive."""
+    circuit = Circuit("rc2")
+    circuit.add_voltage_source("vin", "in", "0", 1.0)
+    circuit.add_resistor("R1", "in", "mid", 1e3)
+    circuit.add_capacitor("C1", "mid", "0", 1e-9)
+    circuit.add_resistor("R2", "mid", "out", 2.2e3)
+    circuit.add_capacitor("C2", "out", "0", 470e-12)
+    for name in ("R1", "C1", "R2", "C2"):
+        circuit.replace(circuit[name].with_tolerance(0.1))
+    return circuit, TransferSpec(inputs=["vin"], output="out")
+
+
+# --------------------------------------------------------------------------- #
+# compile-time structure and error paths
+# --------------------------------------------------------------------------- #
+
+
+class TestCompileStructure:
+    def test_default_free_set_is_every_table_symbol(self, simple_rc):
+        circuit, spec = simple_rc
+        transfer = symbolic_network_function(circuit, spec)
+        model = compile_transfer_model(transfer)
+        assert isinstance(model, CompiledTransferModel)
+        assert model.free_names == tuple(sorted(transfer.table))
+        assert model.num_free == len(transfer.table)
+        np.testing.assert_array_equal(
+            model.nominal_values,
+            [transfer.table[name].value for name in model.free_names])
+
+    def test_explicit_free_set_fixes_slot_order(self, simple_rc):
+        circuit, spec = simple_rc
+        transfer = symbolic_network_function(circuit, spec)
+        model = transfer.compile(free_symbols=["C1", "R1"])
+        assert model.free_names == ("C1", "R1")
+        assert model.slot_index("R1") == 1
+        assert model.slot_index("C1") == 0
+
+    def test_term_counts_survive_the_fold(self, miller_circuit):
+        circuit, spec = miller_circuit
+        transfer = symbolic_network_function(circuit, spec)
+        model = transfer.compile()
+        assert model.term_count() == transfer.term_count()
+        n_groups, d_groups = model.group_count()
+        assert 0 < n_groups <= model.term_count()[0]
+        assert 0 < d_groups <= model.term_count()[1]
+        assert "CompiledTransferModel" in repr(model)
+
+    def test_binding_collapses_groups(self, miller_circuit):
+        """Fewer free symbols → more compile-time folding, fewer groups."""
+        circuit, spec = miller_circuit
+        transfer = symbolic_network_function(circuit, spec)
+        wide = transfer.compile()
+        narrow = transfer.compile(free_symbols=["CL"])
+        assert sum(narrow.group_count()) < sum(wide.group_count())
+
+    def test_transfer_compile_is_cached_per_free_set(self, simple_rc):
+        circuit, spec = simple_rc
+        transfer = symbolic_network_function(circuit, spec)
+        assert transfer.compile() is transfer.compile()
+        assert transfer.compile(["R1"]) is transfer.compile(["R1"])
+        assert transfer.compile(["R1"]) is not transfer.compile()
+
+    def test_unknown_free_symbol_rejected(self, simple_rc):
+        circuit, spec = simple_rc
+        transfer = symbolic_network_function(circuit, spec)
+        with pytest.raises(SymbolicError, match="missing from the transfer"):
+            compile_transfer_model(transfer, free_symbols=["Rnone"])
+
+    def test_duplicate_free_symbols_rejected(self, simple_rc):
+        circuit, spec = simple_rc
+        transfer = symbolic_network_function(circuit, spec)
+        with pytest.raises(SymbolicError, match="duplicate"):
+            compile_transfer_model(transfer, free_symbols=["R1", "R1"])
+
+    def test_missing_slot_named_in_error(self, simple_rc):
+        circuit, spec = simple_rc
+        model = symbolic_network_function(circuit, spec).compile(["R1"])
+        with pytest.raises(SymbolicError, match="'C1' is not a free slot"):
+            model.slot_index("C1")
+
+    def test_bad_value_shapes_rejected(self, simple_rc):
+        circuit, spec = simple_rc
+        model = symbolic_network_function(circuit, spec).compile(["R1"])
+        with pytest.raises(SymbolicError, match="values must be"):
+            model.evaluate(np.ones((2, 3)), _PROBE_S)
+        with pytest.raises(SymbolicError, match="values must be"):
+            model.evaluate(np.ones((2, 1, 1)), _PROBE_S)
+
+
+# --------------------------------------------------------------------------- #
+# evaluation parity against the symbolic evaluator
+# --------------------------------------------------------------------------- #
+
+
+class TestEvaluateParity:
+    @pytest.mark.parametrize("fixture", ["simple_rc", "miller_circuit"])
+    def test_nominal_matches_symbolic_evaluate(self, fixture, request):
+        circuit, spec = request.getfixturevalue(fixture)
+        transfer = symbolic_network_function(circuit, spec)
+        model = transfer.compile()
+        expected = np.array([transfer.evaluate(s) for s in _PROBE_S])
+        got = model.evaluate_nominal(np.array(_PROBE_S))
+        assert _relative(expected, got) <= 1e-9, fixture
+
+    def test_perturbed_values_match_rebuilt_transfer(self, simple_rc):
+        """Moving a free value equals regenerating the circuit there."""
+        import dataclasses
+
+        circuit, spec = simple_rc
+        model = symbolic_network_function(circuit, spec).compile(["R1", "C1"])
+        moved = circuit.copy()
+        moved.replace(dataclasses.replace(circuit["R1"], value=1.3e3))
+        rebuilt = symbolic_network_function(moved, spec)
+        values = np.array([1.0 / 1.3e3, 1e-9])   # R enters as a conductance
+        expected = np.array([rebuilt.evaluate(s) for s in _PROBE_S])
+        got = model.evaluate(values, np.array(_PROBE_S))
+        assert _relative(expected, got) <= 1e-9
+
+    def test_macro_nominal_parity(self):
+        circuit, spec = build_ua741_macro()
+        transfer = symbolic_network_function(circuit, spec)
+        model = transfer.compile()
+        expected = np.array([transfer.evaluate(s) for s in _PROBE_S])
+        got = model.evaluate_nominal(np.array(_PROBE_S))
+        assert _relative(expected, got) <= 1e-9
+
+
+class TestGridSemantics:
+    def test_scalar_s_and_vector_values_squeeze(self, simple_rc):
+        circuit, spec = simple_rc
+        model = symbolic_network_function(circuit, spec).compile()
+        s = _PROBE_S[1]
+        scalar = model.evaluate(model.nominal_values, s)
+        assert np.ndim(scalar) == 0
+        grid = model.evaluate(model.nominal_values[None, :], np.array([s]))
+        assert grid.shape == (1, 1)
+        assert scalar == grid[0, 0]
+
+    def test_dc_point_matches_symbolic(self, simple_rc):
+        circuit, spec = simple_rc
+        transfer = symbolic_network_function(circuit, spec)
+        model = transfer.compile()
+        dc = model.evaluate_nominal(0.0)
+        assert dc == pytest.approx(transfer.evaluate(0.0), rel=1e-12)
+        # Mixed grid: the DC column slots in alongside the AC points.
+        mixed = model.evaluate_nominal(np.array([0.0, _PROBE_S[0]]))
+        assert mixed[0] == pytest.approx(dc, rel=1e-12)
+        assert mixed[1] == pytest.approx(transfer.evaluate(_PROBE_S[0]),
+                                         rel=1e-9)
+
+    def test_dc_singular_denominator_raises(self):
+        """A purely capacitive divider has no DC path: D(0) = 0."""
+        circuit = Circuit("cap-divider")
+        circuit.add_voltage_source("vin", "in", "0", 1.0)
+        circuit.add_capacitor("C1", "in", "out", 1e-9)
+        circuit.add_capacitor("C2", "out", "0", 1e-9)
+        spec = TransferSpec(inputs=["vin"], output="out")
+        model = symbolic_network_function(circuit, spec).compile()
+        with pytest.raises(SingularEvaluationError, match="s=0"):
+            model.evaluate_nominal(0.0)
+        # The AC grid is fine.
+        value = model.evaluate_nominal(_PROBE_S[1])
+        assert value == pytest.approx(0.5, rel=1e-9)
+
+    def test_zero_slot_value_kills_terms(self, simple_rc):
+        """C1 = 0 turns the RC pole into a wire: H = 1 at every s."""
+        circuit, spec = simple_rc
+        model = symbolic_network_function(circuit, spec).compile(["C1"])
+        flat = model.evaluate(np.array([0.0]), np.array(_PROBE_S))
+        np.testing.assert_allclose(flat, 1.0, rtol=1e-12)
+
+    def test_negative_transconductance_sign_tracked(self):
+        import dataclasses
+
+        from repro.netlist.elements import VCCS
+
+        circuit = Circuit("gm-stage")
+        circuit.add_voltage_source("vin", "in", "0", 1.0)
+        circuit.add_resistor("Rs", "in", "g", 1e3)
+        circuit.add_capacitor("Cg", "g", "0", 2e-12)
+        circuit.add_vccs("Gm", "out", "0", "g", "0", 1.5e-3)
+        circuit.add_resistor("Ro", "out", "0", 5e4)
+        circuit.add_capacitor("Co", "out", "0", 1e-12)
+        spec = TransferSpec(inputs=["vin"], output="out")
+        names = [element.name for element in circuit
+                 if isinstance(element, VCCS)]
+        transfer = symbolic_network_function(circuit, spec)
+        model = transfer.compile(names)
+        flipped = np.array([-transfer.table[name].value for name in names])
+        moved = circuit.copy()
+        for name in names:
+            element = moved[name]
+            moved.replace(dataclasses.replace(element, gm=-element.gm))
+        rebuilt = symbolic_network_function(moved, spec)
+        expected = np.array([rebuilt.evaluate(s) for s in _PROBE_S])
+        got = model.evaluate(flipped, np.array(_PROBE_S))
+        assert _relative(expected, got) <= 1e-9
+
+
+# --------------------------------------------------------------------------- #
+# the matrix-solve-free ensemble consumers
+# --------------------------------------------------------------------------- #
+
+
+class TestCompiledEnsemble:
+    def test_matches_matrix_ensemble_sample_by_sample(self, toleranced_rc):
+        circuit, spec = toleranced_rc
+        space = ParameterSpace(circuit)
+        values = space.sample_values(32, seed=11)
+        matrix = ensemble_sweep(circuit, spec, FREQUENCIES, space,
+                                values=values)
+        compiled = compiled_ensemble_sweep(circuit, spec, FREQUENCIES, space,
+                                           values=values)
+        assert compiled.solver == "compiled"
+        assert compiled.responses.shape == matrix.responses.shape
+        np.testing.assert_array_equal(compiled.values, values)
+        assert _relative(matrix.responses, compiled.responses) <= 1e-9
+
+    def test_macro_ensemble_parity(self):
+        circuit, spec = build_ua741_macro()
+        space = ParameterSpace(circuit)
+        assert sorted(space.names) == sorted(UA741_MACRO_TOLERANCED)
+        values = space.sample_values(16, seed=5)
+        frequencies = np.logspace(0, 8, 17)
+        matrix = ensemble_sweep(circuit, spec, frequencies, space,
+                                values=values)
+        compiled = compiled_ensemble_sweep(circuit, spec, frequencies, space,
+                                           values=values)
+        assert _relative(matrix.responses, compiled.responses) <= 1e-9
+
+    def test_inductor_axis_maps_to_gyrator_load(self):
+        """An RLC with a toleranced inductor routes through the .cl slot."""
+        circuit = Circuit("rlc")
+        circuit.add_voltage_source("vin", "in", "0", 1.0)
+        circuit.add_resistor("R1", "in", "out", 50.0)
+        circuit.add_inductor("L1", "out", "mid", 1e-3)
+        circuit.add_capacitor("C1", "mid", "0", 1e-8)
+        circuit.add_resistor("R2", "mid", "0", 1e3)
+        for name in ("R1", "L1", "C1"):
+            circuit.replace(circuit[name].with_tolerance(0.05))
+        spec = TransferSpec(inputs=["vin"], output="mid")
+        space = ParameterSpace(circuit)
+        values = space.sample_values(8, seed=3)
+        matrix = ensemble_sweep(circuit, spec, FREQUENCIES, space,
+                                values=values)
+        compiled = compiled_ensemble_sweep(circuit, spec, FREQUENCIES, space,
+                                           values=values)
+        assert _relative(matrix.responses, compiled.responses) <= 1e-9
+
+    def test_default_draws_match_matrix_path(self, toleranced_rc):
+        """Same (samples, seed) → same element draws as ensemble_sweep."""
+        circuit, spec = toleranced_rc
+        matrix = ensemble_sweep(circuit, spec, FREQUENCIES, samples=12,
+                                seed=7)
+        compiled = compiled_ensemble_sweep(circuit, spec, FREQUENCIES,
+                                           samples=12, seed=7)
+        np.testing.assert_array_equal(compiled.values, matrix.values)
+        assert _relative(matrix.responses, compiled.responses) <= 1e-9
+
+    def test_bare_output_node_accepted(self, toleranced_rc):
+        circuit, __ = toleranced_rc
+        result = compiled_ensemble_sweep(circuit, "out", FREQUENCIES,
+                                         samples=4, seed=1)
+        assert result.responses.shape == (4, len(FREQUENCIES))
+
+    def test_sourceless_circuit_rejected(self):
+        circuit = Circuit("floating")
+        circuit.add_resistor("R1", "a", "0", 1e3)
+        circuit.add_capacitor("C1", "a", "0", 1e-9)
+        circuit.replace(circuit["R1"].with_tolerance(0.1))
+        with pytest.raises(FormulationError, match="no .*independent sources"):
+            compiled_ensemble_sweep(circuit, "a", FREQUENCIES, samples=2)
+
+    def test_bad_values_shape_rejected(self, toleranced_rc):
+        circuit, spec = toleranced_rc
+        space = ParameterSpace(circuit)
+        with pytest.raises(FormulationError, match="values must be"):
+            compiled_ensemble_sweep(circuit, spec, FREQUENCIES, space,
+                                    values=np.ones((4, 2)))
+
+    def test_wider_model_routes_axes_to_slots(self, toleranced_rc):
+        """A model compiled over *all* symbols still serves a narrow space."""
+        circuit, spec = toleranced_rc
+        narrowed = circuit.copy()
+        for name in ("C1", "R2"):
+            narrowed.replace(narrowed[name].with_tolerance(None))
+        transfer = symbolic_network_function(narrowed, spec)
+        wide = transfer.compile()          # every table symbol stays free
+        space = ParameterSpace(narrowed)
+        assert space.names == ["R1", "C2"]
+        values = space.sample_values(8, seed=2)
+        matrix = ensemble_sweep(narrowed, spec, FREQUENCIES, space,
+                                values=values)
+        compiled = compiled_ensemble_sweep(narrowed, spec, FREQUENCIES,
+                                           space, values=values, model=wide)
+        assert _relative(matrix.responses, compiled.responses) <= 1e-9
+
+    def test_model_missing_a_slot_is_an_error(self, toleranced_rc):
+        circuit, spec = toleranced_rc
+        narrow = symbolic_network_function(circuit, spec).compile(["R1"])
+        space = ParameterSpace(circuit)
+        with pytest.raises(SymbolicError, match="not a free slot"):
+            compiled_ensemble_sweep(circuit, spec, FREQUENCIES, space,
+                                    samples=2, model=narrow)
+
+
+class TestCompiledConsumers:
+    def test_monte_carlo_result_consumers_work(self, toleranced_rc):
+        circuit, spec = toleranced_rc
+        result = compiled_monte_carlo(circuit, spec, FREQUENCIES, samples=24,
+                                      seed=9)
+        reference = monte_carlo_analysis(circuit, spec, FREQUENCIES,
+                                         samples=24, seed=9)
+        assert _relative(reference.nominal_response,
+                         result.nominal_response) <= 1e-9
+        envelope = result.envelope()
+        np.testing.assert_allclose(envelope.minimum_db,
+                                   reference.envelope().minimum_db,
+                                   atol=1e-7)
+        attribution = result.attribution()
+        assert {entry.name for entry in attribution} == {"R1", "C1", "R2",
+                                                         "C2"}
+
+    def test_corner_analysis_matches_matrix_corners(self, toleranced_rc):
+        circuit, spec = toleranced_rc
+        compiled = compiled_corner_analysis(circuit, spec, FREQUENCIES)
+        matrix = corner_analysis(circuit, spec, FREQUENCIES)
+        np.testing.assert_array_equal(compiled.values, matrix.values)
+        np.testing.assert_allclose(compiled.worst_low_db,
+                                   matrix.worst_low_db, atol=1e-7)
+        np.testing.assert_allclose(compiled.worst_high_db,
+                                   matrix.worst_high_db, atol=1e-7)
+
+    def test_session_shares_one_compilation(self, toleranced_rc):
+        from repro.engine.session import AnalysisSession
+
+        circuit, spec = toleranced_rc
+        session = AnalysisSession()
+        compiled_monte_carlo(circuit, spec, FREQUENCIES, samples=8, seed=1,
+                             session=session)
+        compiled_corner_analysis(circuit, spec, session=session,
+                                 frequencies=FREQUENCIES)
+        stats = session.stats()["compiled"]
+        assert stats["compiles"] == 1
+        assert stats["hits"] >= 2
+
+
+# --------------------------------------------------------------------------- #
+# the shared polynomial grid kernel: bit-parity regression
+# --------------------------------------------------------------------------- #
+
+
+def _legacy_evaluate_many(polynomial, s_values):
+    """Verbatim copy of the pre-compiled ``Polynomial.evaluate_many``.
+
+    The regression contract below pins the compiled kernel to this exact
+    arithmetic — any bit drift in the interpolation layer's batched
+    evaluation path fails the parity assertions.
+    """
+    s = np.asarray(s_values, dtype=complex)
+    shape = s.shape
+    s = s.ravel()
+    mantissas = np.zeros(s.shape, dtype=complex)
+    exponents = np.zeros(s.shape, dtype=np.int64)
+    zero_points = s == 0
+    if zero_points.any():
+        mantissa, exponent = polynomial.evaluate(0.0)
+        mantissas[zero_points] = mantissa
+        exponents[zero_points] = exponent
+    live = ~zero_points
+    if live.any():
+        coefficients = polynomial.coefficients
+        powers = np.array([power for power, coefficient
+                           in enumerate(coefficients)
+                           if not coefficient.is_zero()], dtype=float)
+        if powers.size:
+            log_coefficients = np.array([
+                coefficient.log10() for coefficient in coefficients
+                if not coefficient.is_zero()
+            ])
+            coefficient_phases = np.array([
+                0.0 if coefficient.sign() > 0 else math.pi
+                for coefficient in coefficients
+                if not coefficient.is_zero()
+            ])
+            log_s = np.log10(np.abs(s[live]))
+            arg_s = np.angle(s[live])
+            log_magnitude = (log_coefficients[:, None]
+                             + powers[:, None] * log_s[None, :])
+            phase = (coefficient_phases[:, None]
+                     + powers[:, None] * arg_s[None, :])
+            peak = log_magnitude.max(axis=0)
+            exponent = np.floor(peak).astype(np.int64)
+            shift = log_magnitude - exponent[None, :]
+            terms = np.where(shift < -300.0, 0.0, 10.0**shift)
+            mantissas[live] = (terms * np.exp(1j * phase)).sum(axis=0)
+            exponents[live] = exponent
+    return mantissas.reshape(shape), exponents.reshape(shape)
+
+
+class TestPolynomialGridBitParity:
+    def _assert_bit_parity(self, polynomial, s):
+        mantissas, exponents = polynomial.evaluate_many(s)
+        expected_m, expected_e = _legacy_evaluate_many(polynomial, s)
+        np.testing.assert_array_equal(mantissas, expected_m)
+        np.testing.assert_array_equal(exponents, expected_e)
+
+    def test_synthetic_extended_range(self):
+        polynomial = Polynomial([XFloat(2.5, 80), XFloat(-1.0, -120),
+                                 XFloat.zero(), XFloat(7.0, 200)])
+        s = np.concatenate([np.asarray(_PROBE_S), [0.0, -3.0 + 0.0j,
+                                                   1e-30 + 1e-30j]])
+        self._assert_bit_parity(polynomial, s)
+
+    @pytest.mark.parametrize("fixture", ["simple_rc", "miller_circuit"])
+    def test_golden_circuit_polynomials(self, fixture, request):
+        """The reference generator's polynomials stay bit-identical."""
+        from repro.interpolation.reference import generate_reference
+
+        circuit, spec = request.getfixturevalue(fixture)
+        reference = generate_reference(circuit, spec)
+        rational = reference.transfer_function()
+        s = np.asarray(_PROBE_S + [0.0])
+        for polynomial in (rational.numerator, rational.denominator):
+            self._assert_bit_parity(polynomial, s)
+        # And the combined rational path on top of it.
+        response = rational.frequency_response(FREQUENCIES)
+        assert np.isfinite(response).all()
+
+    def test_compiled_arrays_cached_per_instance(self):
+        polynomial = Polynomial([1.0, 2.0, 3.0])
+        polynomial.evaluate_many(np.asarray(_PROBE_S))
+        first = polynomial._compiled
+        assert first is not None
+        polynomial.evaluate_many(np.asarray(_PROBE_S))
+        assert polynomial._compiled is first
+        # Algebra returns fresh instances with their own compiled state.
+        doubled = polynomial + polynomial
+        assert doubled._compiled is None

@@ -362,6 +362,123 @@ class TestAnalysisSession:
 
 
 # --------------------------------------------------------------------------- #
+# the compiled-transfer cache
+# --------------------------------------------------------------------------- #
+
+
+class TestCompiledTransferCache:
+    def test_stats_report_compiles_and_hits(self, simple_rc):
+        circuit, spec = simple_rc
+        session = AnalysisSession()
+        assert session.stats()["compiled"] == {"compiles": 0, "hits": 0,
+                                               "evictions": 0}
+        model = session.compiled_transfer(circuit, spec)
+        for __ in range(3):
+            assert session.compiled_transfer(circuit, spec) is model
+        stats = session.stats()["compiled"]
+        assert stats == {"compiles": 1, "hits": 3, "evictions": 0}
+        # A content-identical copy shares the fingerprint and the model.
+        assert session.compiled_transfer(circuit.copy("again"), spec) is model
+        assert session.stats()["compiled"]["hits"] == 4
+
+    def test_distinct_free_sets_compile_separately(self, simple_rc):
+        circuit, spec = simple_rc
+        session = AnalysisSession()
+        wide = session.compiled_transfer(circuit, spec)
+        narrow = session.compiled_transfer(circuit, spec,
+                                           free_symbols=["R1"])
+        assert narrow is not wide
+        assert narrow.free_names == ("R1",)
+        assert session.stats()["compiled"]["compiles"] == 2
+
+    def test_compile_once_across_chained_workloads(self, miller_circuit):
+        """Bode pass, symbolic re-obtain and compiled MC share one compile."""
+        from repro.montecarlo import ParameterSpace, compiled_ensemble_sweep
+
+        circuit, spec = miller_circuit
+        circuit = circuit.copy("chained")
+        for name in ("Cc", "CL"):
+            circuit.replace(circuit[name].with_tolerance(0.05))
+        session = AnalysisSession()
+        frequencies = np.logspace(1, 7, 9)
+
+        # Bode-style verification pass on the compiled model.
+        space = ParameterSpace(circuit)
+        first = compiled_ensemble_sweep(circuit, spec, frequencies, space,
+                                        samples=4, seed=1, session=session)
+        # Symbolic stage re-obtains the transfer (hits the transfer cache,
+        # not a recompile), then Monte Carlo serves again.
+        session.symbolic_transfer(circuit, spec)
+        again = compiled_ensemble_sweep(circuit, spec, frequencies, space,
+                                        samples=4, seed=2, session=session)
+        assert again.responses.shape == first.responses.shape
+        stats = session.stats()["compiled"]
+        assert stats["compiles"] == 1
+        assert stats["hits"] >= 1
+
+    def test_lru_bound_evicts_oldest_free_set(self, simple_rc):
+        from repro.engine.session import _MAX_COMPILED_ENTRIES
+
+        circuit, spec = simple_rc
+        session = AnalysisSession()
+        session.compiled_transfer(circuit, spec)
+        first_key = next(iter(session._compiled))
+        # Distinct max_terms budgets key distinct entries deterministically.
+        for index in range(_MAX_COMPILED_ENTRIES):
+            session.compiled_transfer(
+                circuit, spec, max_terms=10_000 + index)
+        assert len(session._compiled) == _MAX_COMPILED_ENTRIES
+        stats = session.stats()["compiled"]
+        assert stats["evictions"] == 1
+        assert first_key not in session._compiled
+        # The most recent entry is still a hit.
+        session.compiled_transfer(
+            circuit, spec, max_terms=10_000 + _MAX_COMPILED_ENTRIES - 1)
+        assert session.stats()["compiled"]["hits"] == 1
+
+    def test_recency_refresh_protects_hot_models(self, simple_rc):
+        from repro.engine.session import _MAX_COMPILED_ENTRIES
+
+        circuit, spec = simple_rc
+        session = AnalysisSession()
+        hot = session.compiled_transfer(circuit, spec)
+        for index in range(_MAX_COMPILED_ENTRIES - 1):
+            session.compiled_transfer(circuit, spec,
+                                      max_terms=10_000 + index)
+            # Touching the hot model after every compile keeps it newest.
+            assert session.compiled_transfer(circuit, spec) is hot
+        # One more distinct compile evicts the oldest *cold* entry instead.
+        session.compiled_transfer(circuit, spec, max_terms=99_999)
+        assert session.stats()["compiled"]["evictions"] == 1
+        assert session.compiled_transfer(circuit, spec) is hot
+
+    def test_invalidate_drops_models_without_counting_evictions(
+            self, simple_rc, miller_circuit):
+        circuit, spec = simple_rc
+        other, other_spec = miller_circuit
+        session = AnalysisSession()
+        session.compiled_transfer(circuit, spec)
+        survivor = session.compiled_transfer(other, other_spec)
+        removed = session.invalidate(circuit)
+        assert removed >= 1
+        stats_before = session.stats()["compiled"]
+        assert stats_before["evictions"] == 0
+        # The invalidated circuit recompiles; the other circuit still hits.
+        session.compiled_transfer(circuit, spec)
+        assert session.stats()["compiled"]["compiles"] == 3
+        assert session.compiled_transfer(other, other_spec) is survivor
+
+    def test_mutation_changes_key(self, simple_rc):
+        circuit, spec = simple_rc
+        session = AnalysisSession()
+        original = session.compiled_transfer(circuit, spec)
+        scaled = circuit.with_value_scaled("R1", 1.25)
+        recompiled = session.compiled_transfer(scaled, spec)
+        assert recompiled is not original
+        assert session.stats()["compiled"]["compiles"] == 2
+
+
+# --------------------------------------------------------------------------- #
 # satellite: the cheap dimension probe
 # --------------------------------------------------------------------------- #
 

@@ -46,6 +46,7 @@ MONTECARLO_SEEDS = list(range(400, 408))
 SPARSE_DISPATCH_SEEDS = list(range(500, 520))
 SPARSE_SCREENING_SEEDS = list(range(600, 603))
 SPARSE_MONTECARLO_SEEDS = list(range(700, 703))
+COMPILED_MODEL_SEEDS = list(range(800, 812))
 
 _PROBE_FREQUENCIES = np.array([13.0, 997.0, 1.1e4, 2.3e5, 5.7e6])
 
@@ -254,3 +255,133 @@ class TestSparseMonteCarloParity:
         reference = rebuild_sweep(circuit, spec, frequencies, space,
                                   values=vectorized.values, solver="lu")
         assert np.array_equal(vectorized.responses, reference.responses), seed
+
+
+class TestCompiledModelVsMatrixSolve:
+    """The compiled coefficient-tensor model equals the MNA matrix solve.
+
+    Twelve seeded small circuits (the symbolic expansion is exponential, so
+    the generator stays at 3–4 nodes; the seed range cycles rc / rlc / vccs
+    kinds, so inductor gyrator-C slots and negative transconductances are
+    covered).  Each circuit's compiled model is evaluated at randomly
+    perturbed element values and random frequencies, against per-sample MNA
+    rebuild + :func:`repro.linalg.dense.batched_solve`.
+    """
+
+    @pytest.mark.parametrize("seed", COMPILED_MODEL_SEEDS)
+    def test_perturbed_values_match_matrix_solve(self, seed):
+        import dataclasses
+
+        from repro.linalg.dense import batched_solve
+        from repro.mna.builder import build_mna_system
+        from repro.montecarlo import compiled_ensemble_sweep
+
+        circuit, spec = random_circuit(seed, min_nodes=3, max_nodes=4)
+        rng = np.random.default_rng(seed + 10_000)
+        axes = {element.name: 0.2 for element in circuit
+                if type(element).__name__ in ("Resistor", "Conductor",
+                                              "Capacitor", "Inductor",
+                                              "VCCS")}
+        space = ParameterSpace(circuit, axes)
+        values = space.sample_values(4, seed=seed)
+        frequencies = 10.0 ** rng.uniform(1.0, 7.0, size=3)
+
+        compiled = compiled_ensemble_sweep(circuit, spec, frequencies,
+                                           space, values=values)
+
+        s = 2j * np.pi * frequencies
+        reference = np.empty_like(compiled.responses)
+        for row, sample in enumerate(values):
+            perturbed = circuit.copy()
+            for axis, value in zip(space.axes, sample):
+                element = perturbed[axis.name]
+                field = "gm" if hasattr(element, "gm") else "value"
+                perturbed.replace(
+                    dataclasses.replace(element, **{field: float(value)}))
+            system = build_mna_system(perturbed)
+            solutions = batched_solve(system.assemble_batch(s), system.rhs)
+            reference[row] = [system.node_voltage(solution, spec.output)
+                              for solution in solutions]
+        assert _relative(reference, compiled.responses) <= 1e-8, seed
+
+
+class TestCompiledOverflowRegime:
+    """Extreme element values stay finite on the log-domain fold.
+
+    A six-stage ladder at conductances and capacitances of ``1e12`` has
+    denominator coefficients near ``1e72``; at ``|s| = 1e40`` the leading
+    monomial is ``~1e312`` — past double-precision overflow, so a plain
+    linear-domain Horner pass would return ``inf``.  The compiled model's
+    peak-extracted fold and grid evaluation must stay finite and match the
+    extended-range XFloat oracle (symbolic coefficient values combined with
+    the exponent-cancelling :class:`RationalFunction`).
+    """
+
+    @staticmethod
+    def _ladder(resistance, capacitance):
+        from repro.netlist.circuit import Circuit
+        from repro.nodal.reduce import TransferSpec
+
+        circuit = Circuit("overflow-ladder")
+        circuit.add_voltage_source("Vin", "in", "0", 1.0)
+        previous = "in"
+        for index in range(1, 7):
+            node = f"n{index}"
+            circuit.add_resistor(f"R{index}", previous, node, resistance)
+            circuit.add_capacitor(f"C{index}", node, "0", capacitance)
+            previous = node
+        return circuit, TransferSpec(inputs=["Vin"], output="n6")
+
+    @staticmethod
+    def _xfloat_rational(transfer):
+        """Extended-range oracle from the symbolic coefficient values."""
+        from repro.interpolation.polynomial import Polynomial
+        from repro.interpolation.rational import RationalFunction
+
+        def side(kind):
+            maximum = transfer._expression(kind).max_s_power()
+            return Polynomial([transfer.coefficient_value(kind, power)
+                               for power in range(maximum + 1)])
+
+        return RationalFunction(side("numerator"), side("denominator"))
+
+    def test_extreme_values_finite_and_match_oracle(self):
+        from repro.symbolic import symbolic_network_function
+
+        circuit, spec = self._ladder(1e3, 1e-9)
+        model = symbolic_network_function(circuit, spec).compile()
+        # Every slot at 1e12: conductance slots via R = 1e-12 Ω, cap slots
+        # directly — the regime where flat products leave double range.
+        values = np.full(model.num_free, 1e12)
+        s = np.array([1j * 1e-4, 1j * 1e3, 1j * 1e40])
+
+        clogs, csigns = model.coefficient_tensors(values, "denominator")
+        naive_peak = max(float(clogs[power]) + power * 40.0
+                         for power in range(clogs.shape[0])
+                         if csigns[power] != 0.0)
+        assert naive_peak > 308.0   # linear-domain Horner would overflow
+
+        response = model.evaluate(values, s)
+        assert np.isfinite(response).all()
+
+        extreme, __ = self._ladder(1e-12, 1e12)
+        oracle = self._xfloat_rational(
+            symbolic_network_function(extreme, spec))
+        expected = np.array([oracle.evaluate(point) for point in s])
+        assert _relative(expected, response) <= 1e-8
+
+    def test_underflow_side_flushes_like_the_oracle(self):
+        """Values at 1e-12 drive the opposite tail; both paths agree."""
+        from repro.symbolic import symbolic_network_function
+
+        circuit, spec = self._ladder(1e3, 1e-9)
+        model = symbolic_network_function(circuit, spec).compile()
+        values = np.full(model.num_free, 1e-12)
+        s = np.array([1j * 1e-6, 1j * 1.3e2, 1j * 1e30])
+        response = model.evaluate(values, s)
+        assert np.isfinite(response).all()
+        extreme, __ = self._ladder(1e12, 1e-12)
+        oracle = self._xfloat_rational(
+            symbolic_network_function(extreme, spec))
+        expected = np.array([oracle.evaluate(point) for point in s])
+        assert _relative(expected, response) <= 1e-8
