@@ -1,0 +1,78 @@
+"""Supervised multiprocess ensemble driver vs the single-process run.
+
+A production tolerance run is provisioned in ensemble sample·frequency
+points per second.  This bench evaluates the 10^5-sample µA741 ensemble
+(±5 % on the discrete passives, 8 frequency points — 800k solves) twice
+over identical up-front values with quarantine on: sequentially in-process
+(``workers=1``) and through the supervised multiprocess driver
+(:func:`repro.montecarlo.parallel_ensemble_sweep`).
+
+Asserted here (the ISSUE 9 acceptance criteria):
+
+* the multiprocess arm is **bit-identical** to the single-process run —
+  responses, quarantined indices and the fixed-shard-order statistics
+  stream all match exactly, on the full production shape;
+* a clean run needs **zero shard re-dispatches** — supervision is pure
+  observation until something actually fails;
+* on a box with at least 4 CPUs the parallel arm must not run slower than
+  **0.7x** single-process (the driver is allowed its supervision overhead,
+  never a collapse).  Single-core boxes — like CI containers — skip the
+  wall-clock floor: there is nothing to parallelize over, and the parity
+  gates are the contract that matters.
+
+``REPRO_BENCH_REDUCED=1`` (CI smoke) shrinks the ensemble to 2 048 x 8;
+every equivalence gate still runs end to end across real worker processes.
+
+Run standalone for the full experiment table::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py
+"""
+
+import os
+
+import pytest
+
+from repro.reporting.experiments import run_parallel_ensemble
+
+_REDUCED = os.environ.get("REPRO_BENCH_REDUCED", "") not in ("", "0")
+
+
+def _ensemble_shape():
+    # (samples, points, shard_size)
+    return (2048, 8, 256) if _REDUCED else (100_000, 8, 1024)
+
+
+def _check(result, full):
+    assert result.bit_identical, result.describe()
+    assert result.redispatches == 0, result.describe()
+    if full:
+        assert result.num_samples == 100_000, result.describe()
+        if (os.cpu_count() or 1) >= 4:
+            assert result.speedup >= 0.7, result.describe()
+
+
+@pytest.mark.benchmark(group="parallel")
+def test_parallel_ua741_ensemble(benchmark):
+    """10^5-sample µA741 ensemble: multiprocess bit parity + throughput."""
+    samples, points, shard_size = _ensemble_shape()
+    result = benchmark.pedantic(
+        lambda: run_parallel_ensemble(num_samples=samples,
+                                      num_points=points,
+                                      shard_size=shard_size),
+        rounds=1, iterations=1)
+    _check(result, full=not _REDUCED)
+
+
+def main():
+    samples, points, shard_size = _ensemble_shape()
+    print(f"Supervised parallel ensemble ({samples} samples x {points} "
+          "points, uA741 +/-5% passives): multiprocess driver vs "
+          "single-process")
+    result = run_parallel_ensemble(num_samples=samples, num_points=points,
+                                   shard_size=shard_size)
+    print(result.describe())
+    _check(result, full=not _REDUCED)
+
+
+if __name__ == "__main__":
+    main()

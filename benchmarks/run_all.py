@@ -60,6 +60,7 @@ def run_quantitative(smoke=False):
         run_batch_sweep,
         run_compiled_model,
         run_montecarlo_ensemble,
+        run_parallel_ensemble,
         run_scaling_curve,
         run_sensitivity_screening,
         run_session_workload,
@@ -106,6 +107,35 @@ def run_quantitative(smoke=False):
         assert ensemble.batch_invariant, ensemble.describe()
         if not smoke:
             assert ensemble.speedup >= 5.0, ensemble.describe()
+
+    # Supervised parallel ensemble: the multiprocess driver vs the
+    # single-process resilient run, bit-parity gates asserted either way;
+    # the wall-clock floor only applies on full runs with >= 4 CPUs.
+    parallel_shape = (2048, 8, 256) if smoke else (100_000, 8, 1024)
+    start = time.perf_counter()
+    parallel = run_parallel_ensemble(num_samples=parallel_shape[0],
+                                     num_points=parallel_shape[1],
+                                     shard_size=parallel_shape[2])
+    records.append(_record(
+        "parallel_ensemble", parallel.circuit_name,
+        time.perf_counter() - start, parallel.speedup,
+        0.0 if parallel.bit_identical else float("inf"),
+        {"samples": parallel.num_samples,
+         "points": parallel.num_frequencies,
+         "shard_size": parallel.shard_size,
+         "workers": parallel.workers,
+         "single_sample_points_per_second":
+             round(parallel.single_throughput, 1),
+         "parallel_sample_points_per_second":
+             round(parallel.parallel_throughput, 1),
+         "redispatches": parallel.redispatches,
+         "quarantined": parallel.quarantined,
+         "bit_identical": parallel.bit_identical}))
+    print(parallel.describe())
+    assert parallel.bit_identical, parallel.describe()
+    assert parallel.redispatches == 0, parallel.describe()
+    if not smoke and (os.cpu_count() or 1) >= 4:
+        assert parallel.speedup >= 0.7, parallel.describe()
 
     # Compiled transfer model: tensor serving vs the matrix engine over the
     # same draws, with the parity and compile-once gates asserted either way.
@@ -184,7 +214,7 @@ def run_scripted():
     skip = {"run_all", "conftest"}
     quantitative = {"bench_batch_sweep", "bench_sensitivity", "bench_session",
                     "bench_sdg", "bench_montecarlo", "bench_scaling",
-                    "bench_compiled"}
+                    "bench_compiled", "bench_parallel"}
     for path in sorted(BENCH_DIR.glob("bench_*.py")):
         module_name = path.stem
         if module_name in skip or module_name in quantitative:

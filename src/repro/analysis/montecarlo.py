@@ -226,7 +226,7 @@ class MonteCarloResult:
 def monte_carlo_analysis(circuit, output, frequencies, space=None, *,
                          samples=128, seed=0, tolerances=None,
                          solver="lapack", method="auto", workers=None,
-                         session=None, on_failure="raise",
+                         processes=None, session=None, on_failure="raise",
                          policy=None) -> MonteCarloResult:
     """Run a Monte Carlo tolerance analysis of ``circuit``.
 
@@ -244,6 +244,16 @@ def monte_carlo_analysis(circuit, output, frequencies, space=None, *,
         Ensemble size and RNG seed (deterministic per seed).
     solver, method, workers:
         Passed to :func:`repro.montecarlo.ensemble_sweep`.
+    processes:
+        Worker *processes* — anything other than ``None`` / ``1`` routes
+        the ensemble through the supervised multiprocess driver
+        (:func:`~repro.montecarlo.parallel.parallel_ensemble_sweep`),
+        keeping the ``on_failure`` semantics; with quarantine on,
+        statistics, envelopes and yield draw their surviving mask from the
+        merged cross-process :class:`~repro.engine.resilience.SweepReport`,
+        bit-identical to an in-process resilient run.  Bypasses the
+        ``session`` memo (the parallel path is for one-shot production
+        ensembles).
     session:
         Optional :class:`~repro.engine.session.AnalysisSession`; the whole
         result is then memoized under ``(circuit, space, grid, samples,
@@ -262,6 +272,11 @@ def monte_carlo_analysis(circuit, output, frequencies, space=None, *,
     """
     if space is None:
         space = ParameterSpace(circuit, tolerances)
+    if processes is not None and processes != 1:
+        return _monte_carlo(circuit, output, frequencies, space, samples,
+                            seed, solver, method, workers, session=session,
+                            on_failure=on_failure, policy=policy,
+                            processes=processes)
     if session is not None and on_failure == "raise" and policy is None:
         return session.montecarlo(circuit, output, frequencies, space,
                                   samples=samples, seed=seed, solver=solver,
@@ -273,13 +288,21 @@ def monte_carlo_analysis(circuit, output, frequencies, space=None, *,
 
 def _monte_carlo(circuit, output, frequencies, space, samples, seed, solver,
                  method, workers, session=None, on_failure="raise",
-                 policy=None) -> MonteCarloResult:
+                 policy=None, processes=None) -> MonteCarloResult:
     """The analysis itself (no memoization) — session feeds the nominal sweep."""
     frequencies = np.asarray(frequencies, dtype=float)
-    ensemble = ensemble_sweep(circuit, output, frequencies, space,
-                              samples=samples, seed=seed, solver=solver,
-                              method=method, workers=workers,
-                              on_failure=on_failure, policy=policy)
+    if processes is not None and processes != 1:
+        from ..montecarlo.parallel import parallel_ensemble_sweep
+
+        ensemble = parallel_ensemble_sweep(
+            circuit, output, frequencies, space, samples=samples, seed=seed,
+            solver=solver, method=method, workers=processes,
+            on_failure=on_failure, policy=policy)
+    else:
+        ensemble = ensemble_sweep(circuit, output, frequencies, space,
+                                  samples=samples, seed=seed, solver=solver,
+                                  method=method, workers=workers,
+                                  on_failure=on_failure, policy=policy)
     nominal = ACAnalysis(circuit, output, method=method,
                          session=session).frequency_response(frequencies)
     return MonteCarloResult(ensemble=ensemble, nominal_response=nominal,

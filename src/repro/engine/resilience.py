@@ -46,9 +46,12 @@ from ..linalg.lu import sparse_lu, sparse_lu_reusing
 
 __all__ = ["SolvePolicy", "SolveDiagnostics", "EscalationRecord",
            "FailureRecord", "RecoveryRecord", "SweepReport",
-           "scaled_residual", "dense_condition_estimate",
+           "scaled_residual", "consistency_residual",
+           "dense_condition_estimate",
            "sparse_condition_estimate", "resilient_dense_solve",
            "resilient_sparse_solve", "solve_stack_resilient",
+           "report_to_json", "report_from_json", "merge_shard_report",
+           "merge_telemetry",
            "TELEMETRY", "telemetry_snapshot", "reset_telemetry"]
 
 #: Escalation stages, in order of increasing desperation.
@@ -322,6 +325,119 @@ class SweepReport:
 
 
 # --------------------------------------------------------------------------- #
+# cross-process aggregation
+# --------------------------------------------------------------------------- #
+#
+# Checkpointed and multiprocess runs evaluate shards whose SweepReports and
+# telemetry counters live in another time (a resumed process) or another
+# process (a worker).  These helpers move that state across the boundary:
+# serialize / rebuild reports without touching the process-wide TELEMETRY,
+# re-base shard-local indices into ensemble coordinates, and fold a worker's
+# telemetry delta into the supervisor's counters exactly once.
+
+
+def report_to_json(report) -> str:
+    """Serialize a :class:`SweepReport`'s state (``""`` for ``None``)."""
+    import json
+
+    if report is None:
+        return ""
+    return json.dumps({
+        "label": report.label,
+        "kind": report.kind,
+        "total": report.total,
+        "failures": [
+            {"index": record.index, "description": record.description,
+             "reason": record.reason,
+             "escalations": [[e.stage, e.reason]
+                             for e in record.escalations]}
+            for record in report.failures],
+        "recoveries": [
+            {"index": record.index, "stage": record.stage,
+             "residual": record.residual, "condition": record.condition,
+             "escalations": [[e.stage, e.reason]
+                             for e in record.escalations]}
+            for record in report.recoveries],
+        "degraded": [[index, condition]
+                     for index, condition in report.degraded],
+        "stage_counts": report.stage_counts,
+    })
+
+
+def report_from_json(text):
+    """Rebuild a :class:`SweepReport` without touching :data:`TELEMETRY`.
+
+    The inverse of :func:`report_to_json` — used when resuming a checkpoint
+    or receiving a worker's shard report, where the counters were already
+    incremented by the process that did the solving.
+    """
+    import json
+
+    if not text:
+        return None
+    state = json.loads(text)
+    report = SweepReport(label=state["label"], kind=state["kind"],
+                         total=state["total"])
+    report.failures = [
+        FailureRecord(index=entry["index"],
+                      description=entry["description"],
+                      reason=entry["reason"],
+                      escalations=tuple(EscalationRecord(stage, reason)
+                                        for stage, reason
+                                        in entry["escalations"]))
+        for entry in state["failures"]]
+    report.recoveries = [
+        RecoveryRecord(index=entry["index"], stage=entry["stage"],
+                       residual=entry["residual"],
+                       condition=entry["condition"],
+                       escalations=tuple(EscalationRecord(stage, reason)
+                                         for stage, reason
+                                         in entry["escalations"]))
+        for entry in state["recoveries"]]
+    report.degraded = [(index, condition)
+                       for index, condition in state["degraded"]]
+    report.stage_counts = dict(state["stage_counts"])
+    return report
+
+
+def merge_shard_report(target, shard_report, offset) -> None:
+    """Fold one shard's report into a run report, offsetting its indices.
+
+    Unlike :meth:`SweepReport.merge` this re-bases the shard-local sample
+    indices to ensemble coordinates — and copies records directly instead of
+    going through the ``record_*`` methods, which would double-count the
+    process-wide telemetry the shard run already incremented (in this
+    process for sequential shards, in the worker for multiprocess ones).
+    ``target.total`` is deliberately left to the caller: shards completing
+    out of order make "samples attempted" a supervisor-level fact.
+    """
+    for record in shard_report.failures:
+        target.failures.append(dataclasses.replace(
+            record, index=record.index + offset))
+    for record in shard_report.recoveries:
+        target.recoveries.append(dataclasses.replace(
+            record, index=record.index + offset))
+    target.degraded.extend((index + offset, condition)
+                           for index, condition in shard_report.degraded)
+    for stage, count in shard_report.stage_counts.items():
+        target.stage_counts[stage] += count
+
+
+def merge_telemetry(delta) -> None:
+    """Fold a worker process's telemetry delta into this process's counters.
+
+    Workers snapshot :data:`TELEMETRY` around each shard and ship the
+    difference with the shard result; the supervisor folds each completed
+    shard's delta exactly once, so ``AnalysisSession.stats()["resilience"]``
+    reflects the whole ensemble no matter how many processes solved it.
+    Unknown keys (a newer worker) are ignored rather than invented.
+    """
+    for key, count in delta.items():
+        if key in TELEMETRY:
+            TELEMETRY[key] += int(count)
+
+
+# --------------------------------------------------------------------------- #
 # numerical diagnostics
 # --------------------------------------------------------------------------- #
 
@@ -363,15 +479,43 @@ def scaled_residual(matrix, x, b) -> float:
     return numerator / denominator
 
 
-def rhs_relative_residual(matrix, x, b) -> float:
-    """``‖Ax − b‖∞ / ‖b‖∞`` — the regularized-stage consistency gate.
+def _absolute_matvec(matrix, magnitudes):
+    """``|A|·|x|`` for a dense array or SparseMatrix."""
+    if hasattr(matrix, "entries"):  # SparseMatrix
+        result = np.zeros(matrix.n_rows)
+        for row, col, value in matrix.entries():
+            result[row] += abs(value) * magnitudes[col]
+        return result
+    return np.abs(np.asarray(matrix)) @ magnitudes
+
+
+def consistency_residual(matrix, x, b) -> float:
+    """Consistency measure of ``x`` against the *true* ``A`` — the
+    regularized-stage gate.  Two prongs, the maximum of:
+
+    * the **componentwise** (Oettli–Prager) residual
+      ``max_i |Ax − b|_i / ((|A|·|x|)_i + |b_i|)``, with ``0/0 = 0``;
+    * the **global** rhs-relative residual ``‖Ax − b‖∞ / ‖b‖∞``.
 
     The backward error of :func:`scaled_residual` scales with ``‖x‖∞``, so a
     solution of ``A + εI`` that blows up along a null-space direction of an
     exactly singular ``A`` can score an arbitrarily small backward error on
-    an *inconsistent* system.  Measuring the residual against ``‖b‖∞`` alone
-    closes that hole: an inconsistent system keeps a residual of order
-    ``‖b‖∞`` no matter how large ``x`` grows.
+    an *inconsistent* system.  An earlier gate used only the global prong,
+    but that is scaled by the *largest* right-hand-side entry: an
+    inconsistent singular system driven by a small source (say 1e-6 A into a
+    floating node, against a 1 V excitation elsewhere) scored 1e-6 and passed
+    as "consistent".  The componentwise prong is scale-invariant row by row —
+    each row's residual is judged against that row's own magnitude
+    ``(|A|·|x|)_i + |b_i|`` (which always bounds ``|Ax − b|_i``, so the
+    measure lives in ``[0, 1]``): a zero row against a nonzero entry scores
+    exactly 1 no matter how small the drive, while a consistent zero row
+    (zero entry) scores 0 and is legitimately rescuable.
+
+    The global prong is still needed for the opposite failure shape: when
+    the blown-up ``x`` feeds *nonzero* rows, ``(|A|·|x|)_i`` explodes with it
+    and cancellation hides an O(‖b‖) inconsistency from the componentwise
+    ratio (e.g. ``[[1, 1], [1, 1]] · x = [1, 0]``); there the residual
+    stays comparable to ``b`` itself and the global prong rejects it.
     """
     x = np.asarray(x, dtype=complex)
     b = np.asarray(b, dtype=complex)
@@ -379,11 +523,17 @@ def rhs_relative_residual(matrix, x, b) -> float:
         return 0.0
     if not np.all(np.isfinite(x)):
         return float("inf")
-    numerator = float(np.abs(_matvec(matrix, x) - b).max())
-    bnorm = float(np.abs(b).max())
-    if bnorm == 0.0:
-        return 0.0 if numerator == 0.0 else float("inf")
-    return numerator / bnorm
+    numerator = np.abs(_matvec(matrix, x) - b)
+    denominator = _absolute_matvec(matrix, np.abs(x)) + np.abs(b)
+    # A zero denominator row forces a zero numerator (|(Ax)_i| ≤ (|A|·|x|)_i),
+    # so 0/0 → 0 is the only degenerate case.
+    safe = np.where(denominator == 0.0, 1.0, denominator)
+    ratios = np.where(denominator == 0.0, 0.0, numerator / safe)
+    componentwise = float(ratios.max())
+    rhs_norm = float(np.abs(b).max())
+    if rhs_norm == 0.0:
+        return componentwise
+    return max(componentwise, float(numerator.max()) / rhs_norm)
 
 
 def _conjugate_transpose_solve(factorization: DenseLU, rhs) -> np.ndarray:
@@ -529,10 +679,11 @@ def _finish(matrix, factorization, x, b, policy, stage, escalations,
     rejected = residual > limit
     if not rejected and stage == "regularized":
         # The shifted factorization did not see the true A: additionally
-        # demand consistency relative to the right-hand side, which the
-        # ‖x‖-scaled backward error cannot certify when x blows up along a
-        # null-space direction (exactly singular, inconsistent systems).
-        consistency = rhs_relative_residual(matrix, x, b)
+        # demand componentwise consistency, which the ‖x‖-scaled backward
+        # error cannot certify when x blows up along a null-space direction
+        # (exactly singular, inconsistent systems) — and which, unlike an
+        # ‖b‖∞-relative test, cannot be fooled by a small drive magnitude.
+        consistency = consistency_residual(matrix, x, b)
         rejected = consistency > float(np.sqrt(limit))
         if rejected:
             residual = max(residual, consistency)

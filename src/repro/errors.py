@@ -112,6 +112,35 @@ class CheckpointError(ReproError):
     """Raised for invalid, corrupt or mismatched ensemble checkpoints."""
 
 
+class ShardFailureError(ReproError):
+    """A parallel ensemble shard exhausted its infrastructure retries.
+
+    Raised by the multiprocess supervisor when one shard could not be
+    completed by any worker within the retry budget — worker processes died
+    (crash, OOM-kill) or hung past the deadline on every attempt.  Distinct
+    from *numerical* failure, which is handled per sample (quarantine or a
+    :class:`SolveFailureError`), never by re-running a shard.
+
+    Attributes
+    ----------
+    shard:
+        0-based index of the failed shard.
+    start, stop:
+        The half-open sample range ``[start, stop)`` the shard covers.
+    attempts:
+        Chronological trail of attempt descriptions, one string per try
+        (worker id + what happened to it).
+    """
+
+    def __init__(self, message, *, shard=None, start=None, stop=None,
+                 attempts=()):
+        super().__init__(message)
+        self.shard = shard
+        self.start = start
+        self.stop = stop
+        self.attempts = list(attempts)
+
+
 class FormulationError(ReproError):
     """Raised when a circuit cannot be put in the required matrix form.
 

@@ -22,7 +22,14 @@ first-class workload on top of the :mod:`repro.engine` sweep machinery:
   same ensemble served by a
   :class:`~repro.symbolic.compile.CompiledTransferModel` with **no matrix
   solves at all** — parameter-space axes map straight onto free-symbol
-  slots of the compiled coefficient-tensor program.
+  slots of the compiled coefficient-tensor program,
+* :mod:`repro.montecarlo.qmc` — Sobol' / Latin-hypercube low-discrepancy
+  point sets behind ``ParameterSpace.sample_values(method=...)``, same
+  seeded-determinism contract as the pseudo-random samplers,
+* :mod:`repro.montecarlo.parallel` — :func:`parallel_ensemble_sweep`: the
+  supervised multiprocess driver (shared-memory shards, crash / hang
+  detection, bounded re-dispatch, deterministic cross-process quarantine),
+  bit-identical to a single-process resilient run for any worker count.
 
 Statistical post-processing — envelopes, variance attribution, corners and
 yield — lives one layer up in :mod:`repro.analysis.montecarlo`.
@@ -34,7 +41,10 @@ from .checkpoint import (CheckpointedRun, EnsembleStatistics,
 from .compiled import (compiled_corner_analysis, compiled_ensemble_sweep,
                        compiled_monte_carlo)
 from .engine import EnsembleResult, ensemble_sweep, rebuild_sweep
+from .parallel import (ParallelRunInfo, SupervisorConfig,
+                       parallel_ensemble_sweep)
 from .program import ValueProgram
+from .qmc import latin_hypercube_uniforms, sobol_uniforms
 from .space import ParameterSpace
 
 __all__ = [
@@ -51,4 +61,9 @@ __all__ = [
     "CheckpointedRun",
     "checkpointed_ensemble_sweep",
     "checkpoint_info",
+    "sobol_uniforms",
+    "latin_hypercube_uniforms",
+    "parallel_ensemble_sweep",
+    "SupervisorConfig",
+    "ParallelRunInfo",
 ]

@@ -33,14 +33,15 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
-import json
 import os
+import zipfile
+import zlib
 from typing import Optional
 
 import numpy as np
 
-from ..engine.resilience import (EscalationRecord, FailureRecord,
-                                 RecoveryRecord, SweepReport)
+from ..engine.resilience import (SweepReport, merge_shard_report,
+                                 report_from_json, report_to_json)
 from ..errors import CheckpointError
 from .engine import EnsembleResult, _normalize_output, ensemble_sweep
 from .space import ParameterSpace
@@ -143,79 +144,12 @@ def _space_key_digest(space) -> str:
     return digest.hexdigest()
 
 
-def _report_to_json(report) -> str:
-    """Serialize a SweepReport's state (``""`` for the legacy ``None``)."""
-    if report is None:
-        return ""
-    return json.dumps({
-        "label": report.label,
-        "kind": report.kind,
-        "total": report.total,
-        "failures": [
-            {"index": record.index, "description": record.description,
-             "reason": record.reason,
-             "escalations": [[e.stage, e.reason]
-                             for e in record.escalations]}
-            for record in report.failures],
-        "recoveries": [
-            {"index": record.index, "stage": record.stage,
-             "residual": record.residual, "condition": record.condition,
-             "escalations": [[e.stage, e.reason]
-                             for e in record.escalations]}
-            for record in report.recoveries],
-        "degraded": [[index, condition]
-                     for index, condition in report.degraded],
-        "stage_counts": report.stage_counts,
-    })
-
-
-def _report_from_json(text):
-    """Rebuild a SweepReport without touching the process-wide telemetry."""
-    if not text:
-        return None
-    state = json.loads(text)
-    report = SweepReport(label=state["label"], kind=state["kind"],
-                         total=state["total"])
-    report.failures = [
-        FailureRecord(index=entry["index"],
-                      description=entry["description"],
-                      reason=entry["reason"],
-                      escalations=tuple(EscalationRecord(stage, reason)
-                                        for stage, reason
-                                        in entry["escalations"]))
-        for entry in state["failures"]]
-    report.recoveries = [
-        RecoveryRecord(index=entry["index"], stage=entry["stage"],
-                       residual=entry["residual"],
-                       condition=entry["condition"],
-                       escalations=tuple(EscalationRecord(stage, reason)
-                                         for stage, reason
-                                         in entry["escalations"]))
-        for entry in state["recoveries"]]
-    report.degraded = [(index, condition)
-                       for index, condition in state["degraded"]]
-    report.stage_counts = dict(state["stage_counts"])
-    return report
-
-
-def _merge_shard_report(target, shard_report, offset) -> None:
-    """Fold one shard's report into the run report, offsetting its indices.
-
-    Unlike :meth:`SweepReport.merge` this re-bases the shard-local sample
-    indices to ensemble coordinates — and copies records directly instead of
-    going through the ``record_*`` methods, which would double-count the
-    process-wide telemetry the shard run already incremented.
-    """
-    for record in shard_report.failures:
-        target.failures.append(dataclasses.replace(
-            record, index=record.index + offset))
-    for record in shard_report.recoveries:
-        target.recoveries.append(dataclasses.replace(
-            record, index=record.index + offset))
-    target.degraded.extend((index + offset, condition)
-                           for index, condition in shard_report.degraded)
-    for stage, count in shard_report.stage_counts.items():
-        target.stage_counts[stage] += count
+# _report_to_json / _report_from_json / _merge_shard_report moved to
+# repro.engine.resilience (report_to_json & friends) so the multiprocess
+# driver can share them; these aliases keep intra-package callers working.
+_report_to_json = report_to_json
+_report_from_json = report_from_json
+_merge_shard_report = merge_shard_report
 
 
 def _save_checkpoint(path, *, fingerprint, space_digest, seed, samples,
@@ -250,15 +184,23 @@ def _save_checkpoint(path, *, fingerprint, space_digest, seed, samples,
 
 
 def _load_checkpoint(path):
-    """Read a checkpoint file into a plain dict (strings unwrapped)."""
+    """Read a checkpoint file into a plain dict (strings unwrapped).
+
+    Any way the bytes on disk can be wrong — not a zip at all (wrong magic),
+    truncated mid-write (a torn copy from a foreign machine; ``os.replace``
+    only protects writes on the *same* filesystem), a member that fails CRC
+    or decompression — must surface as :class:`CheckpointError`, never as a
+    silent restart-from-zero or a raw ``zipfile``/``zlib`` traceback.
+    """
     try:
         with np.load(path, allow_pickle=False) as archive:
             state = {key: archive[key] for key in archive.files}
-    except (OSError, ValueError, KeyError) as error:
+    except (OSError, ValueError, KeyError, EOFError,
+            zipfile.BadZipFile, zlib.error) as error:
         raise CheckpointError(
             f"cannot read ensemble checkpoint {path!r}: {error}") from error
     try:
-        return {
+        unpacked = {
             "version": int(state["version"]),
             "fingerprint": str(state["fingerprint"]),
             "space_digest": str(state["space_digest"]),
@@ -284,6 +226,21 @@ def _load_checkpoint(path):
         raise CheckpointError(
             f"ensemble checkpoint {path!r} is missing field {error}; "
             "corrupt or from an incompatible version") from error
+    points = len(unpacked["frequencies"])
+    completed = unpacked["completed"]
+    if unpacked["responses"].shape != (completed, points):
+        raise CheckpointError(
+            f"ensemble checkpoint {path!r} is internally inconsistent: "
+            f"responses shape {unpacked['responses'].shape} does not match "
+            f"{completed} completed samples × {points} frequency points")
+    for field in ("stats_sum_db", "stats_sumsq_db",
+                  "stats_min_db", "stats_max_db"):
+        if unpacked[field].shape != (points,):
+            raise CheckpointError(
+                f"ensemble checkpoint {path!r} is internally inconsistent: "
+                f"{field} has shape {unpacked[field].shape}, expected "
+                f"({points},)")
+    return unpacked
 
 
 def checkpoint_info(path) -> dict:
@@ -312,8 +269,9 @@ def checkpointed_ensemble_sweep(circuit, output, frequencies, space=None, *,
                                 path, samples=128, seed=0, shard_size=32,
                                 max_shards=None, tolerances=None,
                                 solver="lapack", method="auto",
-                                on_failure="quarantine",
-                                policy=None) -> CheckpointedRun:
+                                on_failure="quarantine", policy=None,
+                                workers=None,
+                                supervisor=None) -> CheckpointedRun:
     """Run (or resume) a tolerance ensemble with periodic checkpointing.
 
     The ensemble is evaluated in shards of ``shard_size`` samples through the
@@ -347,6 +305,16 @@ def checkpointed_ensemble_sweep(circuit, output, frequencies, space=None, *,
         :func:`~repro.montecarlo.engine.ensemble_sweep`; checkpointed runs
         default to ``"quarantine"`` so one bad sample cannot waste hours of
         completed work.
+    workers, supervisor:
+        ``workers`` other than ``None`` / ``1`` runs the remaining shards
+        through the supervised multiprocess driver
+        (:func:`~repro.montecarlo.parallel.run_shards`, configured by the
+        optional :class:`~repro.montecarlo.parallel.SupervisorConfig`).
+        Shards complete out of order, but the checkpoint only ever absorbs
+        the contiguous prefix — in fixed shard order — so the file on disk
+        is at all times bit-identical to one a sequential run would have
+        written, and a killed *supervisor* resumes bit-identically with
+        any worker count.
 
     Returns
     -------
@@ -402,26 +370,18 @@ def checkpointed_ensemble_sweep(circuit, output, frequencies, space=None, *,
         solver_used = state["solver_used"]
     resumed_from = completed
 
-    shards_run = 0
-    while completed < samples:
-        if max_shards is not None and shards_run >= max_shards:
-            break
-        start = completed
-        stop = min(start + shard_size, samples)
-        shard = ensemble_sweep(circuit, output, frequencies, space,
-                               values=values[start:stop], solver=solver,
-                               method=method, on_failure=on_failure,
-                               policy=policy)
-        responses[start:stop] = shard.responses
-        surviving = shard.surviving_mask()
-        statistics.update(shard.magnitudes_db()[surviving])
-        if report is not None and shard.report is not None:
-            _merge_shard_report(report, shard.report, start)
+    def fold_and_save(shard_view, start, stop):
+        """Absorb one completed shard (in order) and persist the state."""
+        nonlocal completed, solver_used
+        responses[start:stop] = shard_view.responses
+        surviving = shard_view.surviving_mask()
+        statistics.update(shard_view.magnitudes_db()[surviving])
+        if report is not None and shard_view.report is not None:
+            _merge_shard_report(report, shard_view.report, start)
         if report is not None:
             report.total = stop
         completed = stop
-        solver_used = shard.solver
-        shards_run += 1
+        solver_used = shard_view.solver
         _save_checkpoint(path, fingerprint=fingerprint,
                          space_digest=space_digest, seed=seed,
                          samples=samples, shard_size=shard_size,
@@ -430,6 +390,54 @@ def checkpointed_ensemble_sweep(circuit, output, frequencies, space=None, *,
                          frequencies=frequencies, completed=completed,
                          responses=responses, statistics=statistics,
                          report=report)
+
+    shards_run = 0
+    if workers is None or workers == 1:
+        while completed < samples:
+            if max_shards is not None and shards_run >= max_shards:
+                break
+            start = completed
+            stop = min(start + shard_size, samples)
+            shard = ensemble_sweep(circuit, output, frequencies, space,
+                                   values=values[start:stop], solver=solver,
+                                   method=method, on_failure=on_failure,
+                                   policy=policy)
+            fold_and_save(shard, start, stop)
+            shards_run += 1
+    else:
+        # Supervised multiprocess execution of the remaining shards.  The
+        # shard plan keeps global sample indices, shards may complete out
+        # of order, and the on_shard_complete hook only ever hands us the
+        # contiguous prefix — so each fold_and_save below replays exactly
+        # the sequence of the sequential branch above.
+        from .parallel import run_shards, shard_plan
+
+        plan = shard_plan(samples, shard_size, first_sample=completed)
+        if max_shards is not None:
+            plan = plan[:max_shards]
+        folded = 0
+
+        def absorb_prefix(prefix, shared_responses, shard_reports,
+                          shard_solver):
+            nonlocal folded, shards_run
+            for index in range(folded, prefix):
+                __, start, stop = plan[index]
+                shard_index = plan[index][0]
+                shard_view = EnsembleResult(
+                    frequencies=frequencies, values=values[start:stop],
+                    responses=np.array(shared_responses[start:stop]),
+                    space=space, output=_normalize_output(output),
+                    solver=shard_solver,
+                    report=shard_reports.get(shard_index))
+                fold_and_save(shard_view, start, stop)
+                shards_run += 1
+            folded = prefix
+
+        if plan:
+            run_shards(circuit, output, frequencies, space, values, plan,
+                       solver=solver, method=method, on_failure=on_failure,
+                       policy=policy, workers=workers, config=supervisor,
+                       on_shard_complete=absorb_prefix)
 
     finished = completed == samples
     result = CheckpointedRun(finished=finished, completed=completed,

@@ -126,6 +126,9 @@ class EnsembleResult:
         (``None`` on the legacy path).  Quarantined samples' response rows
         are NaN; use :meth:`surviving_mask` to restrict statistics to the
         samples that solved.
+    parallel:
+        The :class:`~repro.montecarlo.parallel.ParallelRunInfo` of a
+        supervised multiprocess run (``None`` otherwise).
     """
 
     frequencies: np.ndarray
@@ -135,6 +138,7 @@ class EnsembleResult:
     output: object
     solver: str
     report: object = None
+    parallel: object = None
 
     @property
     def num_samples(self):

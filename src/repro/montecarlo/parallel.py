@@ -1,0 +1,666 @@
+"""Supervised multiprocess ensemble driver: fast *and* fault-tolerant.
+
+The PR 5 engine is single-process, and the PR 7 resilience layer runs
+quarantined ensembles serially so the report is deterministic — so the
+system was either fast or fault-tolerant, never both.  This module removes
+that trade-off: :func:`parallel_ensemble_sweep` shards the sample axis
+across worker *processes* under a supervisor that keeps the run alive
+through worker crashes and hangs, while keeping every result bit identical
+to an uninterrupted single-process resilient run.
+
+Determinism is structural, not statistical:
+
+* element values are drawn **up front** from the seeded sampler and placed
+  in shared memory; every worker sees the same bits;
+* **shard boundaries are fixed** by ``shard_size`` alone — never by worker
+  count, completion order, or failures — and both batched dense kernels are
+  batch-size invariant while the resilient path solves sample-by-sample, so
+  a shard's response rows are bit-for-bit the rows of the full run;
+* a re-dispatched shard re-runs the identical computation on identical
+  inputs, so retries are invisible in the output;
+* per-shard :class:`~repro.engine.resilience.SweepReport`s and streaming
+  :class:`~repro.montecarlo.checkpoint.EnsembleStatistics` are merged **in
+  fixed shard order** after completion, regardless of which worker finished
+  which shard when.
+
+The supervisor distinguishes two failure planes:
+
+* **infrastructure failure** — a worker process died (SIGKILL, OOM), hung
+  past the shard deadline, went heartbeat-silent, or raised something that
+  is not a :class:`~repro.errors.ReproError`.  The shard is re-dispatched
+  to a healthy worker with bounded retries and backoff; the dead worker is
+  replaced.  When the retry budget is exhausted the run aborts with a
+  typed :class:`~repro.errors.ShardFailureError` carrying the shard index
+  and the chronological attempt trail.
+* **numerical failure** — the escalation chain inside a worker was
+  exhausted for some sample.  Exactly as in-process: with
+  ``on_failure="quarantine"`` the sample is masked NaN and recorded in the
+  shard report; with ``"raise"`` the error aborts the ensemble.  Numerical
+  failure never causes a shard re-run.
+
+Workers send their :data:`~repro.engine.resilience.TELEMETRY` delta with
+each completed shard; the supervisor folds each delta exactly once, so
+process-wide counters reflect the whole ensemble no matter how many
+processes solved it.
+
+Environment knobs: ``REPRO_MP_START`` selects the multiprocessing start
+method (``fork`` / ``spawn`` / ``forkserver``; default: the platform
+default), ``REPRO_PARALLEL_WORKERS`` the default worker count.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import multiprocessing
+import os
+import pickle
+import queue as queue_module
+import signal
+import threading
+import time
+from multiprocessing.sharedctypes import RawArray
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..engine.resilience import (SweepReport, merge_shard_report,
+                                 merge_telemetry, report_from_json,
+                                 report_to_json, telemetry_snapshot)
+from ..errors import (FormulationError, ReproError, ShardFailureError,
+                      SingularMatrixError)
+from .checkpoint import EnsembleStatistics
+from .engine import EnsembleResult, _normalize_output, ensemble_sweep
+from .space import ParameterSpace
+
+__all__ = ["SupervisorConfig", "ParallelRunInfo", "ShardRun", "shard_plan",
+           "run_shards", "parallel_ensemble_sweep"]
+
+#: Process-level fault plan installed by :func:`tests.faults.parallel_faults`:
+#: ``{shard_index: action | [action_per_attempt, ...]}`` with actions
+#: ``"kill"`` / ``"hang"`` / ``"crash"`` (a bare string applies to every
+#: attempt — a *poisoned* shard).  Shipped to workers inside the pickled
+#: payload, so it works under fork and spawn alike.
+_FAULT_PLAN: Optional[dict] = None
+
+
+def _default_workers() -> int:
+    """Worker processes when the caller does not say (env-overridable)."""
+    override = os.environ.get("REPRO_PARALLEL_WORKERS")
+    if override:
+        try:
+            return max(1, int(override))
+        except ValueError:
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+def _start_method() -> Optional[str]:
+    """Start method from ``REPRO_MP_START`` (``None`` = platform default)."""
+    method = os.environ.get("REPRO_MP_START", "").strip().lower()
+    return method if method in ("fork", "spawn", "forkserver") else None
+
+
+@dataclasses.dataclass(frozen=True)
+class SupervisorConfig:
+    """Supervision timing and retry budget of a parallel ensemble run.
+
+    Attributes
+    ----------
+    heartbeat_interval:
+        Seconds between worker heartbeats (a daemon thread in each worker
+        stamps ``time.monotonic()`` into a shared slot).
+    heartbeat_timeout:
+        A busy worker whose last heartbeat is older than this is declared
+        hung, killed and replaced; its shard is re-dispatched.
+    shard_deadline:
+        Wall-clock budget for one shard attempt; exceeding it counts as a
+        hang even if heartbeats still arrive.
+    max_attempts:
+        Total attempts per shard (first try + retries) before the run
+        aborts with :class:`~repro.errors.ShardFailureError`.
+    backoff:
+        Seconds to wait before re-dispatching a failed shard, scaled by the
+        number of attempts already made.
+    poll_interval:
+        Supervisor loop granularity.
+    start_method:
+        ``"fork"`` / ``"spawn"`` / ``"forkserver"``; ``None`` reads
+        ``REPRO_MP_START`` and falls back to the platform default.
+    """
+
+    heartbeat_interval: float = 0.25
+    heartbeat_timeout: float = 10.0
+    shard_deadline: float = 600.0
+    max_attempts: int = 3
+    backoff: float = 0.25
+    poll_interval: float = 0.01
+    start_method: Optional[str] = None
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise FormulationError("max_attempts must be at least 1")
+        if self.heartbeat_timeout <= self.heartbeat_interval:
+            raise FormulationError(
+                "heartbeat_timeout must exceed heartbeat_interval")
+
+
+@dataclasses.dataclass
+class ParallelRunInfo:
+    """How a parallel ensemble was executed (attached to the result).
+
+    ``attempts`` maps shard index → chronological attempt trail (strings);
+    ``redispatches`` counts infrastructure re-runs (0 on a clean run);
+    ``statistics`` is the streaming accumulator folded in fixed shard
+    order, bit-identical to a checkpointed run of the same ``shard_size``.
+    """
+
+    workers: int
+    shard_size: int
+    shards: int
+    redispatches: int
+    attempts: Dict[int, List[str]]
+    statistics: EnsembleStatistics
+
+
+@dataclasses.dataclass
+class ShardRun:
+    """Raw outcome of :func:`run_shards` before merging.
+
+    ``responses`` holds every plan row solved (rows outside the plan are
+    untouched); ``reports`` maps shard index → per-shard
+    :class:`~repro.engine.resilience.SweepReport` (``None`` on the legacy
+    raise path).
+    """
+
+    responses: np.ndarray
+    reports: Dict[int, Optional[SweepReport]]
+    attempts: Dict[int, List[str]]
+    solver_used: str
+    redispatches: int
+    workers: int
+
+
+def shard_plan(samples, shard_size, first_sample=0) -> List[Tuple[int, int, int]]:
+    """Fixed ``(shard_index, start, stop)`` boundaries over the sample axis.
+
+    Boundaries depend only on ``shard_size`` — the same function cuts
+    checkpointed, parallel and sequential runs, which is what makes their
+    statistics streams bit-comparable.  ``first_sample`` lets a resumed
+    checkpoint plan only its remaining tail while keeping global indices.
+    """
+    samples = int(samples)
+    shard_size = int(shard_size)
+    if shard_size <= 0:
+        raise FormulationError(
+            f"shard_size must be positive, got {shard_size}")
+    plan = []
+    for start in range(int(first_sample), samples, shard_size):
+        stop = min(start + shard_size, samples)
+        plan.append((start // shard_size, start, stop))
+    return plan
+
+
+def _plan_action(fault_plan, shard, attempt) -> Optional[str]:
+    """The injected action for this (shard, attempt), if any."""
+    if not fault_plan:
+        return None
+    spec = fault_plan.get(shard)
+    if spec is None:
+        return None
+    if isinstance(spec, str):
+        return spec
+    index = attempt - 1
+    if 0 <= index < len(spec):
+        return spec[index]
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# worker side
+# --------------------------------------------------------------------------- #
+
+
+def _heartbeat_loop(slot, heartbeats, interval, stop_event):
+    while not stop_event.wait(interval):
+        heartbeats[slot] = time.monotonic()
+
+
+def _worker_main(slot, payload, tasks, results, values_buffer,
+                 responses_buffer, heartbeats):
+    """One worker process: pull shard tasks, solve, push results.
+
+    The worker reads its sample rows from the shared values buffer and
+    writes its response rows to a disjoint slice of the shared responses
+    buffer *before* reporting completion, so a kill at any instant leaves
+    either an unreported (re-runnable) shard or a fully written one.
+    """
+    num_samples = payload["num_samples"]
+    num_axes = payload["num_axes"]
+    num_points = payload["num_points"]
+    values = np.frombuffer(values_buffer, dtype=float).reshape(
+        num_samples, num_axes)
+    responses = np.frombuffer(responses_buffer, dtype=np.complex128).reshape(
+        num_samples, num_points)
+    heartbeats[slot] = time.monotonic()
+    stop_event = threading.Event()
+    beat = threading.Thread(
+        target=_heartbeat_loop,
+        args=(slot, heartbeats, payload["heartbeat_interval"], stop_event),
+        daemon=True)
+    beat.start()
+    fault_plan = payload["fault_plan"]
+    while True:
+        task = tasks.get()
+        if task is None:
+            return
+        shard, start, stop, attempt = task
+        action = _plan_action(fault_plan, shard, attempt)
+        if action == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        if action == "hang":
+            # Go silent: heartbeats stop, the task never completes.  The
+            # supervisor must detect and kill us.
+            stop_event.set()
+            time.sleep(3600.0)
+        try:
+            if action == "crash":
+                raise RuntimeError(
+                    f"injected crash (shard {shard}, attempt {attempt})")
+            before = telemetry_snapshot()
+            shard_result = ensemble_sweep(
+                payload["circuit"], payload["output"],
+                payload["frequencies"], payload["space"],
+                values=values[start:stop], solver=payload["solver"],
+                method=payload["method"], workers=1,
+                on_failure=payload["on_failure"], policy=payload["policy"])
+            after = telemetry_snapshot()
+            responses[start:stop] = shard_result.responses
+            delta = {key: after[key] - before[key] for key in after}
+            results.put(("done", slot, shard, attempt,
+                         report_to_json(shard_result.report), delta,
+                         shard_result.solver))
+        except ReproError as error:
+            # Numerical failure (raise mode): forward the typed error.
+            try:
+                pickle.dumps(error)
+                message = error
+            except Exception:
+                message = f"{type(error).__name__}: {error}"
+            results.put(("numerical", slot, shard, attempt, message))
+        except BaseException as error:
+            # Anything else is an infrastructure failure of this attempt.
+            results.put(("infra", slot, shard, attempt,
+                         f"{type(error).__name__}: {error}"))
+
+
+# --------------------------------------------------------------------------- #
+# supervisor side
+# --------------------------------------------------------------------------- #
+
+
+@dataclasses.dataclass
+class _WorkerHandle:
+    slot: int
+    process: object
+    tasks: object
+    results: object
+    shard: Optional[int] = None
+    attempt: int = 0
+    dispatched_at: float = 0.0
+
+
+def _spawn_worker(context, slot, payload, values_buffer, responses_buffer,
+                  heartbeats) -> _WorkerHandle:
+    tasks = context.Queue()
+    results = context.Queue()
+    process = context.Process(
+        target=_worker_main,
+        args=(slot, payload, tasks, results, values_buffer,
+              responses_buffer, heartbeats),
+        daemon=True, name=f"repro-ensemble-worker-{slot}")
+    process.start()
+    # A fresh worker must not be declared hung before its first beat.
+    heartbeats[slot] = time.monotonic()
+    return _WorkerHandle(slot=slot, process=process, tasks=tasks,
+                         results=results)
+
+
+def _stop_worker(handle) -> None:
+    if handle.process.is_alive():
+        handle.process.kill()
+    handle.process.join(timeout=5.0)
+    # Never let a dead worker's queues block interpreter shutdown.
+    for channel in (handle.tasks, handle.results):
+        try:
+            channel.cancel_join_thread()
+            channel.close()
+        except Exception:
+            pass
+
+
+def _shutdown(handles) -> None:
+    for handle in handles:
+        try:
+            handle.tasks.put_nowait(None)
+        except Exception:
+            pass
+    deadline = time.monotonic() + 2.0
+    for handle in handles:
+        handle.process.join(timeout=max(0.0, deadline - time.monotonic()))
+    for handle in handles:
+        _stop_worker(handle)
+
+
+def run_shards(circuit, output, frequencies, space, values, plan, *,
+               solver="lapack", method="auto", on_failure="quarantine",
+               policy=None, workers=None, config=None,
+               on_shard_complete=None) -> ShardRun:
+    """Execute a fixed shard plan, supervised, and return raw outcomes.
+
+    The workhorse under both :func:`parallel_ensemble_sweep` and the
+    ``workers=`` arm of
+    :func:`~repro.montecarlo.checkpoint.checkpointed_ensemble_sweep`.
+    ``plan`` rows index into ``values`` (and the returned ``responses``),
+    so a resumed checkpoint can run just its remaining tail with global
+    sample indices.
+
+    ``on_shard_complete(prefix_shards, responses, reports, solver_used)``
+    fires in the supervisor whenever the **contiguous** completed prefix of
+    ``plan`` advances — shards may finish out of order, but the callback
+    only ever sees an in-order prefix, which is what lets the checkpoint
+    layer fold + save deterministically mid-run.
+
+    ``workers=1`` executes the plan sequentially in-process (no
+    subprocesses, no fault injection) — the bit-parity reference for every
+    multi-worker run.
+    """
+    config = config or SupervisorConfig()
+    values = np.ascontiguousarray(np.asarray(values, dtype=float))
+    frequencies = np.asarray(frequencies, dtype=float)
+    num_samples, num_axes = values.shape
+    num_points = len(frequencies)
+    if workers is None:
+        workers = _default_workers()
+    workers = max(1, min(int(workers), max(1, len(plan))))
+
+    attempts: Dict[int, List[str]] = collections.defaultdict(list)
+    reports: Dict[int, Optional[SweepReport]] = {}
+    solver_used = solver
+    bounds = {shard: (start, stop) for shard, start, stop in plan}
+
+    if workers == 1:
+        responses = np.zeros((num_samples, num_points), dtype=complex)
+        for prefix, (shard, start, stop) in enumerate(plan):
+            shard_result = ensemble_sweep(
+                circuit, output, frequencies, space,
+                values=values[start:stop], solver=solver, method=method,
+                workers=1, on_failure=on_failure, policy=policy)
+            responses[start:stop] = shard_result.responses
+            reports[shard] = shard_result.report
+            solver_used = shard_result.solver
+            attempts[shard].append("attempt 1 in-process: completed")
+            if on_shard_complete is not None:
+                on_shard_complete(prefix + 1, responses, reports,
+                                  solver_used)
+        return ShardRun(responses=responses, reports=reports,
+                        attempts=dict(attempts), solver_used=solver_used,
+                        redispatches=0, workers=1)
+
+    context = multiprocessing.get_context(
+        config.start_method or _start_method())
+    values_buffer = RawArray("d", max(1, num_samples * num_axes))
+    responses_buffer = RawArray("d", max(1, 2 * num_samples * num_points))
+    heartbeats = RawArray("d", workers)
+    np.frombuffer(values_buffer, dtype=float)[:values.size] = values.ravel()
+    responses = np.frombuffer(
+        responses_buffer, dtype=np.complex128,
+        count=num_samples * num_points).reshape(num_samples, num_points)
+
+    payload = {
+        "circuit": circuit, "output": output, "frequencies": frequencies,
+        "space": space, "solver": solver, "method": method,
+        "on_failure": on_failure, "policy": policy,
+        "num_samples": num_samples, "num_axes": num_axes,
+        "num_points": num_points,
+        "heartbeat_interval": config.heartbeat_interval,
+        "fault_plan": _FAULT_PLAN,
+    }
+
+    pending = collections.deque(shard for shard, _, __ in plan)
+    ready_at: Dict[int, float] = {}
+    attempt_counts: Dict[int, int] = collections.defaultdict(int)
+    completed = set()
+    prefix = 0
+    redispatches = 0
+    handles = [_spawn_worker(context, slot, payload, values_buffer,
+                             responses_buffer, heartbeats)
+               for slot in range(workers)]
+    failure: List[BaseException] = []
+
+    def requeue(handle, reason):
+        nonlocal redispatches
+        shard = handle.shard
+        handle.shard = None
+        attempts[shard].append(reason)
+        if attempt_counts[shard] >= config.max_attempts:
+            start, stop = bounds[shard]
+            failure.append(ShardFailureError(
+                f"shard {shard} (samples {start}:{stop}) failed "
+                f"{attempt_counts[shard]} attempts: "
+                f"{'; '.join(attempts[shard])}",
+                shard=shard, start=start, stop=stop,
+                attempts=attempts[shard]))
+            return
+        redispatches += 1
+        ready_at[shard] = (time.monotonic()
+                           + config.backoff * attempt_counts[shard])
+        pending.appendleft(shard)
+
+    def replace(index, reason=None):
+        handle = handles[index]
+        if handle.shard is not None:
+            requeue(handle, reason)
+        _stop_worker(handle)
+        handles[index] = _spawn_worker(context, handle.slot, payload,
+                                       values_buffer, responses_buffer,
+                                       heartbeats)
+
+    def dispatch():
+        now = time.monotonic()
+        for handle in handles:
+            if handle.shard is not None or not pending:
+                continue
+            for candidate in list(pending):
+                if ready_at.get(candidate, 0.0) > now:
+                    continue
+                pending.remove(candidate)
+                attempt_counts[candidate] += 1
+                start, stop = bounds[candidate]
+                handle.shard = candidate
+                handle.attempt = attempt_counts[candidate]
+                handle.dispatched_at = now
+                handle.tasks.put((candidate, start, stop, handle.attempt))
+                break
+
+    def advance_prefix():
+        nonlocal prefix
+        moved = False
+        while prefix < len(plan) and plan[prefix][0] in completed:
+            prefix += 1
+            moved = True
+        if moved and on_shard_complete is not None:
+            on_shard_complete(prefix, responses, reports, solver_used)
+
+    def handle_message(handle, message):
+        kind, slot, shard, attempt, *rest = message
+        if kind == "done":
+            report_json, delta, shard_solver = rest
+            if handle.shard == shard:
+                handle.shard = None
+            if shard not in completed:
+                completed.add(shard)
+                if shard in pending:      # late result beat a re-dispatch
+                    pending.remove(shard)
+                reports[shard] = report_from_json(report_json)
+                merge_telemetry(delta)
+                attempts[shard].append(
+                    f"attempt {attempt} on worker {slot}: completed")
+                nonlocal solver_used
+                solver_used = shard_solver
+                advance_prefix()
+        elif kind == "numerical":
+            error = rest[0]
+            if not isinstance(error, BaseException):
+                error = SingularMatrixError(str(error))
+            failure.append(error)
+        else:  # "infra": the worker survived but the attempt did not
+            requeue(handle, f"attempt {attempt} on worker {slot}: "
+                            f"uncaught worker exception ({rest[0]})")
+
+    try:
+        while len(completed) < len(plan) and not failure:
+            dispatch()
+            progressed = False
+            for handle in handles:
+                try:
+                    message = handle.results.get_nowait()
+                except queue_module.Empty:
+                    continue
+                except (EOFError, OSError):
+                    continue
+                progressed = True
+                handle_message(handle, message)
+                if failure:
+                    break
+            if failure:
+                break
+            now = time.monotonic()
+            for index, handle in enumerate(handles):
+                if handle.shard is not None:
+                    if not handle.process.is_alive():
+                        replace(index,
+                                f"attempt {handle.attempt} on worker "
+                                f"{handle.slot}: worker died (exit code "
+                                f"{handle.process.exitcode})")
+                    elif (now - heartbeats[handle.slot]
+                          > config.heartbeat_timeout):
+                        replace(index,
+                                f"attempt {handle.attempt} on worker "
+                                f"{handle.slot}: heartbeat lost (worker "
+                                "hung)")
+                    elif (now - handle.dispatched_at
+                          > config.shard_deadline):
+                        replace(index,
+                                f"attempt {handle.attempt} on worker "
+                                f"{handle.slot}: shard deadline exceeded")
+                elif not handle.process.is_alive():
+                    replace(index)
+                if failure:
+                    break
+            if not progressed and not failure:
+                time.sleep(config.poll_interval)
+    finally:
+        _shutdown(handles)
+
+    if failure:
+        raise failure[0]
+    return ShardRun(responses=responses, reports=reports,
+                    attempts=dict(attempts), solver_used=solver_used,
+                    redispatches=redispatches, workers=workers)
+
+
+# --------------------------------------------------------------------------- #
+# the public driver
+# --------------------------------------------------------------------------- #
+
+
+def parallel_ensemble_sweep(circuit, output, frequencies, space=None, *,
+                            values=None, samples=128, seed=0,
+                            sampler="random", shard_size=32, workers=None,
+                            solver="lapack", method="auto",
+                            on_failure="quarantine", policy=None,
+                            config=None) -> EnsembleResult:
+    """Evaluate a tolerance ensemble across supervised worker processes.
+
+    Drop-in alternative to :func:`~repro.montecarlo.engine.ensemble_sweep`
+    for production sample counts: the sample axis is cut into fixed shards
+    (:func:`shard_plan`) and distributed over ``workers`` processes through
+    shared memory, under crash / hang supervision with bounded re-dispatch
+    (see the module docstring for the failure taxonomy).
+
+    The result — responses, quarantined indices, merged
+    :class:`~repro.engine.resilience.SweepReport`, streaming statistics —
+    is **bit-identical for every worker count**, including ``workers=1``
+    (which runs in-process and is the reference the fault-injection tests
+    compare against).
+
+    Parameters beyond :func:`~repro.montecarlo.engine.ensemble_sweep`:
+
+    sampler:
+        Point set for the up-front draw: ``"random"``, ``"sobol"`` or
+        ``"lhs"`` (ignored when ``values`` is given).
+    shard_size:
+        Samples per shard — the unit of distribution, re-dispatch and
+        statistics folding.  Match a checkpointed run's ``shard_size`` for
+        bit-identical statistics streams.
+    workers:
+        Worker processes (default: ``REPRO_PARALLEL_WORKERS`` or the CPU
+        count).  ``1`` = sequential in-process execution.
+    on_failure:
+        Defaults to ``"quarantine"`` — the whole point of a supervised run
+        is that neither a bad sample nor a bad worker kills it.
+    config:
+        :class:`SupervisorConfig` timing / retry budget.
+
+    Raises
+    ------
+    ShardFailureError
+        When some shard exhausts its infrastructure retry budget.
+    """
+    if on_failure not in ("raise", "quarantine"):
+        raise FormulationError(f"unknown failure mode {on_failure!r}")
+    if space is None:
+        space = ParameterSpace(circuit)
+    frequencies = np.asarray(frequencies, dtype=float)
+    if values is None:
+        values = space.sample_values(samples, seed, method=sampler)
+    else:
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 2 or values.shape[1] != len(space):
+            raise FormulationError(
+                f"values must be (M, {len(space)}), got {values.shape}")
+    num_samples = values.shape[0]
+    plan = shard_plan(num_samples, shard_size)
+    resilient = on_failure == "quarantine" or policy is not None
+
+    run = run_shards(circuit, output, frequencies, space, values, plan,
+                     solver=solver, method=method, on_failure=on_failure,
+                     policy=policy, workers=workers, config=config)
+
+    responses = np.array(run.responses, copy=True)
+    output_normalized = _normalize_output(output)
+    statistics = EnsembleStatistics(frequencies=frequencies)
+    merged = (SweepReport(label="ensemble member", kind="sample",
+                          total=num_samples) if resilient else None)
+    # Fixed shard order: the exact statistics stream of a checkpointed or
+    # sequential run with the same shard_size, whatever the completion
+    # order was.
+    for shard, start, stop in plan:
+        shard_view = EnsembleResult(
+            frequencies=frequencies, values=values[start:stop],
+            responses=responses[start:stop], space=space,
+            output=output_normalized, solver=run.solver_used,
+            report=run.reports.get(shard))
+        statistics.update(
+            shard_view.magnitudes_db()[shard_view.surviving_mask()])
+        if merged is not None and run.reports.get(shard) is not None:
+            merge_shard_report(merged, run.reports[shard], start)
+
+    info = ParallelRunInfo(workers=run.workers, shard_size=int(shard_size),
+                           shards=len(plan), redispatches=run.redispatches,
+                           attempts=run.attempts, statistics=statistics)
+    return EnsembleResult(frequencies=frequencies, values=values,
+                          responses=responses, space=space,
+                          output=output_normalized, solver=run.solver_used,
+                          report=merged, parallel=info)

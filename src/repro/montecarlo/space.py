@@ -28,6 +28,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from ..errors import NetlistError
+from . import qmc
 from ..netlist.elements import (
     Capacitor,
     Conductor,
@@ -136,36 +137,73 @@ class ParameterSpace:
     # samplers
     # ------------------------------------------------------------------ #
 
-    def sample_multipliers(self, count, seed=0) -> np.ndarray:
-        """``(count, len(space))`` relative multipliers from a seeded RNG.
+    def sample_multipliers(self, count, seed=0, method="random") -> np.ndarray:
+        """``(count, len(space))`` relative multipliers, seeded + deterministic.
 
-        Gaussian axes draw ``1 + (fraction/3)·N(0,1)`` (the band is the
-        3-sigma point); uniform axes draw flat across ``1 ± fraction``;
-        corner axes draw the two band edges with equal probability.
+        ``method`` selects the point set:
+
+        * ``"random"`` (default) — pseudo-random draws from one seeded
+          :class:`numpy.random.Generator`, the historical behaviour bit for
+          bit;
+        * ``"sobol"`` — a digitally-shifted Sobol' sequence
+          (:func:`~repro.montecarlo.qmc.sobol_uniforms`);
+        * ``"lhs"`` — jittered Latin-hypercube strata
+          (:func:`~repro.montecarlo.qmc.latin_hypercube_uniforms`).
+
+        All methods honour the same seeded-determinism contract (same
+        ``count``/``seed``/``method`` → same bits) and map uniforms through
+        the per-axis distribution identically: gaussian axes produce
+        ``1 + (fraction/3)·N(0,1)`` (the band is the 3-sigma point), uniform
+        axes flat across ``1 ± fraction``, corner axes the two band edges.
         Multipliers are floored at ``fraction/100`` above zero so a many-sigma
         gaussian outlier can never flip an element value's sign.
         """
-        rng = np.random.default_rng(seed)
         count = int(count)
         if count <= 0:
             raise NetlistError("sample count must be positive")
+        if method == "random":
+            rng = np.random.default_rng(seed)
+            columns = []
+            for axis in self.axes:
+                fraction = axis.tolerance.fraction
+                kind = axis.tolerance.distribution
+                if kind == "gaussian":
+                    column = (1.0
+                              + (fraction / 3.0) * rng.standard_normal(count))
+                elif kind == "uniform":
+                    column = 1.0 + fraction * rng.uniform(-1.0, 1.0, count)
+                else:  # corner
+                    column = 1.0 + fraction * rng.choice([-1.0, 1.0], count)
+                columns.append(np.maximum(column, fraction / 100.0))
+            return np.column_stack(columns)
+        if method == "sobol":
+            uniforms = qmc.sobol_uniforms(count, len(self.axes), seed)
+        elif method == "lhs":
+            uniforms = qmc.latin_hypercube_uniforms(count, len(self.axes),
+                                                    seed)
+        else:
+            raise NetlistError(
+                f"unknown sampling method {method!r}: "
+                "expected 'random', 'sobol' or 'lhs'")
         columns = []
-        for axis in self.axes:
+        for position, axis in enumerate(self.axes):
             fraction = axis.tolerance.fraction
             kind = axis.tolerance.distribution
+            u = uniforms[:, position]
             if kind == "gaussian":
-                column = 1.0 + (fraction / 3.0) * rng.standard_normal(count)
+                column = (1.0
+                          + (fraction / 3.0) * qmc.inverse_normal_cdf(u))
             elif kind == "uniform":
-                column = 1.0 + fraction * rng.uniform(-1.0, 1.0, count)
+                column = 1.0 + fraction * (2.0 * u - 1.0)
             else:  # corner
-                column = 1.0 + fraction * rng.choice([-1.0, 1.0], count)
+                column = 1.0 + fraction * np.where(u < 0.5, -1.0, 1.0)
             columns.append(np.maximum(column, fraction / 100.0))
         return np.column_stack(columns)
 
-    def sample_values(self, count, seed=0) -> np.ndarray:
+    def sample_values(self, count, seed=0, method="random") -> np.ndarray:
         """``(count, len(space))`` sampled element values (seeded, deterministic)."""
-        return self.nominal_values[None, :] * self.sample_multipliers(count,
-                                                                      seed)
+        return self.nominal_values[None, :] * self.sample_multipliers(
+            count, seed, method)
 
     def corner_multipliers(self) -> np.ndarray:
         """Deterministic tolerance-band corner multipliers.

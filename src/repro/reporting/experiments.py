@@ -928,6 +928,134 @@ def run_montecarlo_ensemble(num_samples=256, num_points=200, tolerance=0.05,
 
 
 # --------------------------------------------------------------------------- #
+# Supervised parallel ensemble — multiprocess driver vs single-process
+# --------------------------------------------------------------------------- #
+
+
+@dataclasses.dataclass
+class ParallelEnsembleResult:
+    """Supervised multiprocess ensemble vs the single-process resilient run.
+
+    Both arms evaluate the *same* up-front sampled values with quarantine
+    on; ``bit_identical`` asserts the supervised driver's whole contract —
+    responses, quarantined indices and the fixed-shard-order statistics
+    stream all match the ``workers=1`` reference exactly.  Throughputs are
+    in ensemble sample·frequency points per second, the unit a production
+    tolerance run is provisioned by.
+    """
+
+    circuit_name: str
+    dimension: int
+    num_samples: int
+    num_frequencies: int
+    num_axes: int
+    shard_size: int
+    workers: int
+    single_seconds: float
+    parallel_seconds: float
+    redispatches: int
+    quarantined: int
+    #: Responses, quarantined indices and statistics of the multiprocess
+    #: arm match the workers=1 reference bit for bit.
+    bit_identical: bool
+
+    @property
+    def sample_points(self) -> int:
+        return self.num_samples * self.num_frequencies
+
+    @property
+    def single_throughput(self) -> float:
+        """Single-process sample·points per second."""
+        return self.sample_points / self.single_seconds
+
+    @property
+    def parallel_throughput(self) -> float:
+        """Multiprocess sample·points per second."""
+        return self.sample_points / self.parallel_seconds
+
+    @property
+    def speedup(self) -> float:
+        """Wall-clock ratio single-process / multiprocess."""
+        if self.parallel_seconds == 0.0:
+            return float("inf")
+        return self.single_seconds / self.parallel_seconds
+
+    def describe(self) -> str:
+        """One line for the experiment table."""
+        return (
+            f"{self.circuit_name:>12} (n={self.dimension:>3}, "
+            f"M={self.num_samples:>6}, F={self.num_frequencies:>3}, "
+            f"shard={self.shard_size}): "
+            f"single {self.single_seconds:6.2f} s "
+            f"({self.single_throughput:9.0f} pts/s), "
+            f"{self.workers} workers {self.parallel_seconds:6.2f} s "
+            f"({self.parallel_throughput:9.0f} pts/s, "
+            f"speedup {self.speedup:4.2f}x), "
+            f"redispatches {self.redispatches}, "
+            f"quarantined {self.quarantined}, "
+            f"bit-identical {'ok' if self.bit_identical else 'NO'}"
+        )
+
+
+def run_parallel_ensemble(num_samples=100_000, num_points=8, tolerance=0.05,
+                          seed=42, shard_size=1024, workers=None,
+                          f_min=1.0, f_max=1e8) -> ParallelEnsembleResult:
+    """Throughput and bit-parity of the supervised multiprocess driver.
+
+    The µA741 tolerance ensemble is drawn once and evaluated twice with
+    quarantine on: sequentially in-process (``workers=1``) and through the
+    supervised multiprocess driver.  On a single-core box the parallel arm
+    only pays its supervision overhead; either way the bit-parity gate — the
+    actual ISSUE 9 contract — is asserted on the full production shape.
+    """
+    import os as _os
+
+    from ..montecarlo import parallel_ensemble_sweep
+
+    circuit, spec, space = ua741_tolerance_space(tolerance)
+    frequencies = np.logspace(np.log10(f_min), np.log10(f_max), num_points)
+    values = space.sample_values(num_samples, seed=seed)
+    if workers is None:
+        workers = max(2, min(4, _os.cpu_count() or 1))
+
+    start = time.perf_counter()
+    single = parallel_ensemble_sweep(circuit, spec, frequencies, space,
+                                     values=values, shard_size=shard_size,
+                                     workers=1)
+    single_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = parallel_ensemble_sweep(circuit, spec, frequencies, space,
+                                       values=values, shard_size=shard_size,
+                                       workers=workers)
+    parallel_seconds = time.perf_counter() - start
+
+    statistics_identical = all(
+        np.array_equal(getattr(single.parallel.statistics, field),
+                       getattr(parallel.parallel.statistics, field))
+        for field in ("sum_db", "sumsq_db", "min_db", "max_db"))
+    bit_identical = (
+        np.array_equal(single.responses, parallel.responses, equal_nan=True)
+        and single.report.quarantined == parallel.report.quarantined
+        and single.parallel.statistics.count == parallel.parallel.statistics.count
+        and statistics_identical)
+    return ParallelEnsembleResult(
+        circuit_name="ua741",
+        dimension=system_dimension(circuit),
+        num_samples=num_samples,
+        num_frequencies=num_points,
+        num_axes=len(space),
+        shard_size=shard_size,
+        workers=parallel.parallel.workers,
+        single_seconds=single_seconds,
+        parallel_seconds=parallel_seconds,
+        redispatches=parallel.parallel.redispatches,
+        quarantined=len(parallel.report.quarantined),
+        bit_identical=bool(bit_identical),
+    )
+
+
+# --------------------------------------------------------------------------- #
 # Compiled transfer model — coefficient-tensor serving vs the matrix engine
 # --------------------------------------------------------------------------- #
 

@@ -21,7 +21,11 @@ time, patched inside context managers:
 * :func:`failing_kernel` replaces
   ``repro.engine.resilience.batched_solve`` with a wrapper that raises
   :class:`~repro.errors.SingularMatrixError` on its N-th call and passes
-  every other call through untouched.
+  every other call through untouched;
+* :func:`parallel_faults` installs a **process-level** fault plan for the
+  supervised multiprocess driver — SIGKILL a worker mid-shard, hang it past
+  the heartbeat timeout, or crash the attempt — shipped to workers inside
+  the pickled payload, so it works under fork and spawn alike.
 """
 
 from __future__ import annotations
@@ -32,6 +36,7 @@ import numpy as np
 
 import repro.engine.resilience as resilience
 import repro.montecarlo.engine as ensemble_engine
+import repro.montecarlo.parallel as parallel_engine
 from repro.errors import SingularMatrixError
 
 #: Supported per-sample fault kinds.
@@ -68,34 +73,61 @@ class ChaosProgram:
     Every other attribute — ``dimension``, ``sparse_values``, … — is
     forwarded to the wrapped program untouched, so the engine cannot tell
     the difference until it looks at the corrupted matrices.
+
+    With ``ensemble_values`` (the full ``(M, E)`` value matrix of the run)
+    the fault indices are **global**: each row of the slice this program is
+    handed is mapped back to its ensemble index by exact byte match, so a
+    sharded run — checkpointed or multiprocess, where each shard sees only
+    its own rows — corrupts exactly the same samples as an unsharded one.
+    (Values are drawn up front and shipped bit-exactly through shared
+    memory, so byte-identity is guaranteed.)  Without it, indices are
+    positions within whatever slice ``dense_parts`` receives.
     """
 
-    def __init__(self, program, faults, epsilon=1e-14):
+    def __init__(self, program, faults, epsilon=1e-14,
+                 ensemble_values=None):
         self._program = program
         self._faults = dict(faults)
         self._epsilon = epsilon
+        self._row_index = None
+        if ensemble_values is not None:
+            rows = np.ascontiguousarray(np.asarray(ensemble_values,
+                                                   dtype=float))
+            self._row_index = {rows[i].tobytes(): i
+                               for i in range(rows.shape[0])}
 
     def __getattr__(self, name):
         return getattr(self._program, name)
+
+    def _global_index(self, values, position):
+        if self._row_index is None:
+            return position
+        row = np.ascontiguousarray(values[position]).tobytes()
+        return self._row_index.get(row, -1)
 
     def dense_parts(self, values):
         constant, dynamic = self._program.dense_parts(values)
         constant = constant.copy()
         dynamic = dynamic.copy()
-        for sample, kind in self._faults.items():
-            if 0 <= sample < constant.shape[0]:
-                inject_dense_fault(constant[sample], dynamic[sample],
+        for position in range(constant.shape[0]):
+            kind = self._faults.get(self._global_index(values, position))
+            if kind is not None:
+                inject_dense_fault(constant[position], dynamic[position],
                                    kind, self._epsilon)
         return constant, dynamic
 
 
 @contextlib.contextmanager
-def ensemble_faults(faults, epsilon=1e-14):
+def ensemble_faults(faults, epsilon=1e-14, ensemble_values=None):
     """Corrupt chosen ensemble samples inside the ``with`` block.
 
     Patches the ``ValueProgram`` name the ensemble engine instantiates, so
     any :func:`~repro.montecarlo.engine.ensemble_sweep` call in the block
-    sees a :class:`ChaosProgram` with the given ``faults`` mapping.
+    sees a :class:`ChaosProgram` with the given ``faults`` mapping.  Pass
+    ``ensemble_values`` to make the indices global across sharded runs
+    (see :class:`ChaosProgram`).  The patch is inherited by worker
+    processes forked inside the block, so it also covers multiprocess
+    ensembles under the default Linux start method.
     """
     original = ensemble_engine.ValueProgram
 
@@ -103,13 +135,37 @@ def ensemble_faults(faults, epsilon=1e-14):
         @staticmethod
         def from_circuit(circuit, space):
             return ChaosProgram(original.from_circuit(circuit, space),
-                                faults, epsilon)
+                                faults, epsilon,
+                                ensemble_values=ensemble_values)
 
     ensemble_engine.ValueProgram = _ChaosFactory
     try:
         yield
     finally:
         ensemble_engine.ValueProgram = original
+
+
+@contextlib.contextmanager
+def parallel_faults(plan):
+    """Install a process-level fault plan for the supervised driver.
+
+    ``plan`` maps shard index → action spec, where an action is ``"kill"``
+    (SIGKILL the worker mid-shard), ``"hang"`` (stop heartbeating and sleep
+    past the deadline) or ``"crash"`` (raise inside the worker).  A bare
+    string fires on **every** attempt of that shard (a poisoned shard); a
+    list is indexed by attempt number, so ``["kill"]`` fails attempt 1 only
+    and lets the re-dispatch succeed.
+
+    :func:`repro.montecarlo.parallel.run_shards` snapshots the plan into
+    the worker payload at call time, so it reaches workers through the
+    pickled payload regardless of start method.
+    """
+    original = parallel_engine._FAULT_PLAN
+    parallel_engine._FAULT_PLAN = dict(plan)
+    try:
+        yield
+    finally:
+        parallel_engine._FAULT_PLAN = original
 
 
 @contextlib.contextmanager

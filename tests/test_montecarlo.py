@@ -148,6 +148,96 @@ class TestParameterSpace:
         corners = space.corner_multipliers()
         assert corners.shape == (2 * 14 + 2, 14)  # extremes + one-at-a-time
 
+    @pytest.mark.parametrize("method", ["sobol", "lhs"])
+    def test_qmc_same_seeded_determinism_contract(self, toleranced_rc,
+                                                  method):
+        circuit, __ = toleranced_rc
+        space = ParameterSpace(circuit)
+        first = space.sample_values(64, seed=7, method=method)
+        second = space.sample_values(64, seed=7, method=method)
+        other = space.sample_values(64, seed=8, method=method)
+        assert np.array_equal(first, second)
+        assert not np.array_equal(first, other)
+        assert first.shape == (64, 4)
+        assert (first > 0).all()
+        # Band coverage: multipliers live inside the 3-sigma/flat band.
+        multipliers = first / space.nominal_values[None, :]
+        assert multipliers.min() > 0.5 and multipliers.max() < 1.5
+
+    @pytest.mark.parametrize("method", ["sobol", "lhs"])
+    def test_qmc_dimension_prefix_consistent(self, toleranced_rc, method):
+        # Adding tolerance axes must not change the draws of the axes that
+        # were already there (each dimension derives randomization from its
+        # own [seed, dimension] child stream).
+        circuit = Circuit("bare-rc2")
+        circuit.add_voltage_source("vin", "in", "0", 1.0)
+        circuit.add_resistor("R1", "in", "mid", 1e3)
+        circuit.add_capacitor("C1", "mid", "0", 1e-9)
+        circuit.add_resistor("R2", "mid", "out", 2.2e3)
+        circuit.add_capacitor("C2", "out", "0", 470e-12)
+        narrow = ParameterSpace(circuit, {"R1": 0.1, "C1": 0.1})
+        wide = ParameterSpace(circuit, {"R1": 0.1, "C1": 0.1,
+                                        "R2": 0.1, "C2": 0.1})
+        assert wide.names[:2] == narrow.names
+        narrow_draw = narrow.sample_multipliers(32, seed=5, method=method)
+        wide_draw = wide.sample_multipliers(32, seed=5, method=method)
+        assert np.array_equal(wide_draw[:, :2], narrow_draw)
+
+    def test_sobol_count_prefix_consistent(self, toleranced_rc):
+        circuit, __ = toleranced_rc
+        space = ParameterSpace(circuit)
+        short = space.sample_multipliers(32, seed=5, method="sobol")
+        long = space.sample_multipliers(128, seed=5, method="sobol")
+        assert np.array_equal(long[:32], short)
+
+    def test_qmc_stratification_beats_random(self, toleranced_rc):
+        # The point of QMC: one-dimensional projections cover the band
+        # evenly.  With 64 LHS samples every one of 64 strata is hit exactly
+        # once; Sobol at a power of two does the same.
+        circuit, __ = toleranced_rc
+        space = ParameterSpace(circuit, {"R1": Tolerance(0.1, "uniform")})
+        for method in ("sobol", "lhs"):
+            multipliers = space.sample_multipliers(64, seed=2, method=method)
+            u = (multipliers[:, 0] - 0.9) / 0.2   # back to [0, 1)
+            counts = np.bincount(np.clip((u * 64).astype(int), 0, 63),
+                                 minlength=64)
+            assert counts.max() == 1, method
+
+    def test_qmc_rejects_unknown_method_and_oversized_sobol(self,
+                                                            toleranced_rc):
+        from repro.montecarlo.qmc import SOBOL_MAX_DIMS
+
+        circuit, __ = toleranced_rc
+        space = ParameterSpace(circuit)
+        with pytest.raises(NetlistError, match="unknown sampling method"):
+            space.sample_multipliers(8, seed=0, method="halton")
+        circuit = Circuit("wide")
+        circuit.add_voltage_source("vin", "in", "0", 1.0)
+        previous = "in"
+        for index in range(SOBOL_MAX_DIMS + 1):
+            node = f"n{index}"
+            circuit.add_resistor(f"R{index}", previous, node, 1e3)
+            circuit.replace(circuit[f"R{index}"].with_tolerance(0.05))
+            previous = node
+        wide = ParameterSpace(circuit)
+        with pytest.raises(NetlistError, match="sobol sampling supports"):
+            wide.sample_multipliers(8, seed=0, method="sobol")
+        # LHS has no dimension cap.
+        assert wide.sample_multipliers(8, seed=0, method="lhs").shape == (
+            8, SOBOL_MAX_DIMS + 1)
+
+    def test_qmc_ensemble_end_to_end(self, toleranced_rc):
+        # QMC values flow through the vectorized engine exactly like random
+        # ones: pass them via values=, bit-identical to the rebuild path.
+        circuit, spec = toleranced_rc
+        space = ParameterSpace(circuit)
+        values = space.sample_values(8, seed=4, method="sobol")
+        vectorized = ensemble_sweep(circuit, spec, FREQUENCIES, space,
+                                    values=values, solver="lu")
+        rebuilt = rebuild_sweep(circuit, spec, FREQUENCIES, space,
+                                values=values)
+        assert np.array_equal(vectorized.responses, rebuilt.responses)
+
     def test_apply_rebuilds_values(self, toleranced_rc):
         circuit, __ = toleranced_rc
         space = ParameterSpace(circuit)

@@ -260,6 +260,27 @@ class TestSweepQuarantineParity:
         assert "quarantined" in format_sweep_report(report)
 
     @pytest.mark.parametrize("method", ["dense", "sparse"])
+    @pytest.mark.parametrize("drive", [1e-6, 1e-9, 1e-12])
+    def test_small_drive_inconsistency_still_quarantined(self, method, drive):
+        # Regression: the old gate scaled the residual by ‖b‖∞, so a tiny
+        # current into the floating node (1e-6 A against the 1 V source
+        # elsewhere in b) scored ~1e-6 and was silently "rescued" even
+        # though the s = 0 system is inconsistent.  The componentwise gate
+        # judges the zero row against its own rhs entry and must quarantine
+        # no matter how small the drive is.
+        circuit = build_floating_at_dc()
+        circuit.add_current_source("Ib", "b", "0", drive)
+        system = build_mna_system(circuit)
+        s = np.array([0j, 2j * np.pi * 1e3])
+        engine = SweepEngine(system, method=method)
+        solutions = engine.solve_sweep(s, system.rhs,
+                                       on_failure="quarantine")
+        report = engine.last_report
+        assert report.quarantined == [0]
+        assert np.isnan(solutions[0]).all()
+        assert np.isfinite(solutions[1]).all()
+
+    @pytest.mark.parametrize("method", ["dense", "sparse"])
     def test_consistent_singular_point_rescued(self, method):
         # The *undriven* floating node is a zero row against a zero rhs
         # entry: still singular, but consistent — the regularized stage can
@@ -460,6 +481,70 @@ class TestCheckpointedEnsembles:
         with pytest.raises(CheckpointError):
             checkpointed_ensemble_sweep(circuit, spec, FREQUENCIES, space,
                                         path=str(path), samples=12, seed=3)
+
+    def _valid_checkpoint(self, ladder, tmp_path, name="run.npz"):
+        circuit, spec, space = ladder
+        path = tmp_path / name
+        checkpointed_ensemble_sweep(circuit, spec, FREQUENCIES, space,
+                                    path=str(path), samples=12, seed=3,
+                                    shard_size=6, max_shards=1)
+        return circuit, spec, space, path
+
+    def test_truncated_checkpoint_rejected(self, ladder, tmp_path):
+        # A torn copy from a foreign filesystem: the zip central directory
+        # (written last) is gone.  os.replace atomicity cannot protect a
+        # file that was truncated *after* it was written somewhere else.
+        circuit, spec, space, path = self._valid_checkpoint(ladder, tmp_path)
+        whole = path.read_bytes()
+        for keep in (len(whole) // 2, len(whole) - 8):
+            path.write_bytes(whole[:keep])
+            with pytest.raises(CheckpointError, match="cannot read"):
+                checkpoint_info(str(path))
+            with pytest.raises(CheckpointError, match="cannot read"):
+                checkpointed_ensemble_sweep(circuit, spec, FREQUENCIES,
+                                            space, path=str(path),
+                                            samples=12, seed=3, shard_size=6)
+
+    def test_wrong_magic_rejected(self, ladder, tmp_path):
+        # Right size, wrong bytes at the front: not a zip archive at all.
+        circuit, spec, space, path = self._valid_checkpoint(ladder, tmp_path)
+        whole = bytearray(path.read_bytes())
+        whole[:4] = b"XXXX"
+        path.write_bytes(bytes(whole))
+        with pytest.raises(CheckpointError, match="cannot read"):
+            checkpoint_info(str(path))
+
+    def test_torn_member_rejected(self, ladder, tmp_path):
+        # The archive structure survives but a member's compressed payload
+        # is corrupted — CRC / decompression failure must surface as
+        # CheckpointError, not zlib garbage or silently wrong arrays.
+        circuit, spec, space, path = self._valid_checkpoint(ladder, tmp_path)
+        whole = bytearray(path.read_bytes())
+        # Flip bytes in the middle of the file, inside member payloads but
+        # far from the end-of-archive records.
+        middle = len(whole) // 2
+        for offset in range(middle, middle + 64):
+            whole[offset] ^= 0xFF
+        path.write_bytes(bytes(whole))
+        with pytest.raises(CheckpointError):
+            checkpointed_ensemble_sweep(circuit, spec, FREQUENCIES, space,
+                                        path=str(path), samples=12, seed=3,
+                                        shard_size=6)
+
+    def test_inconsistent_shapes_rejected(self, ladder, tmp_path):
+        # A checkpoint whose arrays disagree with its own bookkeeping (a
+        # partially-written shard recovered by a foreign tool) must not
+        # flow into the resume path.
+        from repro.montecarlo import checkpoint as checkpoint_module
+
+        circuit, spec, space, path = self._valid_checkpoint(ladder, tmp_path)
+        with np.load(str(path), allow_pickle=False) as archive:
+            state = {key: archive[key] for key in archive.files}
+        state["responses"] = state["responses"][:-2]
+        with open(str(path), "wb") as handle:
+            np.savez(handle, **state)
+        with pytest.raises(CheckpointError, match="internally inconsistent"):
+            checkpoint_module._load_checkpoint(str(path))
 
 
 class TestSingularCircuitsAllEngines:
