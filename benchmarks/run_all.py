@@ -137,6 +137,42 @@ def run_quantitative(smoke=False):
     if not smoke and (os.cpu_count() or 1) >= 4:
         assert parallel.speedup >= 0.7, parallel.describe()
 
+    # Streaming ensemble: O(F)-memory estimators under a hard tracemalloc
+    # ceiling, multiprocess bit parity and the importance-sampled yield
+    # cross-check — all gates asserted in smoke and full mode alike.
+    from repro.reporting.experiments import run_streaming_ensemble
+
+    streaming_shape = ((20_000, 8, 1024, 96.0, 800) if smoke
+                       else (1_000_000, 8, 1024, 256.0, 2000))
+    start = time.perf_counter()
+    streaming = run_streaming_ensemble(num_samples=streaming_shape[0],
+                                       num_points=streaming_shape[1],
+                                       shard_size=streaming_shape[2],
+                                       memory_ceiling_mb=streaming_shape[3],
+                                       yield_samples=streaming_shape[4])
+    records.append(_record(
+        "streaming_ensemble", streaming.circuit_name,
+        time.perf_counter() - start,
+        streaming.materialized_mb / max(streaming.traced_peak_mb, 1e-9),
+        0.0 if streaming.bit_identical else float("inf"),
+        {"samples": streaming.num_samples,
+         "points": streaming.num_frequencies,
+         "shard_size": streaming.shard_size,
+         "sample_points_per_second": round(streaming.throughput, 1),
+         "traced_peak_mb": round(streaming.traced_peak_mb, 2),
+         "materialized_mb": round(streaming.materialized_mb, 2),
+         "rss_peak_mb": round(streaming.rss_peak_mb, 1),
+         "memory_ceiling_mb": streaming.memory_ceiling_mb,
+         "bit_identical": streaming.bit_identical,
+         "plain_failure": streaming.plain_failure,
+         "weighted_failure": streaming.weighted_failure,
+         "failure_ess": round(streaming.failure_ess, 1),
+         "is_consistent": streaming.is_consistent}))
+    print(streaming.describe())
+    assert streaming.within_ceiling, streaming.describe()
+    assert streaming.bit_identical, streaming.describe()
+    assert streaming.is_consistent, streaming.describe()
+
     # Compiled transfer model: tensor serving vs the matrix engine over the
     # same draws, with the parity and compile-once gates asserted either way.
     start = time.perf_counter()
@@ -214,7 +250,7 @@ def run_scripted():
     skip = {"run_all", "conftest"}
     quantitative = {"bench_batch_sweep", "bench_sensitivity", "bench_session",
                     "bench_sdg", "bench_montecarlo", "bench_scaling",
-                    "bench_compiled", "bench_parallel"}
+                    "bench_compiled", "bench_parallel", "bench_streaming"}
     for path in sorted(BENCH_DIR.glob("bench_*.py")):
         module_name = path.stem
         if module_name in skip or module_name in quantitative:

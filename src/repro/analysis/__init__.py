@@ -14,8 +14,10 @@ from .ac import ACAnalysis, ac_sweep
 from .bode import (BodeData, bode_from_response, bode_sweep, gain_margin_db,
                    phase_margin_deg)
 from .compare import BodeComparison, compare_responses
-from .montecarlo import (CornerResult, MonteCarloResult, ResponseEnvelope,
-                         YieldResult, YieldSpec, corner_analysis,
+from .montecarlo import (CornerResult, ImportanceYieldResult,
+                         MonteCarloResult, ResponseEnvelope, YieldResult,
+                         YieldSpec, corner_analysis,
+                         importance_shift_from_screening, importance_yield,
                          monte_carlo_analysis, variance_attribution,
                          yield_analysis)
 from .poles import polynomial_roots, reference_poles_zeros
@@ -36,6 +38,9 @@ __all__ = [
     "ResponseEnvelope",
     "CornerResult",
     "YieldSpec",
+    "ImportanceYieldResult",
+    "importance_yield",
+    "importance_shift_from_screening",
     "YieldResult",
     "monte_carlo_analysis",
     "corner_analysis",

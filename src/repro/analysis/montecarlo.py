@@ -42,10 +42,13 @@ __all__ = [
     "CornerResult",
     "YieldSpec",
     "YieldResult",
+    "ImportanceYieldResult",
     "monte_carlo_analysis",
     "corner_analysis",
     "variance_attribution",
     "yield_analysis",
+    "importance_yield",
+    "importance_shift_from_screening",
 ]
 
 
@@ -200,8 +203,32 @@ class MonteCarloResult:
 
         Quarantined samples of a resilient run are excluded — the envelope
         describes the samples that actually solved.
+
+        A streaming ensemble (``store_responses=False``) is served from its
+        :class:`~repro.montecarlo.statistics.EnsembleStatistics` accumulator
+        instead of the materialized responses: extremes and moments are the
+        exact streaming folds, and the percentile curves come from the
+        fixed-bin magnitude histogram (accurate to one bin width — 0.5 dB
+        at the defaults).
         """
         low, high = percentiles
+        statistics = getattr(self.ensemble, "statistics", None)
+        if self.ensemble.responses is None and statistics is not None:
+            if statistics.count == 0:
+                raise LinAlgError(
+                    "every ensemble sample is quarantined; no surviving "
+                    "samples to compute statistics over "
+                    "(see EnsembleResult.report)")
+            return ResponseEnvelope(
+                frequencies=self.frequencies,
+                minimum_db=statistics.min_db.copy(),
+                maximum_db=statistics.max_db.copy(),
+                mean_db=statistics.mean_db(),
+                std_db=statistics.std_db(),
+                percentile_low_db=statistics.percentile_db(low),
+                percentile_high_db=statistics.percentile_db(high),
+                percentiles=(float(low), float(high)),
+            )
         magnitudes = _surviving_magnitudes(self.ensemble)
         return ResponseEnvelope(
             frequencies=self.frequencies,
@@ -227,7 +254,8 @@ def monte_carlo_analysis(circuit, output, frequencies, space=None, *,
                          samples=128, seed=0, tolerances=None,
                          solver="lapack", method="auto", workers=None,
                          processes=None, session=None, on_failure="raise",
-                         policy=None) -> MonteCarloResult:
+                         policy=None, store_responses=True,
+                         shard_size=1024) -> MonteCarloResult:
     """Run a Monte Carlo tolerance analysis of ``circuit``.
 
     Parameters
@@ -265,6 +293,15 @@ def monte_carlo_analysis(circuit, output, frequencies, space=None, *,
         raising, ``policy`` a :class:`~repro.engine.resilience.SolvePolicy`.
         Resilient runs bypass the session memo (the quarantine report is a
         run artefact, not a cacheable response).
+    store_responses, shard_size:
+        ``store_responses=False`` selects the streaming estimation mode of
+        the ensemble drivers: responses are folded shard by shard
+        (``shard_size`` samples each) into O(F)-memory accumulators and
+        never materialized, so ``samples`` can reach 10⁶ on one machine.
+        :meth:`MonteCarloResult.envelope` then serves extremes / moments /
+        histogram percentiles from the accumulator; per-sample accessors
+        (``responses``, attribution, yield) are unavailable.  Streaming
+        runs bypass the session memo.
 
     Returns
     -------
@@ -272,6 +309,12 @@ def monte_carlo_analysis(circuit, output, frequencies, space=None, *,
     """
     if space is None:
         space = ParameterSpace(circuit, tolerances)
+    if not store_responses:
+        return _monte_carlo(circuit, output, frequencies, space, samples,
+                            seed, solver, method, workers, session=session,
+                            on_failure=on_failure, policy=policy,
+                            processes=processes, store_responses=False,
+                            shard_size=shard_size)
     if processes is not None and processes != 1:
         return _monte_carlo(circuit, output, frequencies, space, samples,
                             seed, solver, method, workers, session=session,
@@ -288,21 +331,27 @@ def monte_carlo_analysis(circuit, output, frequencies, space=None, *,
 
 def _monte_carlo(circuit, output, frequencies, space, samples, seed, solver,
                  method, workers, session=None, on_failure="raise",
-                 policy=None, processes=None) -> MonteCarloResult:
+                 policy=None, processes=None, store_responses=True,
+                 shard_size=1024) -> MonteCarloResult:
     """The analysis itself (no memoization) — session feeds the nominal sweep."""
     frequencies = np.asarray(frequencies, dtype=float)
     if processes is not None and processes != 1:
         from ..montecarlo.parallel import parallel_ensemble_sweep
 
+        extra = ({"store_responses": False, "shard_size": shard_size}
+                 if not store_responses else {})
         ensemble = parallel_ensemble_sweep(
             circuit, output, frequencies, space, samples=samples, seed=seed,
             solver=solver, method=method, workers=processes,
-            on_failure=on_failure, policy=policy)
+            on_failure=on_failure, policy=policy, **extra)
     else:
+        extra = ({"store_responses": False, "shard_size": shard_size}
+                 if not store_responses else {})
         ensemble = ensemble_sweep(circuit, output, frequencies, space,
                                   samples=samples, seed=seed, solver=solver,
                                   method=method, workers=workers,
-                                  on_failure=on_failure, policy=policy)
+                                  on_failure=on_failure, policy=policy,
+                                  **extra)
     nominal = ACAnalysis(circuit, output, method=method,
                          session=session).frequency_response(frequencies)
     return MonteCarloResult(ensemble=ensemble, nominal_response=nominal,
@@ -443,3 +492,179 @@ def yield_analysis(result, specs) -> YieldResult:
     return YieldResult(total=total, passed=total - len(failures),
                        per_spec=per_spec, failures=failures,
                        quarantined=quarantined)
+
+
+# --------------------------------------------------------------------- #
+# importance-sampled rare-failure yield
+# --------------------------------------------------------------------- #
+
+
+def importance_shift_from_screening(circuit, output, frequencies, space, *,
+                                    magnitude=3.0, direction="low",
+                                    session=None) -> Dict[str, float]:
+    """Per-axis proposal shifts aimed along the screened failure direction.
+
+    The rank-1 screening engine (the same linearization that
+    :func:`variance_attribution` validates statistically) gives each axis'
+    first-order magnitude slope ``∂|H|_dB/∂δ_e``.  In the per-axis sampling
+    units of :meth:`~repro.montecarlo.space.ParameterSpace.importance_sample`
+    (z-scores for gaussian axes, band units for uniform axes, ``fraction/3``
+    resp. ``fraction`` of relative deviation each) the least-unlikely
+    direction that moves the frequency-averaged gain is proportional to the
+    slope-times-unit gradient; this returns that direction scaled to
+    Euclidean length ``magnitude`` (so ``magnitude=3.0`` centres the
+    proposal three combined sigmas into the tail), signed toward lower gain
+    for ``direction="low"`` and higher gain for ``"high"``.
+
+    Corner axes have no continuous shift and are returned as 0.
+    """
+    if direction not in ("low", "high"):
+        raise ValueError(
+            f"direction must be 'low' or 'high', got {direction!r}")
+    perturbation = 0.01
+    screening = screen_elements(circuit, output, frequencies,
+                                elements=space.names,
+                                perturbation=perturbation, session=session)
+    baseline_db = 20.0 * np.log10(
+        np.maximum(np.abs(screening.baseline), np.finfo(float).tiny))
+    gradient = np.zeros(len(space))
+    for index, (axis, screen) in enumerate(zip(space.axes,
+                                               screening.screenings)):
+        if screen.perturbed_response is None:
+            continue
+        kind = axis.tolerance.distribution
+        if kind == "corner":
+            continue
+        unit = (axis.tolerance.fraction / 3.0 if kind == "gaussian"
+                else axis.tolerance.fraction)
+        perturbed_db = 20.0 * np.log10(
+            np.maximum(np.abs(screen.perturbed_response),
+                       np.finfo(float).tiny))
+        slope = float(np.mean((perturbed_db - baseline_db) / perturbation))
+        gradient[index] = slope * unit
+    norm = float(np.linalg.norm(gradient))
+    if norm == 0.0:
+        raise LinAlgError(
+            "screening gradient vanishes: no continuous axis moves the "
+            "output to first order, cannot aim an importance proposal")
+    sign = -1.0 if direction == "low" else 1.0
+    shifts = sign * float(magnitude) * gradient / norm
+    return {axis.name: float(shifts[index])
+            for index, axis in enumerate(space.axes)}
+
+
+@dataclasses.dataclass
+class ImportanceYieldResult:
+    """Rare-failure yield estimated by importance sampling.
+
+    Wraps the streaming ensemble (``ensemble.yields`` is the weighted
+    :class:`~repro.montecarlo.statistics.StreamingYield` accumulator) with
+    the resolved proposal parameters, exposing the two failure estimators
+    and the weight-health diagnostics a tail estimate must be read with:
+    :meth:`failure_diagnostics` (the failure-region effective sample size —
+    the one that predicts estimator variance) and :meth:`diagnostics`
+    (overall weights).
+    """
+
+    ensemble: EnsembleResult
+    shift: Dict[str, float]
+    scale: float
+    mixture: float
+    seed: int
+
+    @property
+    def streaming(self):
+        """The underlying :class:`~repro.montecarlo.statistics.StreamingYield`."""
+        return self.ensemble.yields
+
+    @property
+    def failure_probability(self) -> float:
+        """Unbiased likelihood-ratio estimate of ``P(fail)``."""
+        return self.streaming.failure_probability
+
+    @property
+    def failure_probability_normalized(self) -> float:
+        """Self-normalized estimate (lower variance, O(1/N) bias)."""
+        return self.streaming.failure_probability_normalized
+
+    @property
+    def failure_standard_error(self) -> float:
+        """Standard error of :attr:`failure_probability`."""
+        return self.streaming.failure_standard_error
+
+    @property
+    def yield_fraction(self) -> float:
+        """``1 − P(fail)`` from the unbiased estimator, clipped to [0, 1]."""
+        return float(min(1.0, max(0.0, 1.0 - self.failure_probability)))
+
+    def diagnostics(self):
+        """Overall weight diagnostics (Kish ESS, max-weight share)."""
+        return self.streaming.weight_diagnostics()
+
+    def failure_diagnostics(self):
+        """Failure-region weight diagnostics — gate tail estimates on this."""
+        return self.streaming.failure_diagnostics()
+
+
+def importance_yield(circuit, output, frequencies, specs, space=None, *,
+                     samples=4096, seed=0, tolerances=None, shift=None,
+                     scale=1.0, mixture=0.1, magnitude=3.0,
+                     solver="lapack", method="auto",
+                     on_failure="quarantine", policy=None,
+                     shard_size=1024, histogram_bins=None,
+                     histogram_range=None,
+                     session=None) -> ImportanceYieldResult:
+    """Estimate rare-failure yield with an importance-sampled ensemble.
+
+    Draws ``samples`` parameter vectors from a proposal pushed toward the
+    failure region (see
+    :meth:`~repro.montecarlo.space.ParameterSpace.importance_sample`), runs
+    them through the streaming ensemble engine with the likelihood-ratio
+    weights threaded into the accumulators, and scores ``specs`` per sample
+    — resolving failure probabilities far below ``1/samples``, where plain
+    Monte Carlo would see zero failures.
+
+    Parameters beyond :func:`monte_carlo_analysis`:
+
+    specs:
+        One :class:`YieldSpec` or a sequence (a sample fails when it misses
+        any of them).
+    shift:
+        The proposal centre: a scalar (every continuous axis), a
+        ``{element name: value}`` dict in per-axis sampling units, or
+        ``None`` to aim it automatically along the rank-1 screening
+        gradient scaled to length ``magnitude``
+        (:func:`importance_shift_from_screening`, toward lower gain).
+    scale, mixture:
+        Proposal width multiplier and defensive nominal-mixture fraction;
+        the ``mixture=0.1`` default bounds weights when the shift
+        overshoots the failure boundary.
+    magnitude:
+        Length of the auto-aimed shift (ignored when ``shift`` is given).
+
+    Always check :meth:`ImportanceYieldResult.failure_diagnostics` — a
+    degenerate failure-region ESS means the estimate rests on a handful of
+    weighted failures and its standard error is not trustworthy.
+    """
+    if space is None:
+        space = ParameterSpace(circuit, tolerances)
+    frequencies = np.asarray(frequencies, dtype=float)
+    if shift is None:
+        shift = importance_shift_from_screening(
+            circuit, output, frequencies, space, magnitude=magnitude,
+            direction="low", session=session)
+    values, weights = space.importance_sample(samples, seed, shift=shift,
+                                              scale=scale, mixture=mixture)
+    ensemble = ensemble_sweep(circuit, output, frequencies, space,
+                              values=values, solver=solver, method=method,
+                              on_failure=on_failure, policy=policy,
+                              store_responses=False, shard_size=shard_size,
+                              histogram_bins=histogram_bins,
+                              histogram_range=histogram_range,
+                              weights=weights, yield_specs=specs)
+    resolved = (dict(shift) if isinstance(shift, dict)
+                else {axis.name: float(shift) for axis in space.axes})
+    return ImportanceYieldResult(ensemble=ensemble, shift=resolved,
+                                 scale=float(scale) if np.isscalar(scale)
+                                 else scale,
+                                 mixture=float(mixture), seed=int(seed))

@@ -29,15 +29,21 @@ first-class workload on top of the :mod:`repro.engine` sweep machinery:
 * :mod:`repro.montecarlo.parallel` — :func:`parallel_ensemble_sweep`: the
   supervised multiprocess driver (shared-memory shards, crash / hang
   detection, bounded re-dispatch, deterministic cross-process quarantine),
-  bit-identical to a single-process resilient run for any worker count.
+  bit-identical to a single-process resilient run for any worker count,
+* :mod:`repro.montecarlo.statistics` — the mergeable streaming estimators
+  behind the drivers' ``store_responses=False`` mode:
+  :class:`EnsembleStatistics` (exact extremes / moments plus fixed-bin
+  magnitude histograms, O(F) memory at any sample count) and
+  :class:`StreamingYield` (weighted pass / fail accounting with
+  effective-sample-size diagnostics for importance-sampled tails).
 
 Statistical post-processing — envelopes, variance attribution, corners and
 yield — lives one layer up in :mod:`repro.analysis.montecarlo`.
 """
 
 from ..netlist.elements import Tolerance
-from .checkpoint import (CheckpointedRun, EnsembleStatistics,
-                         checkpoint_info, checkpointed_ensemble_sweep)
+from .checkpoint import (CheckpointedRun, checkpoint_info,
+                         checkpointed_ensemble_sweep)
 from .compiled import (compiled_corner_analysis, compiled_ensemble_sweep,
                        compiled_monte_carlo)
 from .engine import EnsembleResult, ensemble_sweep, rebuild_sweep
@@ -46,6 +52,9 @@ from .parallel import (ParallelRunInfo, SupervisorConfig,
 from .program import ValueProgram
 from .qmc import latin_hypercube_uniforms, sobol_uniforms
 from .space import ParameterSpace
+from .statistics import (DEFAULT_HISTOGRAM_BINS, DEFAULT_HISTOGRAM_RANGE,
+                         EnsembleStatistics, StreamingYield,
+                         WeightDiagnostics)
 
 __all__ = [
     "Tolerance",
@@ -58,6 +67,10 @@ __all__ = [
     "compiled_monte_carlo",
     "compiled_corner_analysis",
     "EnsembleStatistics",
+    "StreamingYield",
+    "WeightDiagnostics",
+    "DEFAULT_HISTOGRAM_BINS",
+    "DEFAULT_HISTOGRAM_RANGE",
     "CheckpointedRun",
     "checkpointed_ensemble_sweep",
     "checkpoint_info",

@@ -45,75 +45,19 @@ from ..engine.resilience import (SweepReport, merge_shard_report,
 from ..errors import CheckpointError
 from .engine import EnsembleResult, _normalize_output, ensemble_sweep
 from .space import ParameterSpace
+# EnsembleStatistics grew histogram / weight extensions and moved to
+# repro.montecarlo.statistics with the other streaming estimators; this
+# re-export keeps every historical import path working.
+from .statistics import EnsembleStatistics
 
 __all__ = ["EnsembleStatistics", "CheckpointedRun",
            "checkpointed_ensemble_sweep", "checkpoint_info"]
 
 #: On-disk format version; bumped on any incompatible layout change.
+#: Streaming runs (``store_responses=False``) add *optional* fields —
+#: weight totals, histogram counts — which absent readers simply ignore,
+#: so the version stays 1.
 _FORMAT_VERSION = 1
-
-
-@dataclasses.dataclass
-class EnsembleStatistics:
-    """Streaming per-frequency magnitude statistics (all in dB).
-
-    The mergeable accumulator behind checkpointing: ``count`` samples have
-    contributed their dB magnitude rows to ``sum_db`` / ``sumsq_db`` and the
-    running extremes.  Updates happen once per shard in fixed shard order,
-    so a resumed run reproduces the identical addition sequence and hence
-    identical bits.  Quarantined (NaN) samples never enter the accumulators.
-    """
-
-    frequencies: np.ndarray
-    count: int = 0
-    sum_db: Optional[np.ndarray] = None
-    sumsq_db: Optional[np.ndarray] = None
-    min_db: Optional[np.ndarray] = None
-    max_db: Optional[np.ndarray] = None
-
-    def __post_init__(self):
-        points = len(self.frequencies)
-        if self.sum_db is None:
-            self.sum_db = np.zeros(points)
-        if self.sumsq_db is None:
-            self.sumsq_db = np.zeros(points)
-        if self.min_db is None:
-            self.min_db = np.full(points, np.inf)
-        if self.max_db is None:
-            self.max_db = np.full(points, -np.inf)
-
-    def update(self, magnitudes_db: np.ndarray) -> None:
-        """Fold one shard's ``(K, F)`` surviving magnitude rows in."""
-        magnitudes_db = np.atleast_2d(np.asarray(magnitudes_db, dtype=float))
-        if magnitudes_db.shape[0] == 0:
-            return
-        self.count += magnitudes_db.shape[0]
-        self.sum_db += magnitudes_db.sum(axis=0)
-        self.sumsq_db += (magnitudes_db ** 2).sum(axis=0)
-        np.minimum(self.min_db, magnitudes_db.min(axis=0), out=self.min_db)
-        np.maximum(self.max_db, magnitudes_db.max(axis=0), out=self.max_db)
-
-    def merge(self, other: "EnsembleStatistics") -> None:
-        """Fold another accumulator (a later run of shards) into this one."""
-        self.count += other.count
-        self.sum_db += other.sum_db
-        self.sumsq_db += other.sumsq_db
-        np.minimum(self.min_db, other.min_db, out=self.min_db)
-        np.maximum(self.max_db, other.max_db, out=self.max_db)
-
-    def mean_db(self) -> np.ndarray:
-        """Per-frequency mean magnitude of the samples seen so far."""
-        if self.count == 0:
-            return np.full(len(self.frequencies), np.nan)
-        return self.sum_db / self.count
-
-    def std_db(self) -> np.ndarray:
-        """Per-frequency population standard deviation (dB)."""
-        if self.count == 0:
-            return np.full(len(self.frequencies), np.nan)
-        mean = self.sum_db / self.count
-        variance = np.maximum(self.sumsq_db / self.count - mean ** 2, 0.0)
-        return np.sqrt(variance)
 
 
 @dataclasses.dataclass
@@ -154,9 +98,18 @@ _merge_shard_report = merge_shard_report
 
 def _save_checkpoint(path, *, fingerprint, space_digest, seed, samples,
                      shard_size, solver, solver_used, method, on_failure,
-                     frequencies, completed, responses, statistics, report):
-    """Atomically write the run state: tmp file + :func:`os.replace`."""
-    temporary = path + ".tmp"
+                     frequencies, completed, responses, statistics, report,
+                     store_responses=True):
+    """Atomically write the run state: tmp file + :func:`os.replace`.
+
+    Streaming runs persist accumulators only: ``responses`` is a zero-row
+    array and the extra weight / histogram fields of the extended
+    :class:`~repro.montecarlo.statistics.EnsembleStatistics` ride along so
+    a resumed run restores the identical accumulator state.
+    """
+    temporary = os.fspath(path) + ".tmp"
+    histogram = (statistics.histogram if statistics.histogram is not None
+                 else np.zeros((0, 0)))
     with open(temporary, "wb") as handle:
         np.savez(
             handle,
@@ -170,14 +123,25 @@ def _save_checkpoint(path, *, fingerprint, space_digest, seed, samples,
             solver_used=np.array(solver_used),
             method=np.array(method),
             on_failure=np.array(on_failure),
+            store_responses=np.array(bool(store_responses)),
             frequencies=np.asarray(frequencies, dtype=float),
             completed=np.array(int(completed)),
-            responses=responses[:completed],
+            responses=(responses[:completed] if store_responses
+                       else np.zeros((0, len(frequencies)), dtype=complex)),
             stats_count=np.array(int(statistics.count)),
             stats_sum_db=statistics.sum_db,
             stats_sumsq_db=statistics.sumsq_db,
             stats_min_db=statistics.min_db,
             stats_max_db=statistics.max_db,
+            stats_weight_sum=np.array(float(statistics.weight_sum)),
+            stats_weight_sumsq=np.array(float(statistics.weight_sumsq)),
+            stats_max_weight=np.array(float(statistics.max_weight)),
+            stats_histogram_bins=np.array(int(statistics.histogram_bins)),
+            stats_histogram_low_db=np.array(
+                float(statistics.histogram_low_db)),
+            stats_histogram_high_db=np.array(
+                float(statistics.histogram_high_db)),
+            stats_histogram=histogram,
             report_json=np.array(_report_to_json(report)),
         )
     os.replace(temporary, path)
@@ -222,17 +186,51 @@ def _load_checkpoint(path):
             "stats_max_db": np.asarray(state["stats_max_db"], dtype=float),
             "report_json": str(state["report_json"]),
         }
+        # Streaming-era fields are optional: a PR 7/9 checkpoint predating
+        # them loads as a stored-responses run with no histogram and the
+        # count-derived weight totals.
+        unpacked["store_responses"] = bool(
+            state["store_responses"]) if "store_responses" in state else True
+        unpacked["stats_weight_sum"] = (
+            float(state["stats_weight_sum"]) if "stats_weight_sum" in state
+            else float(unpacked["stats_count"]))
+        unpacked["stats_weight_sumsq"] = (
+            float(state["stats_weight_sumsq"])
+            if "stats_weight_sumsq" in state
+            else float(unpacked["stats_count"]))
+        unpacked["stats_max_weight"] = (
+            float(state["stats_max_weight"]) if "stats_max_weight" in state
+            else (1.0 if unpacked["stats_count"] else 0.0))
+        unpacked["stats_histogram_bins"] = (
+            int(state["stats_histogram_bins"])
+            if "stats_histogram_bins" in state else 0)
+        unpacked["stats_histogram_low_db"] = (
+            float(state["stats_histogram_low_db"])
+            if "stats_histogram_low_db" in state else 0.0)
+        unpacked["stats_histogram_high_db"] = (
+            float(state["stats_histogram_high_db"])
+            if "stats_histogram_high_db" in state else 1.0)
+        unpacked["stats_histogram"] = (
+            np.asarray(state["stats_histogram"], dtype=float)
+            if "stats_histogram" in state else np.zeros((0, 0)))
     except KeyError as error:
         raise CheckpointError(
             f"ensemble checkpoint {path!r} is missing field {error}; "
             "corrupt or from an incompatible version") from error
     points = len(unpacked["frequencies"])
     completed = unpacked["completed"]
-    if unpacked["responses"].shape != (completed, points):
+    expected_rows = completed if unpacked["store_responses"] else 0
+    if unpacked["responses"].shape != (expected_rows, points):
         raise CheckpointError(
             f"ensemble checkpoint {path!r} is internally inconsistent: "
             f"responses shape {unpacked['responses'].shape} does not match "
-            f"{completed} completed samples × {points} frequency points")
+            f"{expected_rows} stored samples × {points} frequency points")
+    bins = unpacked["stats_histogram_bins"]
+    if bins and unpacked["stats_histogram"].shape != (points, bins):
+        raise CheckpointError(
+            f"ensemble checkpoint {path!r} is internally inconsistent: "
+            f"histogram shape {unpacked['stats_histogram'].shape} does not "
+            f"match {points} frequency points × {bins} bins")
     for field in ("stats_sum_db", "stats_sumsq_db",
                   "stats_min_db", "stats_max_db"):
         if unpacked[field].shape != (points,):
@@ -261,6 +259,7 @@ def checkpoint_info(path) -> dict:
         "solver": state["solver"],
         "method": state["method"],
         "on_failure": state["on_failure"],
+        "store_responses": state["store_responses"],
         "quarantined": report.quarantined if report is not None else [],
     }
 
@@ -270,8 +269,9 @@ def checkpointed_ensemble_sweep(circuit, output, frequencies, space=None, *,
                                 max_shards=None, tolerances=None,
                                 solver="lapack", method="auto",
                                 on_failure="quarantine", policy=None,
-                                workers=None,
-                                supervisor=None) -> CheckpointedRun:
+                                workers=None, supervisor=None,
+                                store_responses=True, histogram_bins=None,
+                                histogram_range=None) -> CheckpointedRun:
     """Run (or resume) a tolerance ensemble with periodic checkpointing.
 
     The ensemble is evaluated in shards of ``shard_size`` samples through the
@@ -315,6 +315,17 @@ def checkpointed_ensemble_sweep(circuit, output, frequencies, space=None, *,
         is at all times bit-identical to one a sequential run would have
         written, and a killed *supervisor* resumes bit-identically with
         any worker count.
+    store_responses, histogram_bins, histogram_range:
+        ``store_responses=False`` switches to the streaming estimation
+        mode: the checkpoint persists only the
+        :class:`~repro.montecarlo.statistics.EnsembleStatistics`
+        accumulator (O(F) state, histogram included) instead of the
+        ``(M, F)`` responses, the finished result carries
+        ``ensemble.responses=None``, and memory stays O(F) regardless of
+        ``samples``.  ``histogram_bins`` / ``histogram_range`` configure
+        the streaming percentile histogram exactly as for
+        :func:`~repro.montecarlo.engine.ensemble_sweep`.  A checkpoint
+        written in one mode cannot be resumed in the other.
 
     Returns
     -------
@@ -333,8 +344,20 @@ def checkpointed_ensemble_sweep(circuit, output, frequencies, space=None, *,
     space_digest = _space_key_digest(space)
     values = space.sample_values(samples, seed)
 
-    responses = np.zeros((samples, len(frequencies)), dtype=complex)
-    statistics = EnsembleStatistics(frequencies=frequencies)
+    store_responses = bool(store_responses)
+    from .statistics import DEFAULT_HISTOGRAM_BINS, DEFAULT_HISTOGRAM_RANGE
+    if histogram_bins is None:
+        bins = 0 if store_responses else DEFAULT_HISTOGRAM_BINS
+    else:
+        bins = int(histogram_bins)
+    low, high = histogram_range or DEFAULT_HISTOGRAM_RANGE
+
+    responses = np.zeros((samples if store_responses else 0,
+                          len(frequencies)), dtype=complex)
+    statistics = EnsembleStatistics(frequencies=frequencies,
+                                    histogram_bins=bins,
+                                    histogram_low_db=float(low),
+                                    histogram_high_db=float(high))
     resilient = on_failure == "quarantine" or policy is not None
     report = (SweepReport(label="ensemble member", kind="sample", total=0)
               if resilient else None)
@@ -350,7 +373,12 @@ def checkpointed_ensemble_sweep(circuit, output, frequencies, space=None, *,
         expected = {"fingerprint": fingerprint, "space_digest": space_digest,
                     "seed": int(seed), "samples": samples,
                     "shard_size": shard_size, "solver": solver,
-                    "method": method, "on_failure": on_failure}
+                    "method": method, "on_failure": on_failure,
+                    "store_responses": store_responses,
+                    "stats_histogram_bins": bins}
+        if bins:
+            expected["stats_histogram_low_db"] = float(low)
+            expected["stats_histogram_high_db"] = float(high)
         for field, value in expected.items():
             if state[field] != value:
                 raise CheckpointError(
@@ -361,11 +389,18 @@ def checkpointed_ensemble_sweep(circuit, output, frequencies, space=None, *,
                 f"checkpoint {path!r} belongs to a different run: "
                 "frequency grids differ")
         completed = state["completed"]
-        responses[:completed] = state["responses"]
+        if store_responses:
+            responses[:completed] = state["responses"]
         statistics = EnsembleStatistics(
             frequencies=frequencies, count=state["stats_count"],
             sum_db=state["stats_sum_db"], sumsq_db=state["stats_sumsq_db"],
-            min_db=state["stats_min_db"], max_db=state["stats_max_db"])
+            min_db=state["stats_min_db"], max_db=state["stats_max_db"],
+            weight_sum=state["stats_weight_sum"],
+            weight_sumsq=state["stats_weight_sumsq"],
+            max_weight=state["stats_max_weight"],
+            histogram_bins=bins, histogram_low_db=float(low),
+            histogram_high_db=float(high),
+            histogram=(state["stats_histogram"] if bins else None))
         report = _report_from_json(state["report_json"])
         solver_used = state["solver_used"]
     resumed_from = completed
@@ -373,9 +408,15 @@ def checkpointed_ensemble_sweep(circuit, output, frequencies, space=None, *,
     def fold_and_save(shard_view, start, stop):
         """Absorb one completed shard (in order) and persist the state."""
         nonlocal completed, solver_used
-        responses[start:stop] = shard_view.responses
-        surviving = shard_view.surviving_mask()
-        statistics.update(shard_view.magnitudes_db()[surviving])
+        if store_responses:
+            responses[start:stop] = shard_view.responses
+            surviving = shard_view.surviving_mask()
+            statistics.update(shard_view.magnitudes_db()[surviving])
+        else:
+            # The shard ran in streaming mode itself; merging its
+            # zero-initialized accumulator replays the identical addition
+            # sequence a stored-mode update would have (0.0 + x == x).
+            statistics.merge(shard_view.statistics)
         if report is not None and shard_view.report is not None:
             _merge_shard_report(report, shard_view.report, start)
         if report is not None:
@@ -389,7 +430,7 @@ def checkpointed_ensemble_sweep(circuit, output, frequencies, space=None, *,
                          method=method, on_failure=on_failure,
                          frequencies=frequencies, completed=completed,
                          responses=responses, statistics=statistics,
-                         report=report)
+                         report=report, store_responses=store_responses)
 
     shards_run = 0
     if workers is None or workers == 1:
@@ -398,10 +439,15 @@ def checkpointed_ensemble_sweep(circuit, output, frequencies, space=None, *,
                 break
             start = completed
             stop = min(start + shard_size, samples)
+            streaming_kwargs = ({} if store_responses else
+                                {"store_responses": False,
+                                 "shard_size": stop - start,
+                                 "histogram_bins": bins,
+                                 "histogram_range": (low, high)})
             shard = ensemble_sweep(circuit, output, frequencies, space,
                                    values=values[start:stop], solver=solver,
                                    method=method, on_failure=on_failure,
-                                   policy=policy)
+                                   policy=policy, **streaming_kwargs)
             fold_and_save(shard, start, stop)
             shards_run += 1
     else:
@@ -416,6 +462,7 @@ def checkpointed_ensemble_sweep(circuit, output, frequencies, space=None, *,
         if max_shards is not None:
             plan = plan[:max_shards]
         folded = 0
+        shard_stats = {}
 
         def absorb_prefix(prefix, shared_responses, shard_reports,
                           shard_solver):
@@ -425,10 +472,12 @@ def checkpointed_ensemble_sweep(circuit, output, frequencies, space=None, *,
                 shard_index = plan[index][0]
                 shard_view = EnsembleResult(
                     frequencies=frequencies, values=values[start:stop],
-                    responses=np.array(shared_responses[start:stop]),
+                    responses=(np.array(shared_responses[start:stop])
+                               if store_responses else None),
                     space=space, output=_normalize_output(output),
                     solver=shard_solver,
-                    report=shard_reports.get(shard_index))
+                    report=shard_reports.get(shard_index),
+                    statistics=shard_stats.get(shard_index))
                 fold_and_save(shard_view, start, stop)
                 shards_run += 1
             folded = prefix
@@ -437,7 +486,10 @@ def checkpointed_ensemble_sweep(circuit, output, frequencies, space=None, *,
             run_shards(circuit, output, frequencies, space, values, plan,
                        solver=solver, method=method, on_failure=on_failure,
                        policy=policy, workers=workers, config=supervisor,
-                       on_shard_complete=absorb_prefix)
+                       on_shard_complete=absorb_prefix,
+                       store_responses=store_responses,
+                       histogram_bins=bins, histogram_range=(low, high),
+                       stats_out=shard_stats)
 
     finished = completed == samples
     result = CheckpointedRun(finished=finished, completed=completed,
@@ -445,7 +497,9 @@ def checkpointed_ensemble_sweep(circuit, output, frequencies, space=None, *,
                              statistics=statistics, report=report, path=path)
     if finished:
         result.ensemble = EnsembleResult(
-            frequencies=frequencies, values=values, responses=responses,
+            frequencies=frequencies, values=values,
+            responses=responses if store_responses else None,
             space=space, output=_normalize_output(output), solver=solver_used,
-            report=report)
+            report=report,
+            statistics=None if store_responses else statistics)
     return result

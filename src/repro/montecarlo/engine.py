@@ -31,10 +31,12 @@ import concurrent.futures
 import dataclasses
 import math
 import os
+from typing import Optional
 
 import numpy as np
 
 from ..engine.resilience import (SolvePolicy, SweepReport,
+                                 merge_shard_report,
                                  resilient_sparse_solve,
                                  solve_stack_resilient)
 from ..errors import (FormulationError, SingularMatrixError,
@@ -115,7 +117,9 @@ class EnsembleResult:
         ``(M, E)`` element values, one row per sample, columns in
         ``space.names`` order.
     responses:
-        ``(M, F)`` complex output voltages (the circuit's own excitation).
+        ``(M, F)`` complex output voltages (the circuit's own excitation) —
+        or ``None`` for a streaming (``store_responses=False``) run, whose
+        estimates live in ``statistics`` / ``yields`` instead.
     output:
         The normalized output description (node name or ``(pos, neg)``).
     solver:
@@ -129,40 +133,64 @@ class EnsembleResult:
     parallel:
         The :class:`~repro.montecarlo.parallel.ParallelRunInfo` of a
         supervised multiprocess run (``None`` otherwise).
+    statistics:
+        The streaming
+        :class:`~repro.montecarlo.statistics.EnsembleStatistics` accumulator
+        of a ``store_responses=False`` run (``None`` otherwise).
+    yields:
+        The :class:`~repro.montecarlo.statistics.StreamingYield` accumulator
+        when a streaming run was given ``yield_specs`` (``None`` otherwise).
+    weights:
+        The ``(M,)`` likelihood-ratio weights of an importance-sampled run
+        (``None`` for plain Monte Carlo).
     """
 
     frequencies: np.ndarray
     values: np.ndarray
-    responses: np.ndarray
+    responses: Optional[np.ndarray]
     space: ParameterSpace
     output: object
     solver: str
     report: object = None
     parallel: object = None
+    statistics: object = None
+    yields: object = None
+    weights: Optional[np.ndarray] = None
 
     @property
     def num_samples(self):
         """Number of ensemble members."""
-        return self.responses.shape[0]
+        return self.values.shape[0]
+
+    def _require_responses(self, what):
+        if self.responses is None:
+            raise FormulationError(
+                f"cannot compute {what}: this ensemble ran with "
+                "store_responses=False and kept only streaming accumulators "
+                "(see result.statistics / result.yields)")
+        return self.responses
 
     def surviving_mask(self) -> np.ndarray:
         """``(M,)`` boolean mask of samples that were not quarantined."""
-        mask = np.ones(self.responses.shape[0], dtype=bool)
+        responses = self._require_responses("the surviving mask")
+        mask = np.ones(responses.shape[0], dtype=bool)
         if self.report is not None:
             mask[self.report.quarantined] = False
         # Belt and braces: a NaN row is never a survivor, report or not.
-        mask &= ~np.isnan(self.responses).any(axis=1)
+        mask &= ~np.isnan(responses).any(axis=1)
         return mask
 
     def magnitudes_db(self) -> np.ndarray:
         """``(M, F)`` response magnitudes in dB (zeros floored at tiny)."""
-        magnitude = np.abs(self.responses)
+        magnitude = np.abs(self._require_responses("magnitudes"))
         magnitude[magnitude == 0.0] = np.finfo(float).tiny
         return 20.0 * np.log10(magnitude)
 
     def __repr__(self):
-        return (f"EnsembleResult(samples={self.responses.shape[0]}, "
-                f"points={self.responses.shape[1]}, solver={self.solver!r})")
+        mode = ("streaming" if self.responses is None
+                else f"points={len(self.frequencies)}")
+        return (f"EnsembleResult(samples={self.values.shape[0]}, "
+                f"{mode}, solver={self.solver!r})")
 
 
 def _solve_chunk(flat, rhs, solver, describe):
@@ -365,10 +393,79 @@ def _sparse_ensemble(system, program, s, values, terms, policy=None,
     return responses
 
 
+def _streaming_sweep(circuit, output, frequencies, space, values, *, solver,
+                     method, workers, on_failure, policy, shard_size,
+                     histogram_bins, histogram_range, weights,
+                     yield_specs) -> EnsembleResult:
+    """The ``store_responses=False`` arm: shard, fold, discard.
+
+    Each shard runs through the stored-mode :func:`ensemble_sweep` (so every
+    solver / resilience path is exactly the production one), its rows are
+    folded into the streaming accumulators, and the ``(shard, F)`` buffer is
+    dropped before the next shard is assembled.  Shard boundaries come from
+    :func:`~repro.montecarlo.parallel.shard_plan` — fixed by ``shard_size``
+    alone — so the accumulator stream is bit-identical to the parallel and
+    checkpointed drivers at the same ``shard_size``.
+    """
+    from .parallel import shard_plan
+    from .statistics import (DEFAULT_HISTOGRAM_BINS, DEFAULT_HISTOGRAM_RANGE,
+                             EnsembleStatistics, StreamingYield)
+
+    num_samples = values.shape[0]
+    if weights is not None:
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (num_samples,):
+            raise FormulationError(
+                f"weights must be ({num_samples},) to match the sample "
+                f"rows, got {weights.shape}")
+    specs = None
+    if yield_specs is not None:
+        from ..analysis.montecarlo import YieldSpec
+
+        specs = ([yield_specs] if isinstance(yield_specs, YieldSpec)
+                 else list(yield_specs))
+    bins = (DEFAULT_HISTOGRAM_BINS if histogram_bins is None
+            else int(histogram_bins))
+    low, high = histogram_range or DEFAULT_HISTOGRAM_RANGE
+    statistics = EnsembleStatistics(
+        frequencies=frequencies, histogram_bins=bins,
+        histogram_low_db=float(low), histogram_high_db=float(high))
+    yields = (StreamingYield([spec.name for spec in specs])
+              if specs else None)
+    resilient = on_failure == "quarantine" or policy is not None
+    merged = (SweepReport(label="ensemble member", kind="sample",
+                          total=num_samples) if resilient else None)
+    solver_used = solver
+    for __, start, stop in shard_plan(num_samples, shard_size):
+        shard_result = ensemble_sweep(
+            circuit, output, frequencies, space, values=values[start:stop],
+            solver=solver, method=method, workers=workers,
+            on_failure=on_failure, policy=policy)
+        surviving = shard_result.surviving_mask()
+        shard_weights = None if weights is None else weights[start:stop]
+        statistics.update(
+            shard_result.magnitudes_db()[surviving],
+            None if shard_weights is None else shard_weights[surviving])
+        if yields is not None:
+            yields.update(frequencies, shard_result.responses, specs,
+                          surviving=surviving, weights=shard_weights)
+        if merged is not None and shard_result.report is not None:
+            merge_shard_report(merged, shard_result.report, start)
+        solver_used = shard_result.solver
+    return EnsembleResult(frequencies=frequencies, values=values,
+                          responses=None, space=space,
+                          output=_normalize_output(output),
+                          solver=solver_used, report=merged,
+                          statistics=statistics, yields=yields,
+                          weights=weights)
+
+
 def ensemble_sweep(circuit, output, frequencies, space=None, *, values=None,
                    samples=128, seed=0, solver="lapack", method="auto",
-                   workers=None, on_failure="raise",
-                   policy=None) -> EnsembleResult:
+                   workers=None, on_failure="raise", policy=None,
+                   store_responses=True, shard_size=1024,
+                   histogram_bins=None, histogram_range=None,
+                   weights=None, yield_specs=None) -> EnsembleResult:
     """Evaluate a tolerance ensemble of ``circuit`` over a frequency grid.
 
     Parameters
@@ -410,6 +507,35 @@ def ensemble_sweep(circuit, output, frequencies, space=None, *, values=None,
     policy:
         The escalation :class:`~repro.engine.resilience.SolvePolicy`
         (defaults to ``SolvePolicy()`` when ``on_failure="quarantine"``).
+    store_responses:
+        ``False`` switches to **streaming estimation**: the ensemble is
+        evaluated shard by shard (``shard_size`` samples at a time) and each
+        shard's response rows are folded into mergeable accumulators — a
+        :class:`~repro.montecarlo.statistics.EnsembleStatistics` (min / max
+        / mean / std plus a fixed-bin log-magnitude histogram for
+        percentile envelopes) and, with ``yield_specs``, a
+        :class:`~repro.montecarlo.statistics.StreamingYield` — then
+        discarded.  Peak memory is O(M·E + shard·F + F·bins) instead of
+        O(M×F); the result carries ``responses=None`` with the estimates in
+        ``result.statistics`` / ``result.yields``.  Statistics are
+        bit-identical to a stored-mode run's shard-ordered folds for the
+        same ``shard_size``.
+    shard_size:
+        Samples per streaming fold (ignored when ``store_responses=True``).
+        Match a checkpointed / parallel run's ``shard_size`` for
+        bit-identical statistics streams.
+    histogram_bins, histogram_range:
+        Streaming percentile histogram layout: bin count (default
+        :data:`~repro.montecarlo.statistics.DEFAULT_HISTOGRAM_BINS`; 0
+        disables) and ``(low_db, high_db)`` range.  Streaming mode only.
+    weights:
+        Optional ``(M,)`` per-sample likelihood-ratio weights (importance
+        sampling, from
+        :meth:`~repro.montecarlo.space.ParameterSpace.importance_sample`);
+        threaded through every streaming accumulator.  Streaming mode only.
+    yield_specs:
+        Optional :class:`~repro.analysis.montecarlo.YieldSpec` (or sequence)
+        evaluated per sample into ``result.yields``.  Streaming mode only.
 
     Returns
     -------
@@ -436,6 +562,22 @@ def ensemble_sweep(circuit, output, frequencies, space=None, *, values=None,
         if values.ndim != 2 or values.shape[1] != len(space):
             raise FormulationError(
                 f"values must be (M, {len(space)}), got {values.shape}")
+    if not store_responses:
+        return _streaming_sweep(
+            circuit, output, frequencies, space, values, solver=solver,
+            method=method, workers=workers, on_failure=on_failure,
+            policy=policy, shard_size=shard_size,
+            histogram_bins=histogram_bins, histogram_range=histogram_range,
+            weights=weights, yield_specs=yield_specs)
+    for name, argument in (("histogram_bins", histogram_bins),
+                           ("histogram_range", histogram_range),
+                           ("weights", weights),
+                           ("yield_specs", yield_specs)):
+        if argument is not None:
+            raise FormulationError(
+                f"{name} requires the streaming mode "
+                "(store_responses=False); a stored-mode run computes these "
+                "through repro.analysis.montecarlo instead")
     system = build_mna_system(circuit)
     terms = _output_terms(system, output)
     program = ValueProgram.from_circuit(circuit, space)

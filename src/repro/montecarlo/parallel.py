@@ -69,17 +69,21 @@ from ..engine.resilience import (SweepReport, merge_shard_report,
                                  report_to_json, telemetry_snapshot)
 from ..errors import (FormulationError, ReproError, ShardFailureError,
                       SingularMatrixError)
-from .checkpoint import EnsembleStatistics
 from .engine import EnsembleResult, _normalize_output, ensemble_sweep
 from .space import ParameterSpace
+from .statistics import (DEFAULT_HISTOGRAM_BINS, DEFAULT_HISTOGRAM_RANGE,
+                         EnsembleStatistics, StreamingYield)
 
 __all__ = ["SupervisorConfig", "ParallelRunInfo", "ShardRun", "shard_plan",
            "run_shards", "parallel_ensemble_sweep"]
 
 #: Process-level fault plan installed by :func:`tests.faults.parallel_faults`:
 #: ``{shard_index: action | [action_per_attempt, ...]}`` with actions
-#: ``"kill"`` / ``"hang"`` / ``"crash"`` (a bare string applies to every
-#: attempt — a *poisoned* shard).  Shipped to workers inside the pickled
+#: ``"kill"`` / ``"hang"`` / ``"crash"`` / ``"kill_after"`` (a bare string
+#: applies to every attempt — a *poisoned* shard).  ``"kill_after"`` solves
+#: the shard completely and SIGKILLs the worker *before reporting*, the
+#: worst case for streaming accumulators: the re-dispatched attempt must
+#: fold exactly once, never twice.  Shipped to workers inside the pickled
 #: payload, so it works under fork and spawn alike.
 _FAULT_PLAN: Optional[dict] = None
 
@@ -168,17 +172,23 @@ class ShardRun:
     """Raw outcome of :func:`run_shards` before merging.
 
     ``responses`` holds every plan row solved (rows outside the plan are
-    untouched); ``reports`` maps shard index → per-shard
+    untouched) — ``None`` for a streaming (``store_responses=False``) run,
+    whose per-shard accumulators live in ``statistics`` / ``yields``
+    instead; ``reports`` maps shard index → per-shard
     :class:`~repro.engine.resilience.SweepReport` (``None`` on the legacy
     raise path).
     """
 
-    responses: np.ndarray
+    responses: Optional[np.ndarray]
     reports: Dict[int, Optional[SweepReport]]
     attempts: Dict[int, List[str]]
     solver_used: str
     redispatches: int
     workers: int
+    statistics: Dict[int, EnsembleStatistics] = dataclasses.field(
+        default_factory=dict)
+    yields: Dict[int, StreamingYield] = dataclasses.field(
+        default_factory=dict)
 
 
 def shard_plan(samples, shard_size, first_sample=0) -> List[Tuple[int, int, int]]:
@@ -227,21 +237,35 @@ def _heartbeat_loop(slot, heartbeats, interval, stop_event):
 
 
 def _worker_main(slot, payload, tasks, results, values_buffer,
-                 responses_buffer, heartbeats):
+                 responses_buffer, weights_buffer, heartbeats):
     """One worker process: pull shard tasks, solve, push results.
 
-    The worker reads its sample rows from the shared values buffer and
-    writes its response rows to a disjoint slice of the shared responses
-    buffer *before* reporting completion, so a kill at any instant leaves
-    either an unreported (re-runnable) shard or a fully written one.
+    Stored mode: the worker reads its sample rows from the shared values
+    buffer and writes its response rows to a disjoint slice of the shared
+    responses buffer *before* reporting completion, so a kill at any
+    instant leaves either an unreported (re-runnable) shard or a fully
+    written one.
+
+    Streaming mode (``store_responses=False``): no responses buffer exists;
+    the worker folds its shard into fresh accumulators and ships them in
+    the completion message.  A kill before the message leaves *no* trace —
+    accumulators travel with the report, so a shard folds exactly once no
+    matter how many attempts it took.
     """
     num_samples = payload["num_samples"]
     num_axes = payload["num_axes"]
     num_points = payload["num_points"]
+    store_responses = payload["store_responses"]
     values = np.frombuffer(values_buffer, dtype=float).reshape(
         num_samples, num_axes)
-    responses = np.frombuffer(responses_buffer, dtype=np.complex128).reshape(
-        num_samples, num_points)
+    responses = None
+    if store_responses:
+        responses = np.frombuffer(
+            responses_buffer, dtype=np.complex128).reshape(
+                num_samples, num_points)
+    weights = None
+    if weights_buffer is not None:
+        weights = np.frombuffer(weights_buffer, dtype=float)[:num_samples]
     heartbeats[slot] = time.monotonic()
     stop_event = threading.Event()
     beat = threading.Thread(
@@ -268,18 +292,42 @@ def _worker_main(slot, payload, tasks, results, values_buffer,
                 raise RuntimeError(
                     f"injected crash (shard {shard}, attempt {attempt})")
             before = telemetry_snapshot()
-            shard_result = ensemble_sweep(
-                payload["circuit"], payload["output"],
-                payload["frequencies"], payload["space"],
-                values=values[start:stop], solver=payload["solver"],
-                method=payload["method"], workers=1,
-                on_failure=payload["on_failure"], policy=payload["policy"])
+            if store_responses:
+                shard_result = ensemble_sweep(
+                    payload["circuit"], payload["output"],
+                    payload["frequencies"], payload["space"],
+                    values=values[start:stop], solver=payload["solver"],
+                    method=payload["method"], workers=1,
+                    on_failure=payload["on_failure"],
+                    policy=payload["policy"])
+                shard_stats = shard_yield = None
+            else:
+                shard_result = ensemble_sweep(
+                    payload["circuit"], payload["output"],
+                    payload["frequencies"], payload["space"],
+                    values=values[start:stop], solver=payload["solver"],
+                    method=payload["method"], workers=1,
+                    on_failure=payload["on_failure"],
+                    policy=payload["policy"],
+                    store_responses=False, shard_size=stop - start,
+                    histogram_bins=payload["histogram_bins"],
+                    histogram_range=payload["histogram_range"],
+                    weights=(None if weights is None
+                             else weights[start:stop]),
+                    yield_specs=payload["yield_specs"])
+                shard_stats = shard_result.statistics
+                shard_yield = shard_result.yields
             after = telemetry_snapshot()
-            responses[start:stop] = shard_result.responses
+            if action == "kill_after":
+                # The solve completed but the worker dies before any
+                # write-back / report: the at-most-once worst case.
+                os.kill(os.getpid(), signal.SIGKILL)
+            if store_responses:
+                responses[start:stop] = shard_result.responses
             delta = {key: after[key] - before[key] for key in after}
             results.put(("done", slot, shard, attempt,
                          report_to_json(shard_result.report), delta,
-                         shard_result.solver))
+                         shard_result.solver, shard_stats, shard_yield))
         except ReproError as error:
             # Numerical failure (raise mode): forward the typed error.
             try:
@@ -311,13 +359,13 @@ class _WorkerHandle:
 
 
 def _spawn_worker(context, slot, payload, values_buffer, responses_buffer,
-                  heartbeats) -> _WorkerHandle:
+                  weights_buffer, heartbeats) -> _WorkerHandle:
     tasks = context.Queue()
     results = context.Queue()
     process = context.Process(
         target=_worker_main,
         args=(slot, payload, tasks, results, values_buffer,
-              responses_buffer, heartbeats),
+              responses_buffer, weights_buffer, heartbeats),
         daemon=True, name=f"repro-ensemble-worker-{slot}")
     process.start()
     # A fresh worker must not be declared hung before its first beat.
@@ -355,7 +403,10 @@ def _shutdown(handles) -> None:
 def run_shards(circuit, output, frequencies, space, values, plan, *,
                solver="lapack", method="auto", on_failure="quarantine",
                policy=None, workers=None, config=None,
-               on_shard_complete=None) -> ShardRun:
+               on_shard_complete=None, store_responses=True,
+               weights=None, yield_specs=None, histogram_bins=None,
+               histogram_range=None, stats_out=None,
+               yields_out=None) -> ShardRun:
     """Execute a fixed shard plan, supervised, and return raw outcomes.
 
     The workhorse under both :func:`parallel_ensemble_sweep` and the
@@ -371,6 +422,18 @@ def run_shards(circuit, output, frequencies, space, values, plan, *,
     only ever sees an in-order prefix, which is what lets the checkpoint
     layer fold + save deterministically mid-run.
 
+    ``store_responses=False`` switches to streaming: no shared responses
+    buffer is allocated, each shard's rows are folded worker-side into
+    per-shard :class:`~repro.montecarlo.statistics.EnsembleStatistics` /
+    :class:`~repro.montecarlo.statistics.StreamingYield` accumulators that
+    travel back in the completion message, and the returned
+    ``ShardRun.responses`` is ``None``.  ``stats_out`` / ``yields_out``
+    (optional dicts) are filled with the per-shard accumulators *as results
+    arrive* — before ``on_shard_complete`` fires for them — which is how
+    the checkpoint layer folds streaming shards mid-run.  ``weights``
+    carries optional per-sample likelihood ratios (global indexing, shipped
+    through shared memory).
+
     ``workers=1`` executes the plan sequentially in-process (no
     subprocesses, no fault injection) — the bit-parity reference for every
     multi-worker run.
@@ -383,20 +446,38 @@ def run_shards(circuit, output, frequencies, space, values, plan, *,
     if workers is None:
         workers = _default_workers()
     workers = max(1, min(int(workers), max(1, len(plan))))
+    if weights is not None:
+        weights = np.ascontiguousarray(np.asarray(weights, dtype=float))
 
     attempts: Dict[int, List[str]] = collections.defaultdict(list)
     reports: Dict[int, Optional[SweepReport]] = {}
+    statistics = {} if stats_out is None else stats_out
+    yields = {} if yields_out is None else yields_out
     solver_used = solver
     bounds = {shard: (start, stop) for shard, start, stop in plan}
+    streaming_kwargs = {
+        "store_responses": False, "histogram_bins": histogram_bins,
+        "histogram_range": histogram_range, "yield_specs": yield_specs}
 
     if workers == 1:
-        responses = np.zeros((num_samples, num_points), dtype=complex)
+        responses = (np.zeros((num_samples, num_points), dtype=complex)
+                     if store_responses else None)
         for prefix, (shard, start, stop) in enumerate(plan):
+            extra = {}
+            if not store_responses:
+                extra = dict(streaming_kwargs, shard_size=stop - start,
+                             weights=(None if weights is None
+                                      else weights[start:stop]))
             shard_result = ensemble_sweep(
                 circuit, output, frequencies, space,
                 values=values[start:stop], solver=solver, method=method,
-                workers=1, on_failure=on_failure, policy=policy)
-            responses[start:stop] = shard_result.responses
+                workers=1, on_failure=on_failure, policy=policy, **extra)
+            if store_responses:
+                responses[start:stop] = shard_result.responses
+            else:
+                statistics[shard] = shard_result.statistics
+                if shard_result.yields is not None:
+                    yields[shard] = shard_result.yields
             reports[shard] = shard_result.report
             solver_used = shard_result.solver
             attempts[shard].append("attempt 1 in-process: completed")
@@ -405,17 +486,29 @@ def run_shards(circuit, output, frequencies, space, values, plan, *,
                                   solver_used)
         return ShardRun(responses=responses, reports=reports,
                         attempts=dict(attempts), solver_used=solver_used,
-                        redispatches=0, workers=1)
+                        redispatches=0, workers=1, statistics=statistics,
+                        yields=yields)
 
     context = multiprocessing.get_context(
         config.start_method or _start_method())
     values_buffer = RawArray("d", max(1, num_samples * num_axes))
-    responses_buffer = RawArray("d", max(1, 2 * num_samples * num_points))
-    heartbeats = RawArray("d", workers)
     np.frombuffer(values_buffer, dtype=float)[:values.size] = values.ravel()
-    responses = np.frombuffer(
-        responses_buffer, dtype=np.complex128,
-        count=num_samples * num_points).reshape(num_samples, num_points)
+    if store_responses:
+        responses_buffer = RawArray("d", max(1, 2 * num_samples * num_points))
+        responses = np.frombuffer(
+            responses_buffer, dtype=np.complex128,
+            count=num_samples * num_points).reshape(num_samples, num_points)
+    else:
+        # Streaming: accumulators ride the result queue; the O(M×F) shared
+        # buffer — the very thing this mode removes — is never allocated.
+        responses_buffer = None
+        responses = None
+    weights_buffer = None
+    if weights is not None:
+        weights_buffer = RawArray("d", max(1, num_samples))
+        np.frombuffer(weights_buffer,
+                      dtype=float)[:weights.size] = weights.ravel()
+    heartbeats = RawArray("d", workers)
 
     payload = {
         "circuit": circuit, "output": output, "frequencies": frequencies,
@@ -423,6 +516,10 @@ def run_shards(circuit, output, frequencies, space, values, plan, *,
         "on_failure": on_failure, "policy": policy,
         "num_samples": num_samples, "num_axes": num_axes,
         "num_points": num_points,
+        "store_responses": store_responses,
+        "yield_specs": yield_specs,
+        "histogram_bins": histogram_bins,
+        "histogram_range": histogram_range,
         "heartbeat_interval": config.heartbeat_interval,
         "fault_plan": _FAULT_PLAN,
     }
@@ -434,7 +531,7 @@ def run_shards(circuit, output, frequencies, space, values, plan, *,
     prefix = 0
     redispatches = 0
     handles = [_spawn_worker(context, slot, payload, values_buffer,
-                             responses_buffer, heartbeats)
+                             responses_buffer, weights_buffer, heartbeats)
                for slot in range(workers)]
     failure: List[BaseException] = []
 
@@ -464,7 +561,7 @@ def run_shards(circuit, output, frequencies, space, values, plan, *,
         _stop_worker(handle)
         handles[index] = _spawn_worker(context, handle.slot, payload,
                                        values_buffer, responses_buffer,
-                                       heartbeats)
+                                       weights_buffer, heartbeats)
 
     def dispatch():
         now = time.monotonic()
@@ -495,7 +592,7 @@ def run_shards(circuit, output, frequencies, space, values, plan, *,
     def handle_message(handle, message):
         kind, slot, shard, attempt, *rest = message
         if kind == "done":
-            report_json, delta, shard_solver = rest
+            report_json, delta, shard_solver, shard_stats, shard_yield = rest
             if handle.shard == shard:
                 handle.shard = None
             if shard not in completed:
@@ -503,6 +600,10 @@ def run_shards(circuit, output, frequencies, space, values, plan, *,
                 if shard in pending:      # late result beat a re-dispatch
                     pending.remove(shard)
                 reports[shard] = report_from_json(report_json)
+                if shard_stats is not None:
+                    statistics[shard] = shard_stats
+                if shard_yield is not None:
+                    yields[shard] = shard_yield
                 merge_telemetry(delta)
                 attempts[shard].append(
                     f"attempt {attempt} on worker {slot}: completed")
@@ -567,7 +668,8 @@ def run_shards(circuit, output, frequencies, space, values, plan, *,
         raise failure[0]
     return ShardRun(responses=responses, reports=reports,
                     attempts=dict(attempts), solver_used=solver_used,
-                    redispatches=redispatches, workers=workers)
+                    redispatches=redispatches, workers=workers,
+                    statistics=statistics, yields=yields)
 
 
 # --------------------------------------------------------------------------- #
@@ -580,7 +682,9 @@ def parallel_ensemble_sweep(circuit, output, frequencies, space=None, *,
                             sampler="random", shard_size=32, workers=None,
                             solver="lapack", method="auto",
                             on_failure="quarantine", policy=None,
-                            config=None) -> EnsembleResult:
+                            config=None, store_responses=True,
+                            histogram_bins=None, histogram_range=None,
+                            weights=None, yield_specs=None) -> EnsembleResult:
     """Evaluate a tolerance ensemble across supervised worker processes.
 
     Drop-in alternative to :func:`~repro.montecarlo.engine.ensemble_sweep`
@@ -612,6 +716,16 @@ def parallel_ensemble_sweep(circuit, output, frequencies, space=None, *,
         is that neither a bad sample nor a bad worker kills it.
     config:
         :class:`SupervisorConfig` timing / retry budget.
+    store_responses, histogram_bins, histogram_range, weights, yield_specs:
+        Streaming estimation controls, exactly as for
+        :func:`~repro.montecarlo.engine.ensemble_sweep`: with
+        ``store_responses=False`` workers fold their shards into
+        accumulators and ship those instead of response rows (no O(M×F)
+        shared buffer exists at all), the supervisor merges them **in fixed
+        shard order** once the plan completes, and the result carries
+        ``responses=None`` with ``statistics`` / ``yields`` populated —
+        bit-identical to the sequential streaming run at the same
+        ``shard_size``, for every worker count.
 
     Raises
     ------
@@ -633,13 +747,73 @@ def parallel_ensemble_sweep(circuit, output, frequencies, space=None, *,
     num_samples = values.shape[0]
     plan = shard_plan(num_samples, shard_size)
     resilient = on_failure == "quarantine" or policy is not None
+    output_normalized = _normalize_output(output)
+
+    if store_responses:
+        for name, value in (("histogram_bins", histogram_bins),
+                            ("histogram_range", histogram_range),
+                            ("weights", weights),
+                            ("yield_specs", yield_specs)):
+            if value is not None:
+                raise FormulationError(
+                    f"{name} requires the streaming mode "
+                    "(store_responses=False)")
+    else:
+        if weights is not None:
+            weights = np.asarray(weights, dtype=float)
+            if weights.shape != (num_samples,):
+                raise FormulationError(
+                    f"weights must be ({num_samples},), got {weights.shape}")
+        bins = (DEFAULT_HISTOGRAM_BINS if histogram_bins is None
+                else int(histogram_bins))
+        low, high = (DEFAULT_HISTOGRAM_RANGE if histogram_range is None
+                     else histogram_range)
+        run = run_shards(circuit, output, frequencies, space, values, plan,
+                         solver=solver, method=method, on_failure=on_failure,
+                         policy=policy, workers=workers, config=config,
+                         store_responses=False, weights=weights,
+                         yield_specs=yield_specs, histogram_bins=bins,
+                         histogram_range=(low, high))
+        statistics = EnsembleStatistics(
+            frequencies=frequencies, histogram_bins=bins,
+            histogram_low_db=float(low), histogram_high_db=float(high))
+        yields = None
+        if yield_specs is not None:
+            specs = (list(yield_specs)
+                     if isinstance(yield_specs, (list, tuple))
+                     else [yield_specs])
+            yields = StreamingYield(spec_names=[spec.name for spec in specs])
+        merged = (SweepReport(label="ensemble member", kind="sample",
+                              total=num_samples) if resilient else None)
+        # Fixed shard order: merging each shard accumulator into exact
+        # zeros replays the sequential fold addition-for-addition, so the
+        # result is bit-identical for every worker count.
+        for shard, start, stop in plan:
+            shard_stats = run.statistics.get(shard)
+            if shard_stats is not None:
+                statistics.merge(shard_stats)
+            shard_yield = run.yields.get(shard)
+            if yields is not None and shard_yield is not None:
+                yields.merge(shard_yield)
+            if merged is not None and run.reports.get(shard) is not None:
+                merge_shard_report(merged, run.reports[shard], start)
+        info = ParallelRunInfo(workers=run.workers,
+                               shard_size=int(shard_size),
+                               shards=len(plan),
+                               redispatches=run.redispatches,
+                               attempts=run.attempts, statistics=statistics)
+        return EnsembleResult(frequencies=frequencies, values=values,
+                              responses=None, space=space,
+                              output=output_normalized,
+                              solver=run.solver_used, report=merged,
+                              parallel=info, statistics=statistics,
+                              yields=yields, weights=weights)
 
     run = run_shards(circuit, output, frequencies, space, values, plan,
                      solver=solver, method=method, on_failure=on_failure,
                      policy=policy, workers=workers, config=config)
 
     responses = np.array(run.responses, copy=True)
-    output_normalized = _normalize_output(output)
     statistics = EnsembleStatistics(frequencies=frequencies)
     merged = (SweepReport(label="ensemble member", kind="sample",
                           total=num_samples) if resilient else None)

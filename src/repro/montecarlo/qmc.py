@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import NetlistError
+from ..errors import ValidationError
 
 __all__ = ["sobol_uniforms", "latin_hypercube_uniforms",
            "inverse_normal_cdf", "SOBOL_MAX_DIMS"]
@@ -113,11 +113,11 @@ def sobol_uniforms(count, dims, seed=0) -> np.ndarray:
     count = int(count)
     dims = int(dims)
     if count <= 0:
-        raise NetlistError("sample count must be positive")
+        raise ValidationError("sample count must be positive")
     if dims <= 0:
-        raise NetlistError("dimension count must be positive")
+        raise ValidationError("dimension count must be positive")
     if dims > SOBOL_MAX_DIMS:
-        raise NetlistError(
+        raise ValidationError(
             f"sobol sampling supports up to {SOBOL_MAX_DIMS} tolerance axes, "
             f"got {dims}; use method='lhs' or 'random' for larger spaces")
     points = np.empty((count, dims))
@@ -154,9 +154,9 @@ def latin_hypercube_uniforms(count, dims, seed=0) -> np.ndarray:
     count = int(count)
     dims = int(dims)
     if count <= 0:
-        raise NetlistError("sample count must be positive")
+        raise ValidationError("sample count must be positive")
     if dims <= 0:
-        raise NetlistError("dimension count must be positive")
+        raise ValidationError("dimension count must be positive")
     points = np.empty((count, dims))
     for dimension in range(1, dims + 1):
         rng = _dimension_rng(seed, dimension)

@@ -27,7 +27,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from ..errors import NetlistError
+from ..errors import NetlistError, ValidationError
 from . import qmc
 from ..netlist.elements import (
     Capacitor,
@@ -39,6 +39,30 @@ from ..netlist.elements import (
 )
 
 __all__ = ["ParameterSpace"]
+
+#: Sampling point sets :meth:`ParameterSpace.sample_multipliers` accepts.
+_SAMPLING_METHODS = ("random", "sobol", "lhs")
+
+
+def _validate_count(count) -> int:
+    """Sample count as a positive ``int``, or a typed :class:`ValidationError`.
+
+    Rejects non-integral and non-positive counts up front so the failure
+    carries the caller's value instead of surfacing deep inside a sampler
+    as an opaque shape or arithmetic error.
+    """
+    try:
+        value = int(count)
+    except (TypeError, ValueError):
+        raise ValidationError(
+            f"sample count must be an integer, got {count!r}") from None
+    if value != count:
+        raise ValidationError(
+            f"sample count must be an integer, got {count!r}")
+    if value <= 0:
+        raise ValidationError(
+            f"sample count must be positive, got {value}")
+    return value
 
 #: Element types whose value the space may vary (the admittance-stamp set the
 #: screening engine supports, plus inductors which stamp a branch equation).
@@ -157,10 +181,18 @@ class ParameterSpace:
         axes flat across ``1 ± fraction``, corner axes the two band edges.
         Multipliers are floored at ``fraction/100`` above zero so a many-sigma
         gaussian outlier can never flip an element value's sign.
+
+        Raises
+        ------
+        ValidationError
+            For an unknown ``method`` or a non-positive / non-integral
+            ``count`` — validated up front, before any sampler runs.
         """
-        count = int(count)
-        if count <= 0:
-            raise NetlistError("sample count must be positive")
+        count = _validate_count(count)
+        if method not in _SAMPLING_METHODS:
+            raise ValidationError(
+                f"unknown sampling method {method!r}: "
+                "expected 'random', 'sobol' or 'lhs'")
         if method == "random":
             rng = np.random.default_rng(seed)
             columns = []
@@ -178,13 +210,9 @@ class ParameterSpace:
             return np.column_stack(columns)
         if method == "sobol":
             uniforms = qmc.sobol_uniforms(count, len(self.axes), seed)
-        elif method == "lhs":
+        else:
             uniforms = qmc.latin_hypercube_uniforms(count, len(self.axes),
                                                     seed)
-        else:
-            raise NetlistError(
-                f"unknown sampling method {method!r}: "
-                "expected 'random', 'sobol' or 'lhs'")
         columns = []
         for position, axis in enumerate(self.axes):
             fraction = axis.tolerance.fraction
@@ -204,6 +232,131 @@ class ParameterSpace:
         """``(count, len(space))`` sampled element values (seeded, deterministic)."""
         return self.nominal_values[None, :] * self.sample_multipliers(
             count, seed, method)
+
+    # ------------------------------------------------------------------ #
+    # importance sampling
+    # ------------------------------------------------------------------ #
+
+    def _per_axis(self, value, label, default) -> np.ndarray:
+        """Broadcast a scalar or ``{axis name: value}`` dict over the axes."""
+        if isinstance(value, dict):
+            lookup = {str(name).lower(): float(entry)
+                      for name, entry in value.items()}
+            unknown = set(lookup) - {axis.name.lower() for axis in self.axes}
+            if unknown:
+                raise ValidationError(
+                    f"{label} names unknown axis(es): "
+                    f"{', '.join(sorted(unknown))}")
+            return np.array([lookup.get(axis.name.lower(), default)
+                             for axis in self.axes])
+        return np.full(len(self.axes), float(value))
+
+    def importance_sample(self, count, seed=0, *, shift=0.0, scale=1.0,
+                          mixture=0.0) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw from a shifted / defensive-mixture proposal with weights.
+
+        Rare-failure yield estimation: plain Monte Carlo at failure
+        probability ``p`` needs ``≫ 1/p`` samples to see a single failure.
+        This draws the same ``(count, len(space))`` value matrix from a
+        *proposal* distribution pushed toward the failure region and returns
+        the per-sample likelihood ratios ``w = p(x)/q(x)`` that make the
+        weighted estimators unbiased under the *nominal* tolerance model —
+        feed both into the streaming ensemble drivers
+        (``store_responses=False, weights=..., yield_specs=...``).
+
+        Per-axis proposals (``shift`` / ``scale`` are scalars applied to
+        every axis, or ``{element name: value}`` dicts):
+
+        * **gaussian** axes sample the tolerance z-score from
+          ``(1-mixture)·N(shift, scale²) + mixture·N(0, 1)`` — the defensive
+          nominal component bounds the weights when the shift overshoots.
+          Weights use log-domain likelihood ratios, so many-axis products
+          cannot underflow pairwise.
+        * **uniform** axes translate the band-unit draw by ``shift``;
+          samples landing outside the nominal ``±1`` band get weight 0
+          (they are impossible under the target).
+        * **corner** axes keep the nominal two-point draw, weight 1.
+
+        Weights are computed from the raw z-scores *before* the
+        ``fraction/100`` sign-protection floor: the floor is a deterministic
+        map applied identically under target and proposal, so
+        ``E_q[w·f(floor(x))] = E_p[f(floor(x))]`` still holds.
+
+        Returns
+        -------
+        (values, weights):
+            ``values`` — ``(count, len(space))`` element values;
+            ``weights`` — ``(count,)`` likelihood ratios (mean ≈ 1 for a
+            healthy proposal).
+
+        Raises
+        ------
+        ValidationError
+            For a non-positive / non-integral ``count``, ``scale <= 0``,
+            ``mixture`` outside ``[0, 1)``, or a shift / scale dict naming
+            an unknown axis.
+        """
+        count = _validate_count(count)
+        shifts = self._per_axis(shift, "shift", 0.0)
+        scales = self._per_axis(scale, "scale", 1.0)
+        if np.any(scales <= 0.0):
+            raise ValidationError(
+                f"proposal scale must be positive, got {scales.min()}")
+        mixture = float(mixture)
+        if not 0.0 <= mixture < 1.0:
+            raise ValidationError(
+                f"mixture must be in [0, 1), got {mixture}")
+        rng = np.random.default_rng(seed)
+        log_weights = np.zeros(count)
+        columns = []
+        for position, axis in enumerate(self.axes):
+            fraction = axis.tolerance.fraction
+            kind = axis.tolerance.distribution
+            mu = shifts[position]
+            sigma = scales[position]
+            if kind == "gaussian":
+                shifted = mu + sigma * rng.standard_normal(count)
+                if mixture > 0.0:
+                    nominal = rng.standard_normal(count)
+                    from_nominal = rng.uniform(size=count) < mixture
+                    z = np.where(from_nominal, nominal, shifted)
+                else:
+                    z = shifted
+                # The 1/sqrt(2π) normalizer is common to every component
+                # and cancels in log_p - log_q, so it is omitted throughout.
+                log_p = -0.5 * z ** 2
+                log_q = (-0.5 * ((z - mu) / sigma) ** 2 - np.log(sigma))
+                if mixture > 0.0:
+                    log_q = np.logaddexp(np.log1p(-mixture) + log_q,
+                                         np.log(mixture) - 0.5 * z ** 2)
+                log_weights += log_p - log_q
+                column = 1.0 + (fraction / 3.0) * z
+            elif kind == "uniform":
+                shifted = mu + rng.uniform(-1.0, 1.0, count)
+                if mixture > 0.0:
+                    nominal = rng.uniform(-1.0, 1.0, count)
+                    from_nominal = rng.uniform(size=count) < mixture
+                    u = np.where(from_nominal, nominal, shifted)
+                else:
+                    u = shifted
+                # Band-unit densities are 1/2 on each support; the sample
+                # always lies in at least one component's support, so the
+                # proposal density is strictly positive at every draw.
+                inside_target = np.abs(u) <= 1.0
+                inside_shifted = np.abs(u - mu) <= 1.0
+                density_q = (0.5 * (1.0 - mixture) * inside_shifted
+                             + 0.5 * mixture * inside_target)
+                ratio = np.where(inside_target,
+                                 0.5 / np.maximum(density_q, 1e-300), 0.0)
+                with np.errstate(divide="ignore"):
+                    log_weights += np.log(ratio)
+                column = 1.0 + fraction * u
+            else:  # corner — two-point support; shifts do not apply
+                column = 1.0 + fraction * rng.choice([-1.0, 1.0], count)
+            columns.append(np.maximum(column, fraction / 100.0))
+        multipliers = np.column_stack(columns)
+        weights = np.exp(log_weights)
+        return self.nominal_values[None, :] * multipliers, weights
 
     def corner_multipliers(self) -> np.ndarray:
         """Deterministic tolerance-band corner multipliers.

@@ -1,0 +1,497 @@
+"""Mergeable streaming estimators for O(F)-memory tolerance ensembles.
+
+The ``(M, F)`` responses buffer is the binding constraint of production
+Monte Carlo runs — at 10⁶ samples × 200 points it is 3.2 GB of complex
+doubles before the first statistic is computed.  This module holds the
+accumulators that replace it: every estimator here folds one shard of
+response rows at a time and is **mergeable** in fixed shard order, so the
+ensemble drivers can ship accumulators instead of rows and the result is
+bit-identical for any worker count.
+
+* :class:`EnsembleStatistics` — per-frequency min / max / mean / std of the
+  dB magnitudes (the PR 7 checkpoint accumulator, relocated here), extended
+  with optional **likelihood-ratio weights** (importance sampling) and an
+  optional fixed-bin **log-magnitude histogram** whose
+  :meth:`~EnsembleStatistics.percentile_db` answers envelope percentile
+  queries to within one bin width without ever materializing the ensemble.
+* :class:`StreamingYield` — weighted pass / fail accounting against
+  :class:`~repro.analysis.montecarlo.YieldSpec` sets, with both the
+  unnormalized (unbiased) and self-normalized failure-probability
+  estimators and their standard errors.
+* :class:`WeightDiagnostics` — effective-sample-size and weight-degeneracy
+  diagnostics, so a mis-targeted importance proposal surfaces as an explicit
+  warning flag instead of a silently wrong estimate.
+
+Determinism argument (the contract the property tests pin down): a shard
+accumulator starts from exact zeros, and for IEEE-754 doubles ``0.0 + x``
+is bitwise ``x`` — so merging per-shard accumulators in fixed shard order
+replays exactly the addition sequence of a sequential run over the same
+shard boundaries.  Shard boundaries are fixed by ``shard_size`` alone
+(:func:`~repro.montecarlo.parallel.shard_plan`), never by worker count or
+completion order, hence "bit-identical across worker counts".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import FormulationError
+
+__all__ = ["EnsembleStatistics", "StreamingYield", "WeightDiagnostics",
+           "DEFAULT_HISTOGRAM_BINS", "DEFAULT_HISTOGRAM_RANGE"]
+
+#: Default fixed-bin layout of the streaming log-magnitude histogram:
+#: 0.5 dB bins across a range generous enough for passive dividers
+#: (hundreds of dB of attenuation) and op-amp gain stages alike.  Rows
+#: outside the range land in the edge bins — percentiles degrade gracefully
+#: instead of failing.
+DEFAULT_HISTOGRAM_BINS = 1200
+DEFAULT_HISTOGRAM_RANGE = (-400.0, 200.0)
+
+#: Effective-sample-size floor (in samples) under which a weighted estimate
+#: is flagged degenerate, and the largest tolerable single-weight share of
+#: the total.  Deliberately conservative: an estimate resting on fewer than
+#: ~10 effective samples, or dominated by one draw, is noise.
+_ESS_FLOOR = 10.0
+_MAX_WEIGHT_SHARE = 0.5
+
+
+@dataclasses.dataclass
+class WeightDiagnostics:
+    """Health report of an importance-weighted estimate.
+
+    ``ess`` is the Kish effective sample size ``(Σw)² / Σw²`` of the weights
+    behind the estimate; ``ess_fraction`` divides by the number of draws.
+    ``max_weight_share`` is the largest single weight over the total — near
+    1.0 the whole estimate rests on one draw.  ``degenerate`` is the
+    summary flag callers must check before trusting the numbers.
+    """
+
+    count: int
+    ess: float
+    ess_fraction: float
+    max_weight_share: float
+    degenerate: bool
+    reason: str = ""
+
+
+def _kish_ess(weight_sum, weight_sumsq) -> float:
+    """Kish effective sample size of a weight population."""
+    if weight_sumsq <= 0.0:
+        return 0.0
+    return weight_sum * weight_sum / weight_sumsq
+
+
+def _diagnose(count, weight_sum, weight_sumsq, max_weight) -> WeightDiagnostics:
+    """ESS / degeneracy diagnostics over one weight population."""
+    ess = _kish_ess(weight_sum, weight_sumsq)
+    fraction = ess / count if count else 0.0
+    share = max_weight / weight_sum if weight_sum > 0.0 else 1.0
+    reason = ""
+    if count == 0 or weight_sum <= 0.0:
+        reason = "no weighted samples contributed to the estimate"
+    elif ess < _ESS_FLOOR:
+        reason = (f"effective sample size {ess:.2f} below the "
+                  f"{_ESS_FLOOR:.0f}-sample floor")
+    elif share > _MAX_WEIGHT_SHARE:
+        reason = (f"one draw carries {share:.0%} of the total weight "
+                  f"(> {_MAX_WEIGHT_SHARE:.0%})")
+    return WeightDiagnostics(count=int(count), ess=float(ess),
+                             ess_fraction=float(fraction),
+                             max_weight_share=float(share),
+                             degenerate=bool(reason), reason=reason)
+
+
+@dataclasses.dataclass
+class EnsembleStatistics:
+    """Streaming per-frequency magnitude statistics (all in dB).
+
+    The mergeable accumulator behind checkpointing and the streaming
+    (``store_responses=False``) ensemble drivers: ``count`` samples have
+    contributed their dB magnitude rows to ``sum_db`` / ``sumsq_db`` and the
+    running extremes.  Updates happen once per shard in fixed shard order,
+    so a resumed or multi-worker run reproduces the identical addition
+    sequence and hence identical bits.  Quarantined (NaN) samples never
+    enter the accumulators.
+
+    Two optional extensions (both default off, keeping the unweighted
+    histogram-free accumulator byte-compatible with PR 7/9 checkpoints):
+
+    * **weights** — :meth:`update` accepts per-row likelihood-ratio weights;
+      moments become weighted (``mean = Σw·x / Σw``) and ``weight_sum`` /
+      ``weight_sumsq`` / ``max_weight`` feed :meth:`weight_diagnostics`.
+      Unweighted updates add ``1.0`` per row, so mixed usage stays coherent.
+    * **histogram** — ``histogram_bins > 0`` maintains a fixed-bin
+      per-frequency histogram of the dB magnitudes; :meth:`percentile_db`
+      then answers envelope percentile queries with error bounded by one
+      bin width.  Bin counts are additive, so the histogram merges exactly
+      like the moments.
+    """
+
+    frequencies: np.ndarray
+    count: int = 0
+    sum_db: Optional[np.ndarray] = None
+    sumsq_db: Optional[np.ndarray] = None
+    min_db: Optional[np.ndarray] = None
+    max_db: Optional[np.ndarray] = None
+    weight_sum: float = 0.0
+    weight_sumsq: float = 0.0
+    max_weight: float = 0.0
+    histogram_bins: int = 0
+    histogram_low_db: float = DEFAULT_HISTOGRAM_RANGE[0]
+    histogram_high_db: float = DEFAULT_HISTOGRAM_RANGE[1]
+    histogram: Optional[np.ndarray] = None
+
+    def __post_init__(self):
+        points = len(self.frequencies)
+        if self.sum_db is None:
+            self.sum_db = np.zeros(points)
+        if self.sumsq_db is None:
+            self.sumsq_db = np.zeros(points)
+        if self.min_db is None:
+            self.min_db = np.full(points, np.inf)
+        if self.max_db is None:
+            self.max_db = np.full(points, -np.inf)
+        self.histogram_bins = int(self.histogram_bins)
+        if self.histogram_bins < 0:
+            raise FormulationError(
+                f"histogram_bins must be >= 0, got {self.histogram_bins}")
+        if self.histogram_bins and self.histogram_high_db <= self.histogram_low_db:
+            raise FormulationError(
+                "histogram range must satisfy low < high, got "
+                f"({self.histogram_low_db}, {self.histogram_high_db})")
+        if self.histogram_bins and self.histogram is None:
+            self.histogram = np.zeros((points, self.histogram_bins))
+
+    # ------------------------------------------------------------------ #
+    # folding
+    # ------------------------------------------------------------------ #
+
+    def update(self, magnitudes_db: np.ndarray,
+               weights: Optional[np.ndarray] = None) -> None:
+        """Fold one shard's ``(K, F)`` surviving magnitude rows in.
+
+        ``weights`` — optional ``(K,)`` likelihood-ratio weights aligned with
+        the rows.  Omitted, every row counts 1.0 and the accumulator's
+        arithmetic is bit-identical to the historical unweighted form.
+        """
+        magnitudes_db = np.atleast_2d(np.asarray(magnitudes_db, dtype=float))
+        if magnitudes_db.shape[0] == 0:
+            return
+        rows = magnitudes_db.shape[0]
+        self.count += rows
+        if weights is None:
+            self.sum_db += magnitudes_db.sum(axis=0)
+            self.sumsq_db += (magnitudes_db ** 2).sum(axis=0)
+            self.weight_sum += float(rows)
+            self.weight_sumsq += float(rows)
+            self.max_weight = max(self.max_weight, 1.0)
+        else:
+            weights = np.asarray(weights, dtype=float)
+            if weights.shape != (rows,):
+                raise FormulationError(
+                    f"weights must be ({rows},) to match the magnitude rows, "
+                    f"got {weights.shape}")
+            self.sum_db += (weights[:, None] * magnitudes_db).sum(axis=0)
+            self.sumsq_db += (weights[:, None] * magnitudes_db ** 2).sum(axis=0)
+            self.weight_sum += float(weights.sum())
+            self.weight_sumsq += float((weights ** 2).sum())
+            if rows:
+                self.max_weight = max(self.max_weight, float(weights.max()))
+        np.minimum(self.min_db, magnitudes_db.min(axis=0), out=self.min_db)
+        np.maximum(self.max_db, magnitudes_db.max(axis=0), out=self.max_db)
+        if self.histogram_bins:
+            self._fold_histogram(magnitudes_db, weights)
+
+    def _fold_histogram(self, magnitudes_db, weights) -> None:
+        """Accumulate ``(K, F)`` rows into the per-frequency bin counts."""
+        points = len(self.frequencies)
+        bins = self.histogram_bins
+        width = (self.histogram_high_db - self.histogram_low_db) / bins
+        index = np.floor((magnitudes_db - self.histogram_low_db) / width)
+        # Out-of-range rows (and ±inf) land in the edge bins.
+        np.clip(index, 0, bins - 1, out=index)
+        flat = (index.astype(np.int64)
+                + np.arange(points, dtype=np.int64)[None, :] * bins)
+        if weights is None:
+            counts = np.bincount(flat.ravel(), minlength=points * bins)
+        else:
+            counts = np.bincount(flat.ravel(),
+                                 weights=np.repeat(weights, points),
+                                 minlength=points * bins)
+        self.histogram += counts.reshape(points, bins)
+
+    def merge(self, other: "EnsembleStatistics") -> None:
+        """Fold another accumulator (a later run of shards) into this one."""
+        self.count += other.count
+        self.sum_db += other.sum_db
+        self.sumsq_db += other.sumsq_db
+        np.minimum(self.min_db, other.min_db, out=self.min_db)
+        np.maximum(self.max_db, other.max_db, out=self.max_db)
+        self.weight_sum += other.weight_sum
+        self.weight_sumsq += other.weight_sumsq
+        self.max_weight = max(self.max_weight, other.max_weight)
+        if self.histogram_bins != other.histogram_bins or (
+                self.histogram_bins
+                and (self.histogram_low_db != other.histogram_low_db
+                     or self.histogram_high_db != other.histogram_high_db)):
+            raise FormulationError(
+                "cannot merge EnsembleStatistics with different histogram "
+                f"layouts: ({self.histogram_bins} bins over "
+                f"[{self.histogram_low_db}, {self.histogram_high_db}]) vs "
+                f"({other.histogram_bins} bins over "
+                f"[{other.histogram_low_db}, {other.histogram_high_db}])")
+        if self.histogram_bins:
+            self.histogram += other.histogram
+
+    # ------------------------------------------------------------------ #
+    # estimates
+    # ------------------------------------------------------------------ #
+
+    def _normalizer(self) -> float:
+        """Total weight behind the moments (== count when unweighted)."""
+        # Accumulators restored from pre-weight checkpoints carry counts but
+        # no weight fields; fall back to the count so their moments survive.
+        if self.weight_sum > 0.0:
+            return self.weight_sum
+        return float(self.count)
+
+    def mean_db(self) -> np.ndarray:
+        """Per-frequency (weighted) mean magnitude of the samples seen."""
+        if self.count == 0:
+            return np.full(len(self.frequencies), np.nan)
+        return self.sum_db / self._normalizer()
+
+    def std_db(self) -> np.ndarray:
+        """Per-frequency (weighted) population standard deviation (dB)."""
+        if self.count == 0:
+            return np.full(len(self.frequencies), np.nan)
+        normalizer = self._normalizer()
+        mean = self.sum_db / normalizer
+        variance = np.maximum(self.sumsq_db / normalizer - mean ** 2, 0.0)
+        return np.sqrt(variance)
+
+    def percentile_db(self, q) -> np.ndarray:
+        """Per-frequency percentile estimate from the streaming histogram.
+
+        ``q`` is a percentile in ``[0, 100]`` (scalar) — the estimate
+        interpolates linearly inside the bin where the cumulative (weighted)
+        count crosses ``q``, so its error against the materialized
+        order-statistic percentile is bounded by one bin width.
+
+        Raises :class:`~repro.errors.FormulationError` when the accumulator
+        was built without a histogram.
+        """
+        if not self.histogram_bins:
+            raise FormulationError(
+                "this EnsembleStatistics carries no histogram; construct it "
+                "with histogram_bins > 0 to answer percentile queries")
+        q = float(q)
+        if not 0.0 <= q <= 100.0:
+            raise FormulationError(f"percentile must be in [0, 100], got {q}")
+        points = len(self.frequencies)
+        width = ((self.histogram_high_db - self.histogram_low_db)
+                 / self.histogram_bins)
+        result = np.full(points, np.nan)
+        for point in range(points):
+            counts = self.histogram[point]
+            cumulative = np.cumsum(counts)
+            total = cumulative[-1]
+            if total <= 0.0:
+                continue
+            target = q / 100.0 * total
+            bin_index = int(np.searchsorted(cumulative, target, side="left"))
+            bin_index = min(bin_index, self.histogram_bins - 1)
+            below = cumulative[bin_index - 1] if bin_index else 0.0
+            inside = counts[bin_index]
+            fraction = ((target - below) / inside) if inside > 0.0 else 0.0
+            fraction = min(max(fraction, 0.0), 1.0)
+            result[point] = (self.histogram_low_db
+                             + (bin_index + fraction) * width)
+        return result
+
+    @property
+    def histogram_bin_width_db(self) -> float:
+        """Width of one histogram bin in dB (0.0 when disabled)."""
+        if not self.histogram_bins:
+            return 0.0
+        return ((self.histogram_high_db - self.histogram_low_db)
+                / self.histogram_bins)
+
+    def weight_diagnostics(self) -> WeightDiagnostics:
+        """ESS / degeneracy diagnostics of the weights folded so far."""
+        return _diagnose(self.count, self.weight_sum, self.weight_sumsq,
+                         self.max_weight)
+
+
+@dataclasses.dataclass
+class StreamingYield:
+    """Weighted streaming pass / fail accounting against yield specs.
+
+    One :class:`~repro.analysis.montecarlo.YieldSpec` set, folded shard by
+    shard exactly like :class:`EnsembleStatistics` — per-shard accumulators
+    merge in fixed shard order, so parallel and sequential streaming runs
+    agree bit for bit.
+
+    Two failure-probability estimators are exposed:
+
+    * :attr:`failure_probability` — the **unnormalized** importance-sampling
+      estimator ``(1/N)·Σ wᵢ·1{fail}`` (unbiased when the weights are true
+      likelihood ratios; exactly the plain-MC failure fraction when
+      unweighted), with :attr:`failure_standard_error` from the sample
+      variance of ``w·1{fail}``;
+    * :attr:`failure_probability_normalized` — the self-normalized
+      ``Σ wᵢ·1{fail} / Σ wᵢ`` variant (biased O(1/N), lower variance when
+      the proposal is imperfectly normalized).
+
+    :meth:`failure_diagnostics` runs the ESS check over the *failure-region*
+    weights — the population the tail estimate actually rests on.  The
+    overall-weight ESS would flag every well-targeted rare-event proposal as
+    degenerate (weights far from the shifted region are tiny by design);
+    the failure-region ESS is the one that predicts estimator variance.
+    """
+
+    spec_names: List[str]
+    count: int = 0
+    quarantined: int = 0
+    passed: int = 0
+    weight_sum: float = 0.0
+    weight_sumsq: float = 0.0
+    max_weight: float = 0.0
+    pass_weight: float = 0.0
+    fail_weight: float = 0.0
+    fail_weight_sumsq: float = 0.0
+    max_fail_weight: float = 0.0
+    per_spec_count: Dict[str, int] = dataclasses.field(default_factory=dict)
+    per_spec_weight: Dict[str, float] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self):
+        self.spec_names = list(self.spec_names)
+        if len(set(self.spec_names)) != len(self.spec_names):
+            raise FormulationError(
+                f"yield specs must have distinct names, got {self.spec_names}")
+        for name in self.spec_names:
+            self.per_spec_count.setdefault(name, 0)
+            self.per_spec_weight.setdefault(name, 0.0)
+
+    # ------------------------------------------------------------------ #
+    # folding
+    # ------------------------------------------------------------------ #
+
+    def update(self, frequencies, responses, specs,
+               surviving: Optional[np.ndarray] = None,
+               weights: Optional[np.ndarray] = None) -> None:
+        """Fold one shard's ``(K, F)`` complex response rows in.
+
+        ``specs`` must match ``spec_names`` (same order); ``surviving``
+        masks quarantined rows (counted, never evaluated), ``weights``
+        carries the rows' likelihood ratios (1.0 each when omitted).
+        """
+        from ..analysis.bode import bode_from_response
+
+        responses = np.atleast_2d(np.asarray(responses, dtype=complex))
+        if [spec.name for spec in specs] != self.spec_names:
+            raise FormulationError(
+                f"spec set {[spec.name for spec in specs]} does not match "
+                f"this accumulator's {self.spec_names}")
+        rows = responses.shape[0]
+        if surviving is None:
+            surviving = np.ones(rows, dtype=bool)
+        # Fold the shard into local subtotals first, then add those to the
+        # running state in one step each — the same regrouping merge() uses.
+        # A continuous per-row fold here would make a sequential run's sums
+        # bit-different from the merged per-shard accumulators of a parallel
+        # run, breaking the bit-for-bit contract in the class docstring.
+        shard = StreamingYield(self.spec_names)
+        for row in range(rows):
+            if not surviving[row]:
+                shard.quarantined += 1
+                continue
+            weight = 1.0 if weights is None else float(weights[row])
+            shard.count += 1
+            shard.weight_sum += weight
+            shard.weight_sumsq += weight * weight
+            shard.max_weight = max(shard.max_weight, weight)
+            bode = bode_from_response(frequencies, responses[row])
+            row_passes = True
+            for spec in specs:
+                if spec.passes(bode):
+                    shard.per_spec_count[spec.name] += 1
+                    shard.per_spec_weight[spec.name] += weight
+                else:
+                    row_passes = False
+            if row_passes:
+                shard.passed += 1
+                shard.pass_weight += weight
+            else:
+                shard.fail_weight += weight
+                shard.fail_weight_sumsq += weight * weight
+                shard.max_fail_weight = max(shard.max_fail_weight, weight)
+        self.merge(shard)
+
+    def merge(self, other: "StreamingYield") -> None:
+        """Fold another accumulator (a later run of shards) into this one."""
+        if other.spec_names != self.spec_names:
+            raise FormulationError(
+                f"cannot merge StreamingYield accumulators over different "
+                f"spec sets: {self.spec_names} vs {other.spec_names}")
+        self.count += other.count
+        self.quarantined += other.quarantined
+        self.passed += other.passed
+        self.weight_sum += other.weight_sum
+        self.weight_sumsq += other.weight_sumsq
+        self.max_weight = max(self.max_weight, other.max_weight)
+        self.pass_weight += other.pass_weight
+        self.fail_weight += other.fail_weight
+        self.fail_weight_sumsq += other.fail_weight_sumsq
+        self.max_fail_weight = max(self.max_fail_weight, other.max_fail_weight)
+        for name in self.spec_names:
+            self.per_spec_count[name] += other.per_spec_count[name]
+            self.per_spec_weight[name] += other.per_spec_weight[name]
+
+    # ------------------------------------------------------------------ #
+    # estimates
+    # ------------------------------------------------------------------ #
+
+    @property
+    def failure_probability(self) -> float:
+        """Unnormalized (unbiased) failure-probability estimate."""
+        if self.count == 0:
+            return float("nan")
+        return self.fail_weight / self.count
+
+    @property
+    def failure_probability_normalized(self) -> float:
+        """Self-normalized failure-probability estimate."""
+        if self.weight_sum <= 0.0:
+            return float("nan")
+        return self.fail_weight / self.weight_sum
+
+    @property
+    def yield_fraction(self) -> float:
+        """Self-normalized yield estimate (1 − normalized failure)."""
+        if self.weight_sum <= 0.0:
+            return float("nan")
+        return self.pass_weight / self.weight_sum
+
+    @property
+    def failure_standard_error(self) -> float:
+        """Standard error of :attr:`failure_probability`."""
+        if self.count == 0:
+            return float("nan")
+        mean = self.fail_weight / self.count
+        variance = max(self.fail_weight_sumsq / self.count - mean * mean, 0.0)
+        return float(np.sqrt(variance / self.count))
+
+    def weight_diagnostics(self) -> WeightDiagnostics:
+        """ESS / degeneracy over *all* surviving weights (yield estimate)."""
+        return _diagnose(self.count, self.weight_sum, self.weight_sumsq,
+                         self.max_weight)
+
+    def failure_diagnostics(self) -> WeightDiagnostics:
+        """ESS / degeneracy over the failure-region weights (tail estimate)."""
+        return _diagnose(self.count, self.fail_weight,
+                         self.fail_weight_sumsq, self.max_fail_weight)

@@ -10,6 +10,7 @@ measured values next to the paper's.
 from __future__ import annotations
 
 import dataclasses
+import math
 import time
 from typing import Dict, List, Optional, Tuple
 
@@ -48,6 +49,8 @@ __all__ = [
     "SessionWorkloadResult",
     "SymbolicKernelResult",
     "MonteCarloEnsembleResult",
+    "ParallelEnsembleResult",
+    "StreamingEnsembleResult",
     "CompiledModelResult",
     "ScalingPoint",
     "ScalingCurveResult",
@@ -62,6 +65,8 @@ __all__ = [
     "run_session_workload",
     "run_symbolic_kernel",
     "run_montecarlo_ensemble",
+    "run_parallel_ensemble",
+    "run_streaming_ensemble",
     "run_compiled_model",
     "run_scaling_curve",
     "ua741_tolerance_space",
@@ -1052,6 +1057,195 @@ def run_parallel_ensemble(num_samples=100_000, num_points=8, tolerance=0.05,
         redispatches=parallel.parallel.redispatches,
         quarantined=len(parallel.report.quarantined),
         bit_identical=bool(bit_identical),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Streaming ensemble — O(F)-memory estimators at 10^6 samples + IS yield
+# --------------------------------------------------------------------------- #
+
+
+@dataclasses.dataclass
+class StreamingEnsembleResult:
+    """The ``store_responses=False`` estimator pipeline at production scale.
+
+    Three gates in one experiment:
+
+    * **memory** — the headline streaming sweep folds every response row
+      into O(F) accumulators and drops it; ``traced_peak_mb`` is the
+      tracemalloc high-water of the sweep itself (the up-front sample draw
+      is excluded — it is O(M·axes) by design and reusable), ``rss_peak_mb``
+      the process-lifetime RSS including any worker children;
+    * **parity** — on a prefix of the same draw, sequential streaming and
+      the supervised multiprocess driver produce bit-identical accumulator
+      state (sums, extrema, histogram, weight moments);
+    * **importance sampling** — the shifted-proposal yield estimate agrees
+      with plain Monte Carlo within combined standard errors on a
+      moderate-failure spec, with a healthy failure-region ESS.
+    """
+
+    circuit_name: str
+    dimension: int
+    num_samples: int
+    num_frequencies: int
+    num_axes: int
+    shard_size: int
+    streaming_seconds: float
+    #: tracemalloc peak of the streaming fold, in MiB (sample draw excluded).
+    traced_peak_mb: float
+    #: what a materialized (M, F) complex response block alone would need.
+    materialized_mb: float
+    #: ru_maxrss of the process (+ children), in MiB.
+    rss_peak_mb: float
+    memory_ceiling_mb: float
+    parity_samples: int
+    #: Full accumulator state identical: sequential vs multiprocess driver.
+    bit_identical: bool
+    plain_failure: float
+    plain_standard_error: float
+    weighted_failure: float
+    weighted_standard_error: float
+    failure_ess: float
+    importance_degenerate: bool
+
+    @property
+    def sample_points(self) -> int:
+        return self.num_samples * self.num_frequencies
+
+    @property
+    def throughput(self) -> float:
+        """Streaming sample·points per second."""
+        return self.sample_points / self.streaming_seconds
+
+    @property
+    def within_ceiling(self) -> bool:
+        """The streaming fold stayed under the hard tracemalloc ceiling."""
+        return self.traced_peak_mb <= self.memory_ceiling_mb
+
+    @property
+    def is_consistent(self) -> bool:
+        """|p_IS − p_MC| within 4 combined standard errors."""
+        combined = math.hypot(self.plain_standard_error,
+                              self.weighted_standard_error)
+        return abs(self.weighted_failure - self.plain_failure) \
+            <= 4.0 * combined
+
+    def describe(self) -> str:
+        """One line for the experiment table."""
+        return (
+            f"{self.circuit_name:>12} (n={self.dimension:>3}, "
+            f"M={self.num_samples:>7}, F={self.num_frequencies:>3}, "
+            f"shard={self.shard_size}): "
+            f"streaming {self.streaming_seconds:7.2f} s "
+            f"({self.throughput:9.0f} pts/s), "
+            f"peak {self.traced_peak_mb:6.1f} MiB "
+            f"(materialized {self.materialized_mb:7.1f} MiB, "
+            f"ceiling {self.memory_ceiling_mb:.0f}, "
+            f"rss {self.rss_peak_mb:.0f}), "
+            f"bit-identical {'ok' if self.bit_identical else 'NO'}, "
+            f"IS p={self.weighted_failure:.3e}±{self.weighted_standard_error:.1e} "
+            f"vs MC p={self.plain_failure:.3e}±{self.plain_standard_error:.1e} "
+            f"(ESS {self.failure_ess:.0f}, "
+            f"consistent {'ok' if self.is_consistent else 'NO'})"
+        )
+
+
+def run_streaming_ensemble(num_samples=1_000_000, num_points=8,
+                           tolerance=0.05, seed=42, shard_size=2048,
+                           memory_ceiling_mb=256.0, parity_samples=4096,
+                           yield_samples=2000, f_min=1.0,
+                           f_max=1e8) -> StreamingEnsembleResult:
+    """O(F)-memory 10⁶-sample µA741 ensemble plus the IS yield cross-check.
+
+    The headline arm streams ``num_samples`` µA741 tolerance samples through
+    per-shard accumulators under ``tracemalloc``, never materializing the
+    ``(M, F)`` response block; the parity arm re-runs a prefix through the
+    supervised multiprocess driver and asserts bit-identical accumulator
+    state; the yield arm compares the screening-aimed importance-sampled
+    failure estimate against plain Monte Carlo on a moderate-failure spec,
+    where both estimators resolve the answer and a discrepancy is
+    statistically meaningful.
+    """
+    import resource
+    import tracemalloc
+
+    from ..analysis.montecarlo import (YieldSpec, importance_yield,
+                                       monte_carlo_analysis, yield_analysis)
+    from ..montecarlo import ensemble_sweep, parallel_ensemble_sweep
+
+    circuit, spec, space = ua741_tolerance_space(tolerance)
+    frequencies = np.logspace(np.log10(f_min), np.log10(f_max), num_points)
+
+    # -- headline: the big streaming fold under a memory microscope -------- #
+    # The draw happens outside the traced region: it is O(M·axes), reusable
+    # input, and exactly what the streaming contract does NOT cover.
+    values = space.sample_values(num_samples, seed=seed)
+    tracemalloc.start()
+    start = time.perf_counter()
+    streamed = ensemble_sweep(circuit, spec, frequencies, space,
+                              values=values, store_responses=False,
+                              shard_size=shard_size)
+    streaming_seconds = time.perf_counter() - start
+    __, traced_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert streamed.responses is None
+    assert streamed.statistics.count == num_samples
+
+    # -- parity: sequential vs multiprocess accumulator bits --------------- #
+    prefix = values[:parity_samples]
+    sequential = ensemble_sweep(circuit, spec, frequencies, space,
+                                values=prefix, store_responses=False,
+                                shard_size=shard_size)
+    parallel = parallel_ensemble_sweep(circuit, spec, frequencies, space,
+                                       values=prefix, store_responses=False,
+                                       shard_size=shard_size, workers=2)
+    bit_identical = (
+        sequential.statistics.count == parallel.statistics.count
+        and all(np.array_equal(getattr(sequential.statistics, field),
+                               getattr(parallel.statistics, field))
+                for field in ("sum_db", "sumsq_db", "min_db", "max_db",
+                              "histogram")))
+
+    # -- yield: importance sampling vs plain Monte Carlo ------------------- #
+    plain = monte_carlo_analysis(circuit, spec, frequencies, space,
+                                 samples=yield_samples, seed=seed + 1)
+    magnitudes = plain.ensemble.magnitudes_db()
+    pivot = int(np.argmax(magnitudes.std(axis=0)))
+    column = magnitudes[:, pivot]
+    threshold = float(column.mean() - 1.2 * column.std())
+    yield_spec = YieldSpec(name="gain", minimum_gain_db=threshold,
+                           at_frequency=float(frequencies[pivot]))
+    plain_yield = yield_analysis(plain, yield_spec)
+    plain_failure = 1.0 - plain_yield.fraction
+    plain_se = math.sqrt(max(plain_failure * (1.0 - plain_failure), 0.0)
+                         / plain_yield.total)
+    weighted = importance_yield(circuit, spec, frequencies, yield_spec,
+                                space, samples=yield_samples, seed=seed + 2,
+                                magnitude=1.5, shard_size=shard_size)
+    diagnostics = weighted.failure_diagnostics()
+
+    usage = (resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+             + resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss)
+    return StreamingEnsembleResult(
+        circuit_name="ua741",
+        dimension=system_dimension(circuit),
+        num_samples=num_samples,
+        num_frequencies=num_points,
+        num_axes=len(space),
+        shard_size=shard_size,
+        streaming_seconds=streaming_seconds,
+        traced_peak_mb=traced_peak / 2**20,
+        materialized_mb=num_samples * num_points * 16 / 2**20,
+        rss_peak_mb=usage / 1024.0,  # ru_maxrss is KiB on Linux
+        memory_ceiling_mb=memory_ceiling_mb,
+        parity_samples=parity_samples,
+        bit_identical=bool(bit_identical),
+        plain_failure=plain_failure,
+        plain_standard_error=plain_se,
+        weighted_failure=weighted.failure_probability,
+        weighted_standard_error=weighted.failure_standard_error,
+        failure_ess=diagnostics.ess,
+        importance_degenerate=diagnostics.degenerate,
     )
 
 

@@ -150,11 +150,14 @@ def parallel_faults(plan):
     """Install a process-level fault plan for the supervised driver.
 
     ``plan`` maps shard index → action spec, where an action is ``"kill"``
-    (SIGKILL the worker mid-shard), ``"hang"`` (stop heartbeating and sleep
-    past the deadline) or ``"crash"`` (raise inside the worker).  A bare
-    string fires on **every** attempt of that shard (a poisoned shard); a
-    list is indexed by attempt number, so ``["kill"]`` fails attempt 1 only
-    and lets the re-dispatch succeed.
+    (SIGKILL the worker mid-shard), ``"kill_after"`` (SIGKILL *after* the
+    shard solved but before any write-back or completion message — the
+    at-most-once worst case for streaming accumulators: the supervisor must
+    re-dispatch and fold the shard exactly once), ``"hang"`` (stop
+    heartbeating and sleep past the deadline) or ``"crash"`` (raise inside
+    the worker).  A bare string fires on **every** attempt of that shard (a
+    poisoned shard); a list is indexed by attempt number, so ``["kill"]``
+    fails attempt 1 only and lets the re-dispatch succeed.
 
     :func:`repro.montecarlo.parallel.run_shards` snapshots the plan into
     the worker payload at call time, so it reaches workers through the

@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.errors import ParseError
+from repro.errors import ParseError, ValidationError
 from repro.netlist.parser import parse_netlist
 from repro.netlist.validate import validate_circuit
 from repro.reporting import experiments
@@ -72,6 +72,65 @@ class TestParserMalformedInput:
     def test_ignored_dot_cards_are_collected_not_fatal(self):
         circuit = parse_netlist(".options reltol=1e-4\nR1 a 0 1k\n.end\n")
         assert "R1" in circuit
+
+
+class TestSamplingValidation:
+    """ISSUE 10 satellite: malformed sampling requests fail with a typed
+    :class:`~repro.errors.ValidationError`, never a silent empty draw or a
+    bare numpy exception."""
+
+    @pytest.fixture(scope="class")
+    def space(self):
+        from repro.circuits.rc_ladder import build_rc_ladder
+        from repro.montecarlo import ParameterSpace
+
+        circuit, __ = build_rc_ladder(3)
+        names = [element.name for element in circuit
+                 if type(element).__name__ in ("Resistor", "Capacitor")][:2]
+        return ParameterSpace(circuit, {name: 0.1 for name in names})
+
+    def test_unknown_method_is_rejected(self, space):
+        with pytest.raises(ValidationError,
+                           match="unknown sampling method 'halton'"):
+            space.sample_values(8, method="halton")
+
+    def test_out_of_range_counts_are_rejected(self, space):
+        for bad in (0, -4):
+            with pytest.raises(ValidationError, match="must be positive"):
+                space.sample_values(bad)
+        with pytest.raises(ValidationError, match="must be an integer"):
+            space.sample_values(2.5)
+        with pytest.raises(ValidationError, match="must be an integer"):
+            space.sample_multipliers("many")
+
+    def test_validation_error_is_a_netlist_error(self):
+        from repro.errors import NetlistError
+
+        assert issubclass(ValidationError, NetlistError)
+
+    def test_qmc_generators_validate_directly(self):
+        from repro.montecarlo.qmc import (SOBOL_MAX_DIMS,
+                                          latin_hypercube_uniforms,
+                                          sobol_uniforms)
+
+        with pytest.raises(ValidationError, match="count must be positive"):
+            sobol_uniforms(0, 2)
+        with pytest.raises(ValidationError, match="dimension count"):
+            sobol_uniforms(4, 0)
+        with pytest.raises(ValidationError, match="sobol sampling supports"):
+            sobol_uniforms(4, SOBOL_MAX_DIMS + 1)
+        with pytest.raises(ValidationError, match="count must be positive"):
+            latin_hypercube_uniforms(-1, 2)
+
+    def test_importance_sample_validation(self, space):
+        with pytest.raises(ValidationError, match="must be positive"):
+            space.importance_sample(0)
+        with pytest.raises(ValidationError, match="scale"):
+            space.importance_sample(8, scale=0.0)
+        with pytest.raises(ValidationError, match="mixture"):
+            space.importance_sample(8, mixture=1.0)
+        with pytest.raises(ValidationError, match="unknown axis"):
+            space.importance_sample(8, shift={"nonexistent": 1.0})
 
 
 class TestExperimentErrorPaths:

@@ -326,6 +326,94 @@ class TestRunShards:
         assert run.workers == 1          # one shard never needs six workers
 
 
+class TestStreamingFaults:
+    """ISSUE 10: infrastructure failure under store_responses=False heals
+    to the exact accumulator bits of an uninterrupted streaming run."""
+
+    @staticmethod
+    def _full_state_equal(left, right):
+        _statistics_equal(left, right)
+        assert left.weight_sum == right.weight_sum
+        assert left.weight_sumsq == right.weight_sumsq
+        assert left.max_weight == right.max_weight
+        np.testing.assert_array_equal(left.histogram, right.histogram)
+
+    def test_kill_and_kill_after_bit_identical(self, ladder):
+        """SIGKILL mid-shard and SIGKILL *after* the solve (before any
+        write-back — the at-most-once accounting worst case) both heal to
+        the uninterrupted streaming bits, weights and yields included."""
+        circuit, spec, space = ladder
+        values = space.sample_values(48, seed=11)
+        weights = np.random.default_rng(0).uniform(0.5, 1.5, 48)
+        from repro.analysis.montecarlo import YieldSpec
+        specs = [YieldSpec(name="gain", minimum_gain_db=-100.0,
+                           at_frequency=float(FREQUENCIES[2]))]
+        reference = ensemble_sweep(circuit, spec, FREQUENCIES, space,
+                                   values=values, on_failure="quarantine",
+                                   store_responses=False, shard_size=8,
+                                   weights=weights, yield_specs=specs)
+        with parallel_faults({1: ["kill"], 3: ["kill_after"],
+                              4: ["hang"]}):
+            survivor = parallel_ensemble_sweep(
+                circuit, spec, FREQUENCIES, space, values=values,
+                shard_size=8, workers=3, config=FAST,
+                store_responses=False, weights=weights, yield_specs=specs)
+        assert survivor.responses is None
+        self._full_state_equal(survivor.statistics, reference.statistics)
+        assert survivor.yields.count == reference.yields.count
+        assert survivor.yields.passed == reference.yields.passed
+        assert survivor.yields.fail_weight == reference.yields.fail_weight
+        assert survivor.yields.weight_sum == reference.yields.weight_sum
+        assert survivor.parallel.redispatches == 3
+        trails = survivor.parallel.attempts
+        assert any("worker died" in step for step in trails[1])
+        assert any("worker died" in step for step in trails[3])
+
+    def test_checkpoint_kill_resume_bit_identical(self, ladder, tmp_path):
+        """A streaming checkpointed run interrupted mid-plan and resumed
+        under a killed worker reproduces the uninterrupted accumulators."""
+        circuit, spec, space = ladder
+        straight = checkpointed_ensemble_sweep(
+            circuit, spec, FREQUENCIES, space, samples=40, seed=9,
+            shard_size=8, store_responses=False,
+            path=str(tmp_path / "straight.npz"))
+        path = str(tmp_path / "resumed.npz")
+        partial = checkpointed_ensemble_sweep(
+            circuit, spec, FREQUENCIES, space, samples=40, seed=9,
+            shard_size=8, max_shards=2, store_responses=False, path=path)
+        assert not partial.finished and partial.completed == 16
+        assert checkpoint_info(path)["store_responses"] is False
+        with parallel_faults({3: ["kill"]}):
+            resumed = checkpointed_ensemble_sweep(
+                circuit, spec, FREQUENCIES, space, samples=40, seed=9,
+                shard_size=8, store_responses=False, path=path, workers=2,
+                supervisor=FAST)
+        assert resumed.finished and resumed.resumed_from == 16
+        assert resumed.ensemble.responses is None
+        self._full_state_equal(resumed.statistics, straight.statistics)
+        _reports_equal(resumed.report, straight.report)
+
+    def test_streaming_matches_sequential_under_numerical_faults(
+            self, ladder):
+        """Quarantined samples are excluded from the accumulators the same
+        way in every execution mode."""
+        circuit, spec, space = ladder
+        values = space.sample_values(32, seed=7)
+        numerical = {5: "nan", 20: "nan"}
+        with ensemble_faults(numerical, ensemble_values=values):
+            sequential = ensemble_sweep(
+                circuit, spec, FREQUENCIES, space, values=values,
+                on_failure="quarantine", store_responses=False,
+                shard_size=8)
+            parallel = parallel_ensemble_sweep(
+                circuit, spec, FREQUENCIES, space, values=values,
+                shard_size=8, workers=2, config=FAST,
+                store_responses=False)
+        assert sequential.statistics.count == 30
+        self._full_state_equal(parallel.statistics, sequential.statistics)
+        assert parallel.report.quarantined == [5, 20]
+
+
 class TestAnalysisRouting:
     """processes= routes the analysis layer through the supervised driver."""
 
